@@ -1,0 +1,222 @@
+// Command sunbench regenerates every table and figure of the paper's
+// evaluation on the simulated Sunway TaihuLight, plus the future-work
+// ablations. Results print in the paper's layout; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	sunbench [-steps N] [-noise f -repeats k] [-json file] [-v] <artifact>...
+//
+// Artifacts: table1 table2 table3 table4 table5 table6 table7
+// fig5 fig6 fig7 fig8 fig9 fig10 ablation-dma ablation-packing
+// ablation-groups ablation-tiles summary all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sunuintah/internal/experiments"
+	"sunuintah/internal/perf"
+)
+
+func main() {
+	steps := flag.Int("steps", experiments.Steps, "timesteps per run")
+	noise := flag.Float64("noise", 0, "machine-instability jitter fraction (0 disables)")
+	repeats := flag.Int("repeats", 1, "with -noise: repeat each case and keep the best, like the paper")
+	jsonPath := flag.String("json", "", "also write the full evaluation as structured JSON to this file")
+	verbose := flag.Bool("v", false, "print per-case progress")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-json file] [-v] <artifact>...")
+		fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles summary all")
+		os.Exit(2)
+	}
+
+	sweep := experiments.NewSweep(experiments.Options{Steps: *steps, Noise: *noise, Repeats: *repeats})
+	if *verbose {
+		sweep.Progress = func(key experiments.CaseKey) {
+			fmt.Fprintf(os.Stderr, "running %s on %d CGs with %s...\n", key.Problem, key.CGs, key.Variant)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, k := range []string{"table1", "table2", "table3", "table4", "table5",
+				"table6", "table7", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+				"ablation-dma", "ablation-packing", "ablation-groups", "ablation-tiles", "summary"} {
+				want[k] = true
+			}
+		} else {
+			want[a] = true
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		if !want[name] {
+			return
+		}
+		delete(want, name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "sunbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		rows, err := experiments.TableI(sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTableI(rows))
+		return nil
+	})
+	run("table2", func() error {
+		fmt.Print(experiments.FormatTableII(perf.DefaultParams()))
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := experiments.TableIII(sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTableIII(rows))
+		return nil
+	})
+	run("table4", func() error {
+		fmt.Print(experiments.FormatTableIV())
+		return nil
+	})
+	run("fig5", func() error {
+		series, err := experiments.Figure5(sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure5(series))
+		return nil
+	})
+	run("table5", func() error {
+		rows, err := experiments.TableV(sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTableV(rows))
+		return nil
+	})
+	run("table6", func() error {
+		t, err := experiments.AsyncImprovement(sweep, false)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Format())
+		fmt.Printf("average improvement: %.1f%%  best: %.1f%%\n", t.Average(), t.Best())
+		return nil
+	})
+	run("table7", func() error {
+		t, err := experiments.AsyncImprovement(sweep, true)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Format())
+		fmt.Printf("average improvement: %.1f%%  best: %.1f%%\n", t.Average(), t.Best())
+		return nil
+	})
+	for figNum, probIdx := range map[int]int{6: 0, 7: 3, 8: 6} {
+		figNum, probIdx := figNum, probIdx
+		run(fmt.Sprintf("fig%d", figNum), func() error {
+			fig, err := experiments.Boosts(sweep, experiments.Problems[probIdx])
+			if err != nil {
+				return err
+			}
+			fmt.Print(fig.Format(figNum))
+			return nil
+		})
+	}
+	run("fig9", func() error {
+		series, err := experiments.Figure9And10(sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure9(series))
+		return nil
+	})
+	run("fig10", func() error {
+		series, err := experiments.Figure9And10(sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure10(series))
+		return nil
+	})
+	run("ablation-dma", func() error {
+		out, err := experiments.AblationAsyncDMA(*steps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	})
+	run("ablation-packing", func() error {
+		out, err := experiments.AblationTilePacking(*steps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	})
+	run("ablation-groups", func() error {
+		out, err := experiments.AblationCPEGroups(*steps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	})
+	run("ablation-tiles", func() error {
+		out, err := experiments.AblationTileSize(*steps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	})
+	run("summary", func() error {
+		out, err := experiments.ShapeSummary(sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	})
+
+	for name := range want {
+		fmt.Fprintf(os.Stderr, "sunbench: unknown artifact %q\n", name)
+		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		export, err := experiments.BuildExport(sweep, *steps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench: json export:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		if err := export.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+}

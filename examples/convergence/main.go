@@ -1,0 +1,80 @@
+// Convergence: a numerical-verification study of the distributed solver.
+// The Burgers discretisation (backward differences in space, forward Euler
+// in time) is formally first-order accurate; this example runs the full
+// scheduled, offloaded, message-passing solver at increasing resolutions
+// to a fixed final time and estimates the observed convergence order
+// against the exact manufactured solution.
+//
+//	go run ./examples/convergence
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sunuintah/internal/burgers"
+	"sunuintah/internal/core"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/taskgraph"
+)
+
+func solveError(n int, finalT float64) float64 {
+	u := burgers.NewULabel()
+	cells := grid.IV(n, n, n)
+	dx := 1.0 / float64(n)
+	dt := burgers.StableDt(dx, dx, dx)
+	steps := int(math.Ceil(finalT / dt))
+	dt = finalT / float64(steps)
+
+	prob := core.Problem{
+		Tasks:   []*taskgraph.Task{burgers.NewAdvanceTask(u, burgers.FastExpLib, true)},
+		Initial: map[*taskgraph.Label]func(x, y, z float64) float64{u: burgers.Initial},
+		Dt:      dt,
+	}
+	cfg := core.Config{
+		Cells:       cells,
+		PatchCounts: grid.IV(2, 2, 2),
+		NumCGs:      8,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync, SIMD: true, Functional: true},
+	}
+	sim, err := core.NewSimulation(cfg, prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sim.Run(steps); err != nil {
+		log.Fatal(err)
+	}
+	f, err := sim.GatherField(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	sim.Level.Layout.Domain.ForEach(func(c grid.IVec) {
+		x, y, z := sim.Level.CellCenter(c)
+		if e := math.Abs(f.At(c) - burgers.Exact(x, y, z, finalT)); e > maxErr {
+			maxErr = e
+		}
+	})
+	return maxErr
+}
+
+func main() {
+	const finalT = 0.02
+	fmt.Printf("convergence of the scheduled distributed solver to the exact solution at t=%.3f\n\n", finalT)
+	fmt.Printf("%6s %14s %10s\n", "n", "max error", "order")
+	var prevErr float64
+	prevN := 0
+	for _, n := range []int{8, 16, 32, 48} {
+		e := solveError(n, finalT)
+		order := "-"
+		if prevN > 0 {
+			order = fmt.Sprintf("%.2f", math.Log(prevErr/e)/math.Log(float64(n)/float64(prevN)))
+		}
+		fmt.Printf("%6d %14.6e %10s\n", n, e, order)
+		prevErr, prevN = e, n
+	}
+	fmt.Println("\nthe scheme is first order; sharp wave fronts (width ~nu/0.5 = 0.02)")
+	fmt.Println("depress the observed order on grids that under-resolve them.")
+}

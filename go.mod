@@ -1,0 +1,3 @@
+module sunuintah
+
+go 1.22

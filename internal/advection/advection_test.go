@@ -1,0 +1,162 @@
+package advection
+
+import (
+	"math"
+	"testing"
+
+	"sunuintah/internal/core"
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/taskgraph"
+)
+
+func level(t *testing.T, n int) *grid.Level {
+	t.Helper()
+	lv, err := grid.NewUnitCubeLevel(grid.IV(n, n, n), grid.IV(2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lv
+}
+
+func TestExactTranslates(t *testing.T) {
+	v := DefaultVelocity
+	// The profile at (x,t) equals the initial profile at x - a t.
+	x, y, z, tt := 0.6, 0.5, 0.4, 0.1
+	want := v.Initial(x-v.Ax*tt, y-v.Ay*tt, z-v.Az*tt)
+	if got := v.Exact(x, y, z, tt); got != want {
+		t.Fatalf("Exact = %v, want %v", got, want)
+	}
+}
+
+func TestStableDtCFL(t *testing.T) {
+	v := DefaultVelocity
+	dx := 1.0 / 32
+	dt := v.StableDt(dx, dx, dx)
+	cfl := dt * (v.Ax + v.Ay + v.Az) / dx
+	if cfl <= 0 || cfl > 1 {
+		t.Fatalf("CFL = %v, want in (0,1]", cfl)
+	}
+}
+
+func TestSerialSolveTracksExact(t *testing.T) {
+	v := DefaultVelocity
+	lv := level(t, 32)
+	dx := lv.Spacing[0]
+	dt := v.StableDt(dx, dx, dx)
+	const steps = 10
+	u := v.SerialSolve(lv, steps, dt)
+	finalT := steps * dt
+	maxErr := 0.0
+	lv.Layout.Domain.ForEach(func(c grid.IVec) {
+		x, y, z := lv.CellCenter(c)
+		if e := math.Abs(u.At(c) - v.Exact(x, y, z, finalT)); e > maxErr {
+			maxErr = e
+		}
+	})
+	// First-order upwind smears the Gaussian; the error stays modest over
+	// a short horizon.
+	if maxErr > 0.12 {
+		t.Fatalf("error vs exact = %v", maxErr)
+	}
+}
+
+func TestUpwindConvergesFirstOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence study")
+	}
+	v := DefaultVelocity
+	finalT := 0.05
+	errAt := func(n int) float64 {
+		lv := level(t, n)
+		dx := lv.Spacing[0]
+		dt := v.StableDt(dx, dx, dx)
+		steps := int(math.Ceil(finalT / dt))
+		dt = finalT / float64(steps)
+		u := v.SerialSolve(lv, steps, dt)
+		maxErr := 0.0
+		lv.Layout.Domain.ForEach(func(c grid.IVec) {
+			x, y, z := lv.CellCenter(c)
+			if e := math.Abs(u.At(c) - v.Exact(x, y, z, finalT)); e > maxErr {
+				maxErr = e
+			}
+		})
+		return maxErr
+	}
+	e16, e32 := errAt(16), errAt(32)
+	ratio := e16 / e32
+	if ratio < 1.4 || ratio > 3.0 {
+		t.Fatalf("convergence ratio = %.2f (e16=%g e32=%g), want ~2", ratio, e16, e32)
+	}
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	v := DefaultVelocity
+	lv := level(t, 16)
+	dx := lv.Spacing[0]
+	dt := v.StableDt(dx, dx, dx)
+	const steps = 4
+	ref := v.SerialSolve(lv, steps, dt)
+
+	q := v.NewLabel()
+	prob := core.Problem{
+		Tasks:   []*taskgraph.Task{v.NewAdvanceTask(q)},
+		Initial: map[*taskgraph.Label]func(x, y, z float64) float64{q: v.Initial},
+		Dt:      dt,
+	}
+	for _, mode := range []scheduler.Mode{scheduler.ModeSync, scheduler.ModeAsync} {
+		cfg := core.Config{
+			Cells:       grid.IV(16, 16, 16),
+			PatchCounts: grid.IV(2, 2, 2),
+			NumCGs:      4,
+			Scheduler:   scheduler.Config{Mode: mode, Functional: true, TileSize: grid.IV(8, 8, 4)},
+		}
+		s, err := core.NewSimulation(cfg, prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.GatherField(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := field.MaxAbsDiff(got, ref, lv.Layout.Domain); d > 1e-13 {
+			t.Fatalf("%v: distributed result differs from serial by %g", mode, d)
+		}
+	}
+}
+
+func TestAdvectionKernelMuchCheaperThanBurgers(t *testing.T) {
+	// The streaming kernel's cost weight puts it far below Burgers: a
+	// timing run should reflect that in the counters and per-step time.
+	v := DefaultVelocity
+	q := v.NewLabel()
+	prob := core.Problem{
+		Tasks: []*taskgraph.Task{v.NewAdvanceTask(q)},
+		Dt:    1e-3,
+	}
+	cfg := core.Config{
+		Cells:       grid.IV(64, 64, 64),
+		PatchCounts: grid.IV(2, 2, 2),
+		NumCGs:      2,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync},
+	}
+	s, err := core.NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlops := int64(FlopsPerCell * 64 * 64 * 64 * 2)
+	if res.Counters.Flops != wantFlops {
+		t.Fatalf("flops = %d, want %d", res.Counters.Flops, wantFlops)
+	}
+	if res.Counters.ExpFlops != 0 {
+		t.Fatal("advection has no exponentials")
+	}
+}

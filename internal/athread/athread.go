@@ -1,0 +1,302 @@
+// Package athread emulates Sunway's athread offloading library on the
+// simulated SW26010: the MPE spawns a function across the 64 CPEs of its
+// core group, and the offloaded function moves data between main memory and
+// the per-CPE 64 KB LDM with DMA (athread_get/athread_put), computes on the
+// LDM working set, and reports completion through a faaw-updated flag in
+// main memory.
+//
+// Each CPE accounts its own virtual time (DMA waits plus compute), so load
+// imbalance between CPEs is visible to the scheduler exactly as it would be
+// on hardware: the completion flag reaches the CPE count only when the
+// slowest CPE finishes.
+package athread
+
+import (
+	"fmt"
+
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/perf"
+	"sunuintah/internal/sim"
+	"sunuintah/internal/sw26010"
+)
+
+// KernelSpec describes the cost profile of an offloaded kernel, used to
+// charge virtual time and hardware counters.
+type KernelSpec struct {
+	// Name identifies the kernel in traces.
+	Name string
+	// FlopsPerCell is the counted floating-point work per computed cell
+	// (divides and square roots count as one, like the hardware counters).
+	FlopsPerCell float64
+	// ExpFlopsPerCell is the portion of FlopsPerCell inside the software
+	// exponential routines.
+	ExpFlopsPerCell float64
+	// Weight scales the calibrated per-cell compute time relative to the
+	// Burgers kernel (1.0).
+	Weight float64
+	// SIMD selects the vectorised cost model (compute divided by the
+	// calibrated SIMD speed-up).
+	SIMD bool
+	// OverlapDMA models the paper's future-work asynchronous double-
+	// buffered DMA: within each CPE, a tile's transfers overlap the
+	// neighbouring tile's compute. Kernels opt in per tile by calling
+	// EndTile at tile boundaries.
+	OverlapDMA bool
+	// PackedDMA models the future-work tile packing: strided tile rows are
+	// packed into contiguous transfer buffers, improving DMA efficiency
+	// and amortising per-operation latency.
+	PackedDMA bool
+}
+
+// dmaTime selects the packed or strided transfer model.
+func (s KernelSpec) dmaTime(p perf.Params, bytes int64, active int) float64 {
+	if s.PackedDMA {
+		return p.PackedDMATime(bytes, active)
+	}
+	return p.DMATime(bytes, active)
+}
+
+// Group is the cluster of athreads bound to one core group's CPEs. A group
+// runs at most one offloaded kernel at a time, as on the hardware.
+type Group struct {
+	cg   *sw26010.CoreGroup
+	cpes int
+	busy bool
+}
+
+// NewGroup initialises the athread environment across all of a core
+// group's CPEs.
+func NewGroup(cg *sw26010.CoreGroup) *Group {
+	return NewGroupN(cg, cg.Params.NumCPEs)
+}
+
+// NewGroupN initialises an athread environment over a subset of n CPEs,
+// supporting the paper's future-work CPE grouping (several patches in
+// flight on disjoint CPE groups).
+func NewGroupN(cg *sw26010.CoreGroup, n int) *Group {
+	if n < 1 || n > cg.Params.NumCPEs {
+		panic(fmt.Sprintf("athread: group size %d outside [1,%d]", n, cg.Params.NumCPEs))
+	}
+	return &Group{cg: cg, cpes: n}
+}
+
+// NumCPEs returns the number of CPEs in the group.
+func (g *Group) NumCPEs() int { return g.cpes }
+
+// CoreGroup returns the underlying core group.
+func (g *Group) CoreGroup() *sw26010.CoreGroup { return g.cg }
+
+// Busy reports whether an offload is in flight.
+func (g *Group) Busy() bool { return g.busy }
+
+// CPE is the execution context an offloaded function receives, one per
+// computing processing element.
+type CPE struct {
+	// ID is the CPE index within the cluster (0..63).
+	ID int
+
+	group      *Group
+	spec       KernelSpec
+	active     int // CPEs sharing the memory controller, for DMA contention
+	functional bool
+	elapsed    sim.Time
+	ldmUsed    int64
+
+	// Double-buffering state (spec.OverlapDMA).
+	firstTile   bool
+	tileDMA     sim.Time
+	tileCompute sim.Time
+}
+
+// LDMBuf is a region of a main-memory field staged into the CPE's local
+// data memory. Data is nil in timing-only runs.
+type LDMBuf struct {
+	Region grid.Box
+	Data   *field.Cell
+	bytes  int64
+}
+
+// Elapsed returns the virtual time this CPE has consumed so far in the
+// current offload.
+func (c *CPE) Elapsed() sim.Time { return c.elapsed }
+
+// LDMUsed returns the bytes of LDM currently allocated.
+func (c *CPE) LDMUsed() int64 { return c.ldmUsed }
+
+// Get stages region of src into a fresh LDM buffer via a synchronous DMA
+// read. src may be nil in timing-only mode. It returns an error when the
+// buffer does not fit in the remaining LDM.
+func (c *CPE) Get(region grid.Box, src *field.Cell) (*LDMBuf, error) {
+	buf, err := c.alloc(region)
+	if err != nil {
+		return nil, err
+	}
+	c.chargeDMA(buf.bytes)
+	if src != nil {
+		buf.Data = field.NewCell(region)
+		buf.Data.CopyRegion(src, region)
+	}
+	return buf, nil
+}
+
+// NewBuf allocates an uninitialised LDM buffer for region (the kernel's
+// output tile) without a DMA read.
+func (c *CPE) NewBuf(region grid.Box) (*LDMBuf, error) {
+	buf, err := c.alloc(region)
+	if err != nil {
+		return nil, err
+	}
+	if c.functional {
+		buf.Data = field.NewCell(region)
+	}
+	return buf, nil
+}
+
+func (c *CPE) alloc(region grid.Box) (*LDMBuf, error) {
+	if region.Empty() {
+		return nil, fmt.Errorf("athread: empty LDM region %v", region)
+	}
+	bytes := region.NumCells() * 8
+	if c.ldmUsed+bytes > c.group.cg.Params.LDMBytes {
+		return nil, fmt.Errorf("athread: CPE %d LDM overflow: %d B in use + %d B requested > %d B",
+			c.ID, c.ldmUsed, bytes, c.group.cg.Params.LDMBytes)
+	}
+	c.ldmUsed += bytes
+	return &LDMBuf{Region: region, bytes: bytes}, nil
+}
+
+// Put writes buf back to dst via a synchronous DMA write. dst may be nil in
+// timing-only mode.
+func (c *CPE) Put(dst *field.Cell, buf *LDMBuf) {
+	c.chargeDMA(buf.bytes)
+	if dst != nil && buf.Data != nil {
+		dst.CopyRegion(buf.Data, buf.Region)
+	}
+}
+
+// Release frees the buffer's LDM.
+func (c *CPE) Release(buf *LDMBuf) {
+	c.ldmUsed -= buf.bytes
+	if c.ldmUsed < 0 {
+		panic("athread: LDM accounting underflow")
+	}
+	buf.Data = nil
+}
+
+// Compute charges the kernel's per-cell compute cost for cells cells and
+// updates the hardware counters.
+func (c *CPE) Compute(cells int64) {
+	p := c.group.cg.Params
+	d := sim.Time(p.CPEComputeTime(cells, c.spec.SIMD, c.spec.Weight) * c.group.cg.Jitter())
+	if c.spec.OverlapDMA {
+		c.tileCompute += d
+	} else {
+		c.elapsed += d
+	}
+	ctr := &c.group.cg.Counters
+	ctr.Flops += int64(c.spec.FlopsPerCell * float64(cells))
+	ctr.ExpFlops += int64(c.spec.ExpFlopsPerCell * float64(cells))
+	ctr.CellsComputed += cells
+}
+
+// RepeatTiles charges the cost of processing n identical tiles — each one a
+// DMA read of getBytes, a kernel over cellsPerTile cells, and a DMA write
+// of putBytes — without per-tile LDM bookkeeping. It is the timing-only
+// fast path for uniform tilings; the accounted time and counters are
+// exactly what n Get/Compute/Put round trips would charge.
+func (c *CPE) RepeatTiles(n int, getBytes, putBytes, cellsPerTile int64) {
+	if n <= 0 {
+		return
+	}
+	p := c.group.cg.Params
+	dma := sim.Time(c.spec.dmaTime(p, getBytes, c.active)) + sim.Time(c.spec.dmaTime(p, putBytes, c.active))
+	compute := sim.Time(p.CPEComputeTime(cellsPerTile, c.spec.SIMD, c.spec.Weight) * c.group.cg.Jitter())
+	if c.spec.OverlapDMA {
+		// Double buffering: pipeline fill on the first tile, then the
+		// steady state is bounded by the slower of transfers and compute.
+		c.elapsed += dma + compute + sim.Time(n-1)*max(dma, compute)
+	} else {
+		c.elapsed += sim.Time(n) * (dma + compute)
+	}
+	ctr := &c.group.cg.Counters
+	cells := int64(n) * cellsPerTile
+	ctr.Flops += int64(c.spec.FlopsPerCell * float64(cells))
+	ctr.ExpFlops += int64(c.spec.ExpFlopsPerCell * float64(cells))
+	ctr.CellsComputed += cells
+	ctr.DMABytes += int64(n) * (getBytes + putBytes)
+	ctr.DMAOps += int64(2 * n)
+}
+
+// EndTile marks a tile boundary for double-buffered DMA accounting: the
+// first tile is fully serial (pipeline fill); each later tile costs the
+// maximum of its transfers and its compute. Without OverlapDMA it is a
+// no-op (transfers were charged serially as they happened).
+func (c *CPE) EndTile() {
+	if !c.spec.OverlapDMA {
+		return
+	}
+	if c.firstTile {
+		c.elapsed += c.tileDMA + c.tileCompute
+		c.firstTile = false
+	} else {
+		c.elapsed += max(c.tileDMA, c.tileCompute)
+	}
+	c.tileDMA, c.tileCompute = 0, 0
+}
+
+func (c *CPE) chargeDMA(bytes int64) {
+	p := c.group.cg.Params
+	d := sim.Time(c.spec.dmaTime(p, bytes, c.active))
+	if c.spec.OverlapDMA {
+		c.tileDMA += d
+	} else {
+		c.elapsed += d
+	}
+	c.group.cg.Counters.DMABytes += bytes
+	c.group.cg.Counters.DMAOps++
+}
+
+// Spawn offloads body across the CPE cluster. body runs once per CPE (in
+// CPE-ID order, on the caller's goroutine — the emulation is sequential but
+// the accounted times are parallel). activeCPEs is the number of CPEs that
+// will issue DMA (for memory-controller contention); pass the number of
+// CPEs with nonempty tile assignments, or the full cluster size.
+// functional selects whether LDM buffers carry real data (NewBuf allocates
+// storage) or are timing-only.
+//
+// On return, every CPE's work is accounted; flag receives one faaw
+// increment per CPE at that CPE's virtual finish time. Spawn itself
+// returns the cluster's completion time offset from "now" (launch overhead
+// plus the slowest CPE), which callers in synchronous mode may simply wait
+// for. The group is marked busy until the last increment fires.
+func (g *Group) Spawn(spec KernelSpec, activeCPEs int, functional bool, flag *sim.Counter, body func(c *CPE)) sim.Time {
+	if g.busy {
+		panic("athread: overlapping offloads on one CPE cluster")
+	}
+	g.busy = true
+	p := g.cg.Params
+	if activeCPEs < 1 || activeCPEs > p.NumCPEs {
+		activeCPEs = g.cpes
+	}
+	g.cg.Counters.Offloads++
+	launch := sim.Time(p.OffloadCost)
+	var last sim.Time
+	for id := 0; id < g.cpes; id++ {
+		cpe := &CPE{ID: id, group: g, spec: spec, active: activeCPEs, functional: functional, firstTile: true}
+		body(cpe)
+		if cpe.ldmUsed != 0 {
+			panic(fmt.Sprintf("athread: CPE %d leaked %d B of LDM", id, cpe.ldmUsed))
+		}
+		// Fold any unclosed overlapped-tile accumulators serially.
+		cpe.elapsed += cpe.tileDMA + cpe.tileCompute
+		finish := launch + cpe.elapsed + sim.Time(p.FaawCost)
+		if finish > last {
+			last = finish
+		}
+		g.cg.Counters.FaawOps++
+		g.cg.Engine().Schedule(finish, func() { flag.Add(1) })
+	}
+	g.cg.Engine().Schedule(last, func() { g.busy = false })
+	return last
+}

@@ -1,0 +1,356 @@
+package athread
+
+import (
+	"strings"
+	"testing"
+
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/perf"
+	"sunuintah/internal/sim"
+	"sunuintah/internal/sw26010"
+)
+
+func newGroup(t *testing.T) (*sim.Engine, *Group) {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := sw26010.NewMachine(eng, perf.DefaultParams(), 1)
+	return eng, NewGroup(m.CG(0))
+}
+
+var testSpec = KernelSpec{
+	Name:            "test",
+	FlopsPerCell:    311,
+	ExpFlopsPerCell: 215,
+	Weight:          1,
+	SIMD:            false,
+}
+
+func TestSpawnRunsBodyOncePerCPE(t *testing.T) {
+	eng, g := newGroup(t)
+	flag := sim.NewCounter(eng, "flag")
+	var ids []int
+	g.Spawn(testSpec, 64, false, flag, func(c *CPE) {
+		ids = append(ids, c.ID)
+		c.Compute(10)
+	})
+	if len(ids) != 64 {
+		t.Fatalf("body ran %d times", len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("CPE order: ids[%d] = %d", i, id)
+		}
+	}
+	eng.Run()
+	if flag.Value() != 64 {
+		t.Fatalf("flag = %d, want 64", flag.Value())
+	}
+}
+
+func TestSpawnCompletionTimeMatchesSlowestCPE(t *testing.T) {
+	eng, g := newGroup(t)
+	p := g.CoreGroup().Params
+	flag := sim.NewCounter(eng, "flag")
+	// CPE 7 computes 1000 cells; everyone else idles.
+	last := g.Spawn(testSpec, 64, false, flag, func(c *CPE) {
+		if c.ID == 7 {
+			c.Compute(1000)
+		}
+	})
+	want := sim.Time(p.OffloadCost) + sim.Time(p.CPEComputeTime(1000, false, 1)) + sim.Time(p.FaawCost)
+	if diff := float64(last - want); diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("last = %v, want %v", last, want)
+	}
+	end := eng.Run()
+	if end != last {
+		t.Fatalf("engine end = %v, want %v", end, last)
+	}
+}
+
+func TestFlagIncrementsSpreadOverTime(t *testing.T) {
+	eng, g := newGroup(t)
+	flag := sim.NewCounter(eng, "flag")
+	g.Spawn(testSpec, 64, false, flag, func(c *CPE) {
+		c.Compute(int64(c.ID) * 100) // imbalanced load
+	})
+	// Midway through the run, some but not all CPEs have finished.
+	p := g.CoreGroup().Params
+	mid := sim.Time(p.OffloadCost) + sim.Time(p.CPEComputeTime(3200, false, 1))
+	eng.RunUntil(mid)
+	v := flag.Value()
+	if v == 0 || v == 64 {
+		t.Fatalf("flag midway = %d, want partial completion", v)
+	}
+	eng.Run()
+	if flag.Value() != 64 {
+		t.Fatalf("flag final = %d", flag.Value())
+	}
+}
+
+func TestOverlappingSpawnPanics(t *testing.T) {
+	eng, g := newGroup(t)
+	flag := sim.NewCounter(eng, "flag")
+	g.Spawn(testSpec, 64, false, flag, func(c *CPE) { c.Compute(1) })
+	if !g.Busy() {
+		t.Fatal("group should be busy after spawn")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overlapping spawn")
+		}
+	}()
+	g.Spawn(testSpec, 64, false, flag, func(c *CPE) {})
+}
+
+func TestGroupBecomesIdleAfterCompletion(t *testing.T) {
+	eng, g := newGroup(t)
+	flag := sim.NewCounter(eng, "flag")
+	g.Spawn(testSpec, 64, false, flag, func(c *CPE) { c.Compute(5) })
+	eng.Run()
+	if g.Busy() {
+		t.Fatal("group still busy after completion")
+	}
+	// A second offload is now legal.
+	flag2 := sim.NewCounter(eng, "flag2")
+	g.Spawn(testSpec, 64, false, flag2, func(c *CPE) {})
+	eng.Run()
+	if flag2.Value() != 64 {
+		t.Fatal("second offload did not complete")
+	}
+}
+
+func TestGetComputePutFunctional(t *testing.T) {
+	eng, g := newGroup(t)
+	flag := sim.NewCounter(eng, "flag")
+	interior := grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(16, 16, 8))
+	src := field.NewCellWithGhost(interior, 1)
+	src.FillFunc(src.Alloc(), func(c grid.IVec) float64 {
+		return float64(c.X + c.Y + c.Z)
+	})
+	dst := field.NewCell(interior)
+
+	g.Spawn(testSpec, 1, true, flag, func(c *CPE) {
+		if c.ID != 0 {
+			return
+		}
+		in, err := c.Get(interior.Grow(1), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.NewBuf(interior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// "Kernel": copy shifted neighbour value.
+		interior.ForEach(func(cell grid.IVec) {
+			out.Data.Set(cell, in.Data.At(cell.Sub(grid.IV(1, 0, 0))))
+		})
+		c.Compute(interior.NumCells())
+		c.Put(dst, out)
+		c.Release(in)
+		c.Release(out)
+	})
+	eng.Run()
+	interior.ForEach(func(cell grid.IVec) {
+		want := src.At(cell.Sub(grid.IV(1, 0, 0)))
+		if dst.At(cell) != want {
+			t.Fatalf("cell %v = %v, want %v", cell, dst.At(cell), want)
+		}
+	})
+}
+
+func TestLDMOverflowRejected(t *testing.T) {
+	_, g := newGroup(t)
+	flag := sim.NewCounter(g.CoreGroup().Engine(), "flag")
+	big := grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(32, 32, 16)) // 128 KiB
+	g.Spawn(testSpec, 64, false, flag, func(c *CPE) {
+		buf, err := c.Get(big, nil)
+		if err == nil {
+			t.Fatal("oversized LDM buffer accepted")
+		}
+		if !strings.Contains(err.Error(), "LDM overflow") {
+			t.Fatalf("error = %v", err)
+		}
+		if buf != nil {
+			t.Fatal("buffer returned with error")
+		}
+	})
+}
+
+func TestLDMAccountingAcrossBuffers(t *testing.T) {
+	_, g := newGroup(t)
+	flag := sim.NewCounter(g.CoreGroup().Engine(), "flag")
+	tile := grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(16, 16, 8))
+	g.Spawn(testSpec, 64, false, flag, func(c *CPE) {
+		in, err := c.Get(tile.Grow(1), nil) // 25920 B
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.NewBuf(tile) // 16384 B
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.LDMUsed() != 18*18*10*8+16*16*8*8 {
+			t.Fatalf("LDM used = %d", c.LDMUsed())
+		}
+		// The paper's 41.3 KiB working set fits; a third tile buffer
+		// does not.
+		if _, err := c.NewBuf(tile.Grow(1)); err == nil {
+			t.Fatal("third buffer should overflow the 64 KiB LDM")
+		}
+		c.Release(in)
+		c.Release(out)
+	})
+}
+
+func TestLDMLeakPanics(t *testing.T) {
+	_, g := newGroup(t)
+	flag := sim.NewCounter(g.CoreGroup().Engine(), "flag")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on leaked LDM")
+		}
+	}()
+	g.Spawn(testSpec, 64, false, flag, func(c *CPE) {
+		if _, err := c.Get(grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(4, 4, 4)), nil); err != nil {
+			t.Fatal(err)
+		}
+		// no Release
+	})
+}
+
+func TestCountersCharged(t *testing.T) {
+	eng, g := newGroup(t)
+	flag := sim.NewCounter(eng, "flag")
+	tile := grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(16, 16, 8))
+	g.Spawn(testSpec, 64, false, flag, func(c *CPE) {
+		in, _ := c.Get(tile.Grow(1), nil)
+		out, _ := c.NewBuf(tile)
+		c.Compute(tile.NumCells())
+		c.Put(nil, out)
+		c.Release(in)
+		c.Release(out)
+	})
+	ctr := g.CoreGroup().Counters
+	cells := tile.NumCells() * 64
+	if ctr.CellsComputed != cells {
+		t.Errorf("CellsComputed = %d, want %d", ctr.CellsComputed, cells)
+	}
+	if ctr.Flops != int64(311*float64(cells)) {
+		t.Errorf("Flops = %d", ctr.Flops)
+	}
+	if ctr.ExpFlops != int64(215*float64(cells)) {
+		t.Errorf("ExpFlops = %d", ctr.ExpFlops)
+	}
+	wantDMA := int64(64) * (tile.Grow(1).NumCells() + tile.NumCells()) * 8
+	if ctr.DMABytes != wantDMA {
+		t.Errorf("DMABytes = %d, want %d", ctr.DMABytes, wantDMA)
+	}
+	if ctr.DMAOps != 128 {
+		t.Errorf("DMAOps = %d", ctr.DMAOps)
+	}
+	if ctr.Offloads != 1 || ctr.FaawOps != 64 {
+		t.Errorf("Offloads = %d FaawOps = %d", ctr.Offloads, ctr.FaawOps)
+	}
+}
+
+func TestSIMDSpecRunsFaster(t *testing.T) {
+	eng, g := newGroup(t)
+	flag := sim.NewCounter(eng, "f1")
+	scalarT := g.Spawn(testSpec, 64, false, flag, func(c *CPE) { c.Compute(1000) })
+	eng.Run()
+	simdSpec := testSpec
+	simdSpec.SIMD = true
+	flag2 := sim.NewCounter(eng, "f2")
+	simdT := g.Spawn(simdSpec, 64, false, flag2, func(c *CPE) { c.Compute(1000) })
+	eng.Run()
+	if simdT >= scalarT {
+		t.Fatalf("simd %v not faster than scalar %v", simdT, scalarT)
+	}
+}
+
+func TestDMAContentionSlowsTransfers(t *testing.T) {
+	eng, g := newGroup(t)
+	tile := grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(16, 16, 8))
+	run := func(active int) sim.Time {
+		flag := sim.NewCounter(eng, "f")
+		d := g.Spawn(testSpec, active, false, flag, func(c *CPE) {
+			in, _ := c.Get(tile, nil)
+			c.Release(in)
+		})
+		eng.Run()
+		return d
+	}
+	solo := run(1)
+	crowded := run(64)
+	if crowded <= solo {
+		t.Fatalf("contended spawn %v should be slower than solo %v", crowded, solo)
+	}
+}
+
+func TestOverlapDMAEndTileMatchesRepeatTiles(t *testing.T) {
+	// With double buffering, n tiles cost (dma+compute) + (n-1)*max(dma,
+	// compute); the per-tile Get/Compute/Put/EndTile path must charge
+	// exactly what the analytic RepeatTiles fast path charges.
+	spec := testSpec
+	spec.OverlapDMA = true
+	tile := grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(16, 16, 8))
+	ghosted := tile.Grow(1)
+	const n = 5
+
+	run := func(perTile bool) sim.Time {
+		eng, g := newGroup(t)
+		flag := sim.NewCounter(eng, "f")
+		dur := g.Spawn(spec, 64, false, flag, func(c *CPE) {
+			if c.ID != 0 {
+				return
+			}
+			if !perTile {
+				c.RepeatTiles(n, ghosted.NumCells()*8, tile.NumCells()*8, tile.NumCells())
+				return
+			}
+			for i := 0; i < n; i++ {
+				in, err := c.Get(ghosted, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := c.NewBuf(tile)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.Compute(tile.NumCells())
+				c.Put(nil, out)
+				c.Release(in)
+				c.Release(out)
+				c.EndTile()
+			}
+		})
+		eng.Run()
+		return dur
+	}
+	slow := run(true)
+	fast := run(false)
+	if d := float64(slow - fast); d > 1e-12 || d < -1e-12 {
+		t.Fatalf("per-tile overlap accounting %v != analytic %v", slow, fast)
+	}
+}
+
+func TestPackedDMACheaper(t *testing.T) {
+	packed := testSpec
+	packed.PackedDMA = true
+	tile := grid.BoxFromSize(grid.IV(0, 0, 0), grid.IV(16, 16, 8))
+	run := func(spec KernelSpec) sim.Time {
+		eng, g := newGroup(t)
+		flag := sim.NewCounter(eng, "f")
+		dur := g.Spawn(spec, 64, false, flag, func(c *CPE) {
+			in, _ := c.Get(tile, nil)
+			c.Release(in)
+		})
+		eng.Run()
+		return dur
+	}
+	if a, b := run(packed), run(testSpec); a >= b {
+		t.Fatalf("packed DMA (%v) not cheaper than strided (%v)", a, b)
+	}
+}

@@ -1,0 +1,131 @@
+package burgers
+
+import (
+	"strings"
+	"testing"
+
+	"sunuintah/internal/core"
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/taskgraph"
+)
+
+func vectorProblem(cells grid.IVec) (core.Problem, *VectorSystem) {
+	vs := NewVectorSystem()
+	dx := 1.0 / float64(cells.X)
+	dy := 1.0 / float64(cells.Y)
+	dz := 1.0 / float64(cells.Z)
+	return core.Problem{
+		Tasks:   []*taskgraph.Task{vs.NewVectorAdvanceTask()},
+		Initial: vs.Initial(),
+		Dt:      0.5 * StableDt(dx, dy, dz), // extra margin for the coupling
+	}, vs
+}
+
+func TestVectorWorkingSetForcesSmallerTiles(t *testing.T) {
+	// Six fields per tile: the paper's 16x16x8 tile does not fit the LDM.
+	ws16 := int64(3*(18*18*10)+3*(16*16*8)) * 8
+	if ws16 <= 64*1024 {
+		t.Fatalf("expected 16x16x8 six-field working set to exceed 64 KiB, got %d", ws16)
+	}
+	ws8 := int64(3*(10*10*10)+3*(8*8*8)) * 8
+	if ws8 > 64*1024 {
+		t.Fatalf("8x8x8 six-field working set %d should fit", ws8)
+	}
+
+	// Patches of 16x16x8 cells so the nominal tile is not clipped smaller.
+	prob, _ := vectorProblem(grid.IV(32, 32, 16))
+	cfg := core.Config{
+		Cells:       grid.IV(32, 32, 16),
+		PatchCounts: grid.IV(2, 2, 2),
+		NumCGs:      2,
+		Scheduler: scheduler.Config{Mode: scheduler.ModeAsync, Functional: true,
+			TileSize: grid.IV(16, 16, 8)},
+	}
+	s, err := core.NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(1)
+	if err == nil || !strings.Contains(err.Error(), "LDM") {
+		t.Fatalf("16x16x8 tile should fail the LDM check, got %v", err)
+	}
+}
+
+func TestVectorDistributedMatchesSerial(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	lv, _ := grid.NewUnitCubeLevel(cells, grid.IV(2, 2, 2))
+	prob, vs := vectorProblem(cells)
+	const steps = 3
+	ref := vs.VectorSerialSolve(lv, steps, prob.Dt)
+
+	for _, mode := range []scheduler.Mode{scheduler.ModeSync, scheduler.ModeAsync} {
+		cfg := core.Config{
+			Cells:       cells,
+			PatchCounts: grid.IV(2, 2, 2),
+			NumCGs:      4,
+			Scheduler: scheduler.Config{Mode: mode, Functional: true,
+				TileSize: VectorTileSize},
+		}
+		s, err := core.NewSimulation(cfg, prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range vs.Labels() {
+			got, err := s.GatherField(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := field.MaxAbsDiff(got, ref[i], lv.Layout.Domain); d > 1e-13 {
+				t.Fatalf("%v component %d differs from serial by %g", mode, i, d)
+			}
+		}
+	}
+}
+
+func TestVectorStaysBounded(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	lv, _ := grid.NewUnitCubeLevel(cells, grid.IV(2, 2, 2))
+	prob, vs := vectorProblem(cells)
+	ref := vs.VectorSerialSolve(lv, 20, prob.Dt)
+	for comp, f := range ref {
+		maxAbs := field.MaxAbs(f, lv.Layout.Domain)
+		if maxAbs > 1.5 || maxAbs == 0 {
+			t.Fatalf("component %d max |q| = %v after 20 steps", comp, maxAbs)
+		}
+	}
+}
+
+func TestVectorCountsThreeComponents(t *testing.T) {
+	prob, _ := vectorProblem(grid.IV(16, 16, 16))
+	cfg := core.Config{
+		Cells:       grid.IV(16, 16, 16),
+		PatchCounts: grid.IV(2, 2, 2),
+		NumCGs:      1,
+		Scheduler: scheduler.Config{Mode: scheduler.ModeAsync,
+			TileSize: VectorTileSize},
+	}
+	s, err := core.NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DMA traffic: per tile, three ghosted inputs and three outputs.
+	cellsTotal := int64(16 * 16 * 16)
+	wantFlops := int64(vectorFlopsPerCell) * cellsTotal
+	if res.Counters.Flops != wantFlops {
+		t.Fatalf("flops = %d, want %d", res.Counters.Flops, wantFlops)
+	}
+	tilesPerPatch := int64(1) // 8x8x8 patch = one 8x8x8 tile
+	wantDMA := 8 * tilesPerPatch * (3*10*10*10 + 3*8*8*8) * 8
+	if res.Counters.DMABytes != wantDMA {
+		t.Fatalf("DMA bytes = %d, want %d", res.Counters.DMABytes, wantDMA)
+	}
+}

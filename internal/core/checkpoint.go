@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"encoding/gob"
+
+	"sunuintah/internal/grid"
+	"sunuintah/internal/taskgraph"
+)
+
+// checkpointFile is the serialised form of a simulation's persistent state:
+// the step counter, simulated time level, and every old-warehouse
+// variable's interior values (ghosts are rebuilt each step). The format is
+// gob — the Uintah analogue is the UDA data archive.
+type checkpointFile struct {
+	Cells       grid.IVec
+	PatchCounts grid.IVec
+	StepsDone   int
+	TimeDone    float64
+	Labels      []string
+	// Data[l][p] holds label l's interior values on patch p, in
+	// grid-box ForEach order.
+	Data [][][]float64
+}
+
+// persistentLabels returns the labels that carry state between steps, in
+// deterministic order, erroring on duplicate names (the checkpoint format
+// identifies labels by name).
+func (s *Simulation) persistentLabels() ([]*taskgraph.Label, error) {
+	var labels []*taskgraph.Label
+	seenPtr := map[*taskgraph.Label]bool{}
+	seenName := map[string]bool{}
+	for _, t := range s.Prob.Tasks {
+		for _, d := range t.Requires {
+			if d.DW != taskgraph.OldDW || seenPtr[d.Label] {
+				continue
+			}
+			if seenName[d.Label.Name()] {
+				return nil, fmt.Errorf("core: duplicate label name %q in checkpointed state", d.Label.Name())
+			}
+			seenPtr[d.Label] = true
+			seenName[d.Label.Name()] = true
+			labels = append(labels, d.Label)
+		}
+	}
+	return labels, nil
+}
+
+// WriteCheckpoint serialises the simulation's state. Functional mode only
+// (a timing-only run has no field data to preserve).
+func (s *Simulation) WriteCheckpoint(w io.Writer) error {
+	if !s.Cfg.Scheduler.Functional {
+		return fmt.Errorf("core: checkpointing requires functional mode")
+	}
+	labels, err := s.persistentLabels()
+	if err != nil {
+		return err
+	}
+	f := checkpointFile{
+		Cells:       s.Cfg.Cells,
+		PatchCounts: s.Cfg.PatchCounts,
+		StepsDone:   s.stepsDone,
+		TimeDone:    s.timeDone,
+	}
+	layout := s.Level.Layout
+	for _, l := range labels {
+		f.Labels = append(f.Labels, l.Name())
+		perPatch := make([][]float64, layout.NumPatches())
+		for _, rk := range s.Ranks {
+			for _, p := range rk.Graph().LocalPatches {
+				perPatch[p.ID] = rk.DWs.Old.Get(l, p).Pack(p.Box, nil)
+			}
+		}
+		f.Data = append(f.Data, perPatch)
+	}
+	return gob.NewEncoder(w).Encode(&f)
+}
+
+// RestoreCheckpoint loads state written by WriteCheckpoint into this
+// simulation, which must have the same grid, patch layout and label set
+// (the rank count and scheduler variant may differ). The simulation must
+// not have run yet; after restoring, Run continues from the checkpointed
+// step.
+func (s *Simulation) RestoreCheckpoint(r io.Reader) error {
+	if !s.Cfg.Scheduler.Functional {
+		return fmt.Errorf("core: checkpointing requires functional mode")
+	}
+	if s.stepsDone != 0 {
+		return fmt.Errorf("core: restore into a freshly constructed simulation (already ran %d steps)", s.stepsDone)
+	}
+	var f checkpointFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	if f.Cells != s.Cfg.Cells || f.PatchCounts != s.Cfg.PatchCounts {
+		return fmt.Errorf("core: checkpoint grid %v/%v does not match simulation %v/%v",
+			f.Cells, f.PatchCounts, s.Cfg.Cells, s.Cfg.PatchCounts)
+	}
+	labels, err := s.persistentLabels()
+	if err != nil {
+		return err
+	}
+	byName := map[string]*taskgraph.Label{}
+	for _, l := range labels {
+		byName[l.Name()] = l
+	}
+	if len(f.Labels) != len(labels) {
+		return fmt.Errorf("core: checkpoint has %d labels, simulation has %d", len(f.Labels), len(labels))
+	}
+	for li, name := range f.Labels {
+		l, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("core: checkpoint label %q not in this problem", name)
+		}
+		for _, rk := range s.Ranks {
+			for _, p := range rk.Graph().LocalPatches {
+				data := f.Data[li][p.ID]
+				if int64(len(data)) != p.NumCells() {
+					return fmt.Errorf("core: checkpoint patch %d has %d values, want %d",
+						p.ID, len(data), p.NumCells())
+				}
+				rest := rk.DWs.Old.Get(l, p).Unpack(p.Box, data)
+				if len(rest) != 0 {
+					return fmt.Errorf("core: checkpoint patch %d unpack mismatch", p.ID)
+				}
+			}
+		}
+	}
+	s.stepsDone = f.StepsDone
+	s.timeDone = f.TimeDone
+	return nil
+}

@@ -1,0 +1,308 @@
+// Package core is the public runtime API of the ported Uintah framework:
+// users describe their problem as coarse tasks over a patch-decomposed
+// grid (package taskgraph), and a SimulationController executes timesteps
+// on a simulated Sunway TaihuLight — one MPI rank per core group, each
+// running the Sunway-specific MPE/CPE scheduler of package scheduler.
+//
+// Two run modes share identical control flow: functional mode computes
+// real field data (validated against reference solutions), timing-only
+// mode executes the same scheduling, communication and cost accounting
+// without allocating field storage, so the paper's 1024^3-cell experiments
+// run on a laptop.
+package core
+
+import (
+	"fmt"
+
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/loadbalancer"
+	"sunuintah/internal/mpisim"
+	"sunuintah/internal/perf"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/sim"
+	"sunuintah/internal/sw26010"
+	"sunuintah/internal/taskgraph"
+)
+
+// Config selects the machine and scheduler configuration of a run.
+type Config struct {
+	// Cells is the global grid size; PatchCounts the patch layout (the
+	// paper fixes 8x8x2 = 128 patches).
+	Cells       grid.IVec
+	PatchCounts grid.IVec
+	// NumCGs is the number of core groups (MPI ranks).
+	NumCGs int
+	// Scheduler picks the variant (mode, SIMD, tile size, extensions).
+	Scheduler scheduler.Config
+	// Params is the machine model; zero value means perf.DefaultParams.
+	Params *perf.Params
+	// Balancer distributes patches over ranks (default Block).
+	Balancer loadbalancer.Strategy
+}
+
+// Problem is a user-defined simulation: its task list plus initial
+// conditions and the timestep.
+type Problem struct {
+	Tasks []*taskgraph.Task
+	// Initial supplies t=0 values for every label required from the old
+	// warehouse (functional mode).
+	Initial map[*taskgraph.Label]func(x, y, z float64) float64
+	// Dt is the (fixed, stability-chosen) timestep size.
+	Dt float64
+}
+
+// Simulation is a configured run: grid, machine, communicator and one
+// scheduler per rank.
+type Simulation struct {
+	Cfg     Config
+	Prob    Problem
+	Level   *grid.Level
+	Machine *sw26010.Machine
+	Comm    *mpisim.Comm
+	Ranks   []*scheduler.Rank
+
+	eng    *sim.Engine
+	assign []int
+	// stepsDone and timeDone track progress across multiple Run calls, so
+	// a simulation can be advanced, rebalanced or checkpointed, and
+	// advanced further.
+	stepsDone int
+	timeDone  float64
+}
+
+// Result summarises a completed run.
+type Result struct {
+	Steps    int
+	WallTime sim.Time // virtual time of the slowest rank
+	// PerStep is WallTime / Steps, the paper's performance indicator.
+	PerStep sim.Time
+	// StepEnds[s] is the virtual time at which the slowest rank finished
+	// step s.
+	StepEnds []sim.Time
+	// Counters aggregates the machine's hardware counters.
+	Counters sw26010.Counters
+	// Gflops is the floating-point rate over the run, counted like the
+	// paper's Figure 9: CPE-counter flops (plus MPE kernel flops in host
+	// mode) divided by wall time.
+	Gflops float64
+	// Efficiency is Gflops over the theoretical peak of the running CGs
+	// (Figure 10).
+	Efficiency float64
+	// RankStats holds each rank's scheduler statistics.
+	RankStats []scheduler.Stats
+	// BytesOnWire is the total MPI traffic.
+	BytesOnWire int64
+	// PeakMemoryBytes is the largest per-CG field-memory high-water mark
+	// observed so far (cumulative across segments).
+	PeakMemoryBytes int64
+}
+
+// NewSimulation validates and assembles a run.
+func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
+	if cfg.NumCGs <= 0 {
+		return nil, fmt.Errorf("core: NumCGs must be positive, got %d", cfg.NumCGs)
+	}
+	if prob.Dt <= 0 {
+		return nil, fmt.Errorf("core: Problem.Dt must be positive, got %v", prob.Dt)
+	}
+	if len(prob.Tasks) == 0 {
+		return nil, fmt.Errorf("core: problem declares no tasks")
+	}
+	params := perf.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	level, err := grid.NewUnitCubeLevel(cfg.Cells, cfg.PatchCounts)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := loadbalancer.AssignWithLayout(cfg.Balancer, level.Layout, cfg.NumCGs)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCarryForward(prob.Tasks); err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	machine := sw26010.NewMachine(eng, params, cfg.NumCGs)
+	comm := mpisim.NewComm(eng, params, cfg.NumCGs)
+
+	s := &Simulation{
+		Cfg: cfg, Prob: prob, Level: level,
+		Machine: machine, Comm: comm,
+		eng: eng, assign: assign,
+	}
+	for r := 0; r < cfg.NumCGs; r++ {
+		g, err := taskgraph.Compile(level, prob.Tasks, assign, r)
+		if err != nil {
+			return nil, err
+		}
+		rk, err := scheduler.New(cfg.Scheduler, g, machine.CG(r), comm.Rank(r))
+		if err != nil {
+			return nil, err
+		}
+		s.Ranks = append(s.Ranks, rk)
+	}
+	if err := s.allocateInitial(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkCarryForward enforces the supported warehouse discipline: every
+// label a task requires from the old warehouse must be computed into the
+// new warehouse each step, or it would vanish at the swap.
+func checkCarryForward(tasks []*taskgraph.Task) error {
+	computed := map[*taskgraph.Label]bool{}
+	for _, t := range tasks {
+		for _, d := range t.Computes {
+			computed[d.Label] = true
+		}
+	}
+	for _, t := range tasks {
+		for _, d := range t.Requires {
+			if d.DW == taskgraph.OldDW && !computed[d.Label] {
+				return fmt.Errorf("core: task %q requires %q from the old warehouse but no task recomputes it (carry-forward is not supported)",
+					t.Name, d.Label.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// allocateInitial creates the t=0 old-warehouse variables on every rank
+// and, in functional mode, fills their interiors from the problem's
+// initial conditions. Allocation failures reproduce the paper's Table III
+// memory errors.
+func (s *Simulation) allocateInitial() error {
+	needed := map[*taskgraph.Label]bool{}
+	for _, t := range s.Prob.Tasks {
+		for _, d := range t.Requires {
+			if d.DW == taskgraph.OldDW {
+				needed[d.Label] = true
+			}
+		}
+	}
+	for _, rk := range s.Ranks {
+		for _, l := range rk.Graph().Labels {
+			if !needed[l] {
+				continue
+			}
+			for _, p := range rk.Graph().LocalPatches {
+				if err := rk.DWs.Old.Allocate(l, p, rk.MaxGhost(l)); err != nil {
+					return err
+				}
+				if !s.Cfg.Scheduler.Functional {
+					continue
+				}
+				init := s.Prob.Initial[l]
+				if init == nil {
+					return fmt.Errorf("core: no initial condition for label %q", l.Name())
+				}
+				f := rk.DWs.Old.Get(l, p)
+				lv := s.Level
+				f.FillFunc(p.Box, func(c grid.IVec) float64 {
+					x, y, z := lv.CellCenter(c)
+					return init(x, y, z)
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes nSteps further timesteps and returns the result for this
+// segment. Each rank runs as its own simulated MPE process; ranks
+// synchronise only through their MPI dependencies, exactly as on the
+// machine. Run may be called repeatedly (interleaved with Rebalance or
+// checkpointing); step numbering and simulated time carry across calls.
+func (s *Simulation) Run(nSteps int) (*Result, error) {
+	if nSteps <= 0 {
+		return nil, fmt.Errorf("core: nSteps must be positive")
+	}
+	firstStep := s.stepsDone
+	segmentStart := s.eng.Now()
+	countersBefore := s.Machine.TotalCounters()
+	var bytesBefore int64
+	for r := range s.Ranks {
+		bytesBefore += s.Comm.Rank(r).BytesSent
+	}
+	stepEnds := make([][]sim.Time, len(s.Ranks))
+	var firstErr error
+	for r, rk := range s.Ranks {
+		r, rk := r, rk
+		stepEnds[r] = make([]sim.Time, nSteps)
+		s.eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Process) {
+			t := s.timeDone
+			for i := 0; i < nSteps; i++ {
+				if s.eng.Stopped() {
+					return
+				}
+				step := firstStep + i
+				if err := rk.ExecuteStep(p, step, t, s.Prob.Dt); err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("rank %d step %d: %w", r, step, err)
+					}
+					s.eng.Stop()
+					return
+				}
+				stepEnds[r][i] = p.Now()
+				t += s.Prob.Dt
+			}
+		})
+	}
+	s.eng.Run()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	s.stepsDone += nSteps
+	s.timeDone += float64(nSteps) * s.Prob.Dt
+
+	res := &Result{Steps: nSteps}
+	res.StepEnds = make([]sim.Time, nSteps)
+	for step := 0; step < nSteps; step++ {
+		for r := range s.Ranks {
+			if stepEnds[r][step] > res.StepEnds[step] {
+				res.StepEnds[step] = stepEnds[r][step]
+			}
+		}
+	}
+	res.WallTime = res.StepEnds[nSteps-1] - segmentStart
+	res.PerStep = res.WallTime / sim.Time(nSteps)
+	res.Counters = s.Machine.TotalCounters().Sub(countersBefore)
+	flops := float64(res.Counters.Flops + res.Counters.MPEFlops)
+	if res.WallTime > 0 {
+		res.Gflops = flops / float64(res.WallTime) / 1e9
+	}
+	res.Efficiency = res.Gflops * 1e9 / s.Machine.PeakFlops()
+	for r, rk := range s.Ranks {
+		res.RankStats = append(res.RankStats, rk.Stats)
+		res.BytesOnWire += s.Comm.Rank(r).BytesSent
+		if pk := s.Machine.CG(r).PeakBytes(); pk > res.PeakMemoryBytes {
+			res.PeakMemoryBytes = pk
+		}
+	}
+	res.BytesOnWire -= bytesBefore
+	return res, nil
+}
+
+// GatherField assembles the global field of a label from every rank's old
+// warehouse (the state after the final swap). Functional mode only.
+func (s *Simulation) GatherField(l *taskgraph.Label) (*field.Cell, error) {
+	if !s.Cfg.Scheduler.Functional {
+		return nil, fmt.Errorf("core: GatherField requires functional mode")
+	}
+	out := field.NewCell(s.Level.Layout.Domain)
+	for _, rk := range s.Ranks {
+		for _, p := range rk.Graph().LocalPatches {
+			f := rk.DWs.Old.Get(l, p)
+			out.CopyRegion(f, p.Box)
+		}
+	}
+	return out, nil
+}
+
+// Assignment returns the patch-to-rank mapping in use.
+func (s *Simulation) Assignment() []int { return s.assign }

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/loadbalancer"
+	"sunuintah/internal/mpisim"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/sim"
+	"sunuintah/internal/taskgraph"
+)
+
+// Regrid re-partitions the same computational grid into a new patch layout
+// between Run segments — the "regridding is needed" arm of the paper's
+// scheduler step 4. Old-warehouse data is redistributed from the old
+// patches to the new ones (each new patch gathers the intersecting pieces
+// of the old patches, over simulated MPI when the pieces live on another
+// rank), the level and every rank's task graph are rebuilt, and the next
+// Run continues from the same step.
+//
+// The new layout must tile the same cells. The new assignment follows the
+// configured balancer strategy.
+func (s *Simulation) Regrid(newPatchCounts grid.IVec) error {
+	newLevel, err := grid.NewUnitCubeLevel(s.Cfg.Cells, newPatchCounts)
+	if err != nil {
+		return err
+	}
+	newAssign, err := loadbalancer.AssignWithLayout(s.Cfg.Balancer, newLevel.Layout, len(s.Ranks))
+	if err != nil {
+		return err
+	}
+
+	labels, err := s.persistentLabels()
+	if err != nil {
+		return err
+	}
+	oldLevel := s.Level
+	oldAssign := append([]int(nil), s.assign...)
+
+	// A piece is the intersection of one old patch with one new patch:
+	// the unit of redistribution.
+	type piece struct {
+		labelIdx int
+		oldPatch *grid.Patch
+		newPatch *grid.Patch
+		region   grid.Box
+		from, to int
+	}
+	var pieces []piece
+	for _, np := range newLevel.Layout.Patches() {
+		for _, op := range oldLevel.Layout.Patches() {
+			region := np.Box.Intersect(op.Box)
+			if region.Empty() {
+				continue
+			}
+			for li := range labels {
+				pieces = append(pieces, piece{
+					labelIdx: li, oldPatch: op, newPatch: np, region: region,
+					from: oldAssign[op.ID], to: newAssign[np.ID],
+				})
+			}
+		}
+	}
+
+	// Stage new-layout fields on each receiving rank, then move pieces.
+	// Same-rank pieces are direct copies; cross-rank pieces travel over
+	// MPI with tags in the negative space (distinct from migration tags by
+	// construction: one Regrid or Rebalance is in flight at a time).
+	newGhost := map[*taskgraph.Label]int{}
+	for _, l := range labels {
+		newGhost[l] = s.Ranks[0].MaxGhost(l)
+	}
+	// newFields[rank] holds the new-layout old-warehouse data until the
+	// schedulers are rebuilt.
+	type varKey struct {
+		labelIdx int
+		patchID  int
+	}
+	newFields := make([]map[varKey]*fieldHolder, len(s.Ranks))
+	for r := range newFields {
+		newFields[r] = map[varKey]*fieldHolder{}
+	}
+	functional := s.Cfg.Scheduler.Functional
+
+	tagOf := func(i int) int { return -(1 + i) }
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		s.eng.Stop()
+	}
+	for r, rk := range s.Ranks {
+		r, rk := r, rk
+		s.eng.Spawn(fmt.Sprintf("regrid%d", r), func(p *sim.Process) {
+			params := rk.CoreGroup().Params
+			// Allocate the new-layout variables this rank will own.
+			for _, np := range newLevel.Layout.Patches() {
+				if newAssign[np.ID] != r {
+					continue
+				}
+				for li, l := range labels {
+					h := &fieldHolder{patch: np, ghost: newGhost[l]}
+					if functional {
+						h.alloc()
+					}
+					newFields[r][varKey{li, np.ID}] = h
+					p.Sleep(sim.Time(params.TouchTime(np.Box.Grow(h.ghost).NumCells() * 8)))
+				}
+			}
+			// Receives first, then sends (eager sends cannot deadlock).
+			type pendingIn struct {
+				pc  piece
+				idx int
+				req *mpisim.Request
+			}
+			var incoming []pendingIn
+			for i, pc := range pieces {
+				if pc.to != r || pc.from == r {
+					continue
+				}
+				incoming = append(incoming, pendingIn{pc, i, s.Comm.Rank(r).Irecv(p, pc.from, tagOf(i))})
+			}
+			for i, pc := range pieces {
+				if pc.from != r {
+					continue
+				}
+				bytes := pc.region.NumCells() * 8
+				if pc.to == r {
+					// Local re-tiling copy.
+					h := newFields[r][varKey{pc.labelIdx, pc.newPatch.ID}]
+					if functional {
+						src := rk.DWs.Old.Get(labels[pc.labelIdx], pc.oldPatch)
+						h.data.CopyRegion(src, pc.region)
+					}
+					p.Sleep(sim.Time(params.LocalCopyTime(2 * bytes)))
+					continue
+				}
+				var payload []float64
+				if functional {
+					payload = rk.DWs.Old.Get(labels[pc.labelIdx], pc.oldPatch).Pack(pc.region, nil)
+				}
+				p.Sleep(sim.Time(params.LocalCopyTime(bytes)))
+				s.Comm.Rank(r).Isend(p, pc.to, tagOf(i), payload, bytes)
+			}
+			for _, in := range incoming {
+				s.Comm.Rank(r).Wait(p, in.req)
+				bytes := in.pc.region.NumCells() * 8
+				p.Sleep(sim.Time(params.LocalCopyTime(bytes)))
+				if functional {
+					h := newFields[r][varKey{in.pc.labelIdx, in.pc.newPatch.ID}]
+					rest := h.data.Unpack(in.pc.region, in.req.Payload())
+					if len(rest) != 0 {
+						fail(fmt.Errorf("core: regrid payload mismatch for new patch %d", in.pc.newPatch.ID))
+						return
+					}
+				}
+			}
+		})
+	}
+	s.eng.Run()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Tear down the old schedulers' warehouses and rebuild each rank on
+	// the new level, seeding the fresh old warehouses from the staged
+	// fields.
+	s.Level = newLevel
+	s.assign = newAssign
+	for r := range s.Ranks {
+		old := s.Ranks[r]
+		old.DWs.Old.FreeAll()
+		old.DWs.New.FreeAll()
+		g, err := taskgraph.Compile(newLevel, s.Prob.Tasks, newAssign, r)
+		if err != nil {
+			return err
+		}
+		rk, err := scheduler.New(s.Cfg.Scheduler, g, s.Machine.CG(r), s.Comm.Rank(r))
+		if err != nil {
+			return err
+		}
+		for li, l := range labels {
+			for _, np := range g.LocalPatches {
+				if err := rk.DWs.Old.Allocate(l, np, newGhost[l]); err != nil {
+					return err
+				}
+				if functional {
+					h := newFields[r][varKey{li, np.ID}]
+					rk.DWs.Old.Get(l, np).CopyRegion(h.data, np.Box)
+				}
+			}
+		}
+		s.Ranks[r] = rk
+	}
+	return nil
+}
+
+// fieldHolder stages one new-layout variable during regridding.
+type fieldHolder struct {
+	patch *grid.Patch
+	ghost int
+	data  *field.Cell
+}
+
+func (h *fieldHolder) alloc() { h.data = field.NewCellWithGhost(h.patch.Box, h.ghost) }

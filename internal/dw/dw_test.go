@@ -1,0 +1,164 @@
+package dw
+
+import (
+	"errors"
+	"testing"
+
+	"sunuintah/internal/grid"
+	"sunuintah/internal/perf"
+	"sunuintah/internal/sim"
+	"sunuintah/internal/sw26010"
+	"sunuintah/internal/taskgraph"
+)
+
+func testCG() *sw26010.CoreGroup {
+	return sw26010.NewMachine(sim.NewEngine(), perf.DefaultParams(), 1).CG(0)
+}
+
+func testPatch(t *testing.T) *grid.Patch {
+	t.Helper()
+	lv, err := grid.NewUnitCubeLevel(grid.IV(16, 16, 16), grid.IV(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lv.Layout.Patch(0)
+}
+
+func TestAllocateGetFunctional(t *testing.T) {
+	cg := testCG()
+	w := NewWarehouse(Functional, cg)
+	u := taskgraph.NewLabel("u", nil)
+	p := testPatch(t)
+	if err := w.Allocate(u, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	f := w.Get(u, p)
+	if f == nil {
+		t.Fatal("functional warehouse returned nil field")
+	}
+	if f.Alloc() != p.Box.Grow(1) {
+		t.Fatalf("field alloc = %v", f.Alloc())
+	}
+	wantBytes := p.Box.Grow(1).NumCells() * 8
+	if w.Bytes(u, p) != wantBytes {
+		t.Fatalf("bytes = %d, want %d", w.Bytes(u, p), wantBytes)
+	}
+	if cg.AllocatedBytes() != wantBytes {
+		t.Fatalf("cg accounting = %d", cg.AllocatedBytes())
+	}
+	if w.Ghost(u, p) != 1 {
+		t.Fatalf("ghost = %d", w.Ghost(u, p))
+	}
+}
+
+func TestTimingOnlyTracksSizesWithoutData(t *testing.T) {
+	cg := testCG()
+	w := NewWarehouse(TimingOnly, cg)
+	u := taskgraph.NewLabel("u", nil)
+	p := testPatch(t)
+	if err := w.Allocate(u, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if w.Get(u, p) != nil {
+		t.Fatal("timing-only warehouse should have nil data")
+	}
+	if w.Bytes(u, p) == 0 || cg.AllocatedBytes() == 0 {
+		t.Fatal("timing-only warehouse must still account memory")
+	}
+}
+
+func TestDoubleAllocateFails(t *testing.T) {
+	w := NewWarehouse(TimingOnly, testCG())
+	u := taskgraph.NewLabel("u", nil)
+	p := testPatch(t)
+	if err := w.Allocate(u, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Allocate(u, p, 0); err == nil {
+		t.Fatal("double allocation should fail")
+	}
+}
+
+func TestGetUnallocatedPanics(t *testing.T) {
+	w := NewWarehouse(Functional, testCG())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Get(taskgraph.NewLabel("ghostvar", nil), testPatch(t))
+}
+
+func TestOutOfMemoryPropagates(t *testing.T) {
+	cg := testCG()
+	w := NewWarehouse(TimingOnly, cg)
+	u := taskgraph.NewLabel("u", nil)
+	lv, _ := grid.NewUnitCubeLevel(grid.IV(1024, 1024, 1024), grid.IV(1, 1, 1))
+	p := lv.Layout.Patch(0) // 8 GB variable
+	err := w.Allocate(u, p, 1)
+	var oom *sw26010.ErrOutOfMemory
+	if !errors.As(err, &oom) {
+		t.Fatalf("error = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestSwapLifecycle(t *testing.T) {
+	cg := testCG()
+	pair := NewPair(Functional, cg)
+	u := taskgraph.NewLabel("u", nil)
+	p := testPatch(t)
+
+	// Step 0: initial condition in old, result in new.
+	if err := pair.Old.Allocate(u, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	pair.Old.Get(u, p).Set(grid.IV(3, 3, 3), 1.5)
+	if err := pair.New.Allocate(u, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	pair.New.Get(u, p).Set(grid.IV(3, 3, 3), 2.5)
+
+	bytesOne := pair.Old.TotalBytes()
+	if cg.AllocatedBytes() != 2*bytesOne {
+		t.Fatalf("cg holds %d, want %d", cg.AllocatedBytes(), 2*bytesOne)
+	}
+
+	pair.Swap()
+	// The new result became the old data; memory for the stale copy was
+	// released.
+	if got := pair.Old.Get(u, p).At(grid.IV(3, 3, 3)); got != 2.5 {
+		t.Fatalf("after swap old value = %v, want 2.5", got)
+	}
+	if pair.New.Exists(u, p) {
+		t.Fatal("fresh new warehouse should be empty")
+	}
+	if cg.AllocatedBytes() != bytesOne {
+		t.Fatalf("after swap cg holds %d, want %d", cg.AllocatedBytes(), bytesOne)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	pair := NewPair(TimingOnly, testCG())
+	if pair.Select(taskgraph.OldDW) != pair.Old || pair.Select(taskgraph.NewDW) != pair.New {
+		t.Fatal("Select mapping wrong")
+	}
+}
+
+func TestRepeatedSwapsKeepAccountingBalanced(t *testing.T) {
+	cg := testCG()
+	pair := NewPair(TimingOnly, cg)
+	u := taskgraph.NewLabel("u", nil)
+	p := testPatch(t)
+	if err := pair.Old.Allocate(u, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 10; step++ {
+		if err := pair.New.Allocate(u, p, 1); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		pair.Swap()
+	}
+	if cg.AllocatedBytes() != pair.Old.TotalBytes() {
+		t.Fatalf("leak: cg %d vs warehouse %d", cg.AllocatedBytes(), pair.Old.TotalBytes())
+	}
+}

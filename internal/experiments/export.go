@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Export is the machine-readable form of the full evaluation: every table
+// and figure as structured data, for plotting or regression tracking.
+type Export struct {
+	// Steps per case and the sweep options used.
+	Steps int `json:"steps"`
+
+	TableI   []TableIRow     `json:"tableI"`
+	TableIII []TableIIIRow   `json:"tableIII"`
+	TableV   []TableVRow     `json:"tableV"`
+	TableVI  *exportImprove  `json:"tableVI"`
+	TableVII *exportImprove  `json:"tableVII"`
+	Figure5  []Figure5Series `json:"figure5"`
+	Figure6  *BoostFigure    `json:"figure6"`
+	Figure7  *BoostFigure    `json:"figure7"`
+	Figure8  *BoostFigure    `json:"figure8"`
+	Figure9  []FlopsSeries   `json:"figure9And10"`
+}
+
+// exportImprove is ImprovementTable with NaN cells nulled for JSON.
+type exportImprove struct {
+	Vectorised bool         `json:"vectorised"`
+	CGs        []int        `json:"cgs"`
+	Problems   []string     `json:"problems"`
+	Cells      [][]*float64 `json:"cells"`
+	Average    float64      `json:"average"`
+	Best       float64      `json:"best"`
+}
+
+func exportImprovement(t *ImprovementTable) *exportImprove {
+	out := &exportImprove{
+		Vectorised: t.Vectorised,
+		CGs:        t.CGs,
+		Problems:   t.Problems,
+		Average:    t.Average(),
+		Best:       t.Best(),
+	}
+	for _, row := range t.Cells {
+		var er []*float64
+		for _, v := range row {
+			if math.IsNaN(v) {
+				er = append(er, nil)
+			} else {
+				v := v
+				er = append(er, &v)
+			}
+		}
+		out.Cells = append(out.Cells, er)
+	}
+	return out
+}
+
+// BuildExport runs (or reuses) every artifact in the sweep and assembles
+// the machine-readable bundle.
+func BuildExport(s *Sweep, steps int) (*Export, error) {
+	e := &Export{Steps: steps}
+	var err error
+	if e.TableI, err = TableI(s); err != nil {
+		return nil, fmt.Errorf("table I: %w", err)
+	}
+	if e.TableIII, err = TableIII(s); err != nil {
+		return nil, fmt.Errorf("table III: %w", err)
+	}
+	if e.TableV, err = TableV(s); err != nil {
+		return nil, fmt.Errorf("table V: %w", err)
+	}
+	t6, err := AsyncImprovement(s, false)
+	if err != nil {
+		return nil, fmt.Errorf("table VI: %w", err)
+	}
+	e.TableVI = exportImprovement(t6)
+	t7, err := AsyncImprovement(s, true)
+	if err != nil {
+		return nil, fmt.Errorf("table VII: %w", err)
+	}
+	e.TableVII = exportImprovement(t7)
+	if e.Figure5, err = Figure5(s); err != nil {
+		return nil, fmt.Errorf("figure 5: %w", err)
+	}
+	for figNum, dst := range map[int]**BoostFigure{6: &e.Figure6, 7: &e.Figure7, 8: &e.Figure8} {
+		idx := map[int]int{6: 0, 7: 3, 8: 6}[figNum]
+		fig, err := Boosts(s, Problems[idx])
+		if err != nil {
+			return nil, fmt.Errorf("figure %d: %w", figNum, err)
+		}
+		*dst = fig
+	}
+	if e.Figure9, err = Figure9And10(s); err != nil {
+		return nil, fmt.Errorf("figures 9/10: %w", err)
+	}
+	return e, nil
+}
+
+// WriteJSON serialises the export with indentation.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

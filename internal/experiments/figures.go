@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ScalingPoint is one point of a Figure 5 wall-time series.
+type ScalingPoint struct {
+	CGs     int
+	PerStep float64 // seconds per timestep
+}
+
+// Figure5Series is the strong-scaling wall time of one problem under one
+// variant.
+type Figure5Series struct {
+	Problem string
+	Variant string
+	Points  []ScalingPoint
+}
+
+// Figure5 regenerates the wall-time strong-scaling curves for the four
+// accelerated variants over every problem.
+func Figure5(s *Sweep) ([]Figure5Series, error) {
+	names := []string{"acc.sync", "acc.async", "acc_simd.sync", "acc_simd.async"}
+	var out []Figure5Series
+	for _, prob := range Problems {
+		for _, name := range names {
+			v, _ := VariantByName(name)
+			series, err := s.ScalingSeries(prob, v)
+			if err != nil {
+				return nil, err
+			}
+			fs := Figure5Series{Problem: prob.Name, Variant: name}
+			var cgs []int
+			for c := range series {
+				cgs = append(cgs, c)
+			}
+			sort.Ints(cgs)
+			for _, c := range cgs {
+				fs.Points = append(fs.Points, ScalingPoint{CGs: c, PerStep: series[c].PerStepSeconds()})
+			}
+			out = append(out, fs)
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure5 renders the Figure 5 data as aligned series.
+func FormatFigure5(series []Figure5Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 5: wall time per timestep (seconds), strong scaling\n")
+	cur := ""
+	for _, fs := range series {
+		if fs.Problem != cur {
+			cur = fs.Problem
+			fmt.Fprintf(&b, "problem %s\n", cur)
+			fmt.Fprintf(&b, "  %-15s", "variant\\CGs")
+			for _, c := range CGCounts {
+				fmt.Fprintf(&b, "%10d", c)
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintf(&b, "  %-15s", fs.Variant)
+		byCG := map[int]float64{}
+		for _, pt := range fs.Points {
+			byCG[pt.CGs] = pt.PerStep
+		}
+		for _, c := range CGCounts {
+			if v, ok := byCG[c]; ok {
+				fmt.Fprintf(&b, "%10.4f", v)
+			} else {
+				fmt.Fprintf(&b, "%10s", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// BoostPoint is one bar of Figures 6-8: the speed-up of a variant over the
+// host.sync baseline at one CG count.
+type BoostPoint struct {
+	CGs      int
+	AccAsync float64 // T_host / T_acc.async
+	SimdAsy  float64 // T_host / T_acc_simd.async
+}
+
+// BoostFigure holds one of Figures 6 (small), 7 (medium), 8 (large).
+type BoostFigure struct {
+	Problem string
+	Points  []BoostPoint
+}
+
+// Boosts computes the optimisation-step performance boosts for one
+// problem: host.sync as the baseline against the offloaded and the
+// offloaded+vectorised asynchronous variants.
+func Boosts(s *Sweep, prob ProblemSpec) (*BoostFigure, error) {
+	host, _ := VariantByName("host.sync")
+	acc, _ := VariantByName("acc.async")
+	simd, _ := VariantByName("acc_simd.async")
+	fig := &BoostFigure{Problem: prob.Name}
+	for _, cgs := range CGCounts {
+		if cgs < prob.MinCGs {
+			continue
+		}
+		rh, err := s.Run(prob, cgs, host)
+		if err != nil {
+			return nil, err
+		}
+		ra, err := s.Run(prob, cgs, acc)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := s.Run(prob, cgs, simd)
+		if err != nil {
+			return nil, err
+		}
+		if !rh.Feasible || !ra.Feasible || !rs.Feasible {
+			continue
+		}
+		fig.Points = append(fig.Points, BoostPoint{
+			CGs:      cgs,
+			AccAsync: rh.PerStepSeconds() / ra.PerStepSeconds(),
+			SimdAsy:  rh.PerStepSeconds() / rs.PerStepSeconds(),
+		})
+	}
+	return fig, nil
+}
+
+// Format renders a boost figure.
+func (f *BoostFigure) Format(figNum int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE %d: performance boost over host.sync, problem %s\n", figNum, f.Problem)
+	fmt.Fprintf(&b, "  %-8s %12s %16s %12s\n", "CGs", "acc.async", "acc_simd.async", "simd extra")
+	for _, pt := range f.Points {
+		fmt.Fprintf(&b, "  %-8d %11.2fx %15.2fx %11.2fx\n",
+			pt.CGs, pt.AccAsync, pt.SimdAsy, pt.SimdAsy/pt.AccAsync)
+	}
+	return b.String()
+}
+
+// FlopsPoint is one point of Figures 9 and 10.
+type FlopsPoint struct {
+	CGs        int
+	Gflops     float64
+	Efficiency float64 // fraction of the running CGs' theoretical peak
+}
+
+// FlopsSeries holds one problem's floating-point performance under
+// acc_simd.async.
+type FlopsSeries struct {
+	Problem string
+	Points  []FlopsPoint
+}
+
+// Figure9And10 computes the floating-point performance (Figure 9) and
+// efficiency (Figure 10) of the best variant.
+func Figure9And10(s *Sweep) ([]FlopsSeries, error) {
+	v, _ := VariantByName("acc_simd.async")
+	var out []FlopsSeries
+	for _, prob := range Problems {
+		series, err := s.ScalingSeries(prob, v)
+		if err != nil {
+			return nil, err
+		}
+		fs := FlopsSeries{Problem: prob.Name}
+		var cgs []int
+		for c := range series {
+			cgs = append(cgs, c)
+		}
+		sort.Ints(cgs)
+		for _, c := range cgs {
+			r := series[c].Result
+			fs.Points = append(fs.Points, FlopsPoint{
+				CGs:        c,
+				Gflops:     r.Gflops,
+				Efficiency: r.Efficiency,
+			})
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// FormatFigure9 renders the Gflops series.
+func FormatFigure9(series []FlopsSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 9: floating point performance (Gflop/s), acc_simd.async\n")
+	fmt.Fprintf(&b, "%-14s", "problem\\CGs")
+	for _, c := range CGCounts {
+		fmt.Fprintf(&b, "%9d", c)
+	}
+	fmt.Fprintln(&b)
+	for _, fs := range series {
+		fmt.Fprintf(&b, "%-14s", fs.Problem)
+		byCG := map[int]FlopsPoint{}
+		for _, pt := range fs.Points {
+			byCG[pt.CGs] = pt
+		}
+		for _, c := range CGCounts {
+			if pt, ok := byCG[c]; ok {
+				fmt.Fprintf(&b, "%9.1f", pt.Gflops)
+			} else {
+				fmt.Fprintf(&b, "%9s", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatFigure10 renders the efficiency series.
+func FormatFigure10(series []FlopsSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 10: floating point efficiency (%% of theoretical peak), acc_simd.async\n")
+	fmt.Fprintf(&b, "%-14s", "problem\\CGs")
+	for _, c := range CGCounts {
+		fmt.Fprintf(&b, "%9d", c)
+	}
+	fmt.Fprintln(&b)
+	for _, fs := range series {
+		fmt.Fprintf(&b, "%-14s", fs.Problem)
+		byCG := map[int]FlopsPoint{}
+		for _, pt := range fs.Points {
+			byCG[pt.CGs] = pt
+		}
+		for _, c := range CGCounts {
+			if pt, ok := byCG[c]; ok {
+				fmt.Fprintf(&b, "%8.2f%%", pt.Efficiency*100)
+			} else {
+				fmt.Fprintf(&b, "%9s", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"sunuintah/internal/core"
+	"sunuintah/internal/sw26010"
+)
+
+// CaseKey identifies one experimental cell.
+type CaseKey struct {
+	Problem string
+	CGs     int
+	Variant string
+}
+
+// CaseResult is a memoised run outcome. Infeasible cells (the paper's
+// memory-allocation crashes) carry Feasible == false.
+type CaseResult struct {
+	Key      CaseKey
+	Feasible bool
+	Result   *core.Result
+}
+
+// Sweep lazily runs and memoises experimental cells. It is not safe for
+// concurrent use.
+type Sweep struct {
+	opt   Options
+	cache map[CaseKey]*CaseResult
+	// Progress, when non-nil, is called before each fresh run.
+	Progress func(key CaseKey)
+}
+
+// NewSweep creates an empty sweep with the given extra options.
+func NewSweep(opt Options) *Sweep {
+	return &Sweep{opt: opt, cache: map[CaseKey]*CaseResult{}}
+}
+
+// Run returns the memoised result of one cell, running it on first use.
+// Out-of-memory failures are recorded as infeasible rather than errors,
+// mirroring the paper's starred Table III rows.
+func (s *Sweep) Run(prob ProblemSpec, cgs int, v Variant) (*CaseResult, error) {
+	key := CaseKey{prob.Name, cgs, v.Name}
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	if s.Progress != nil {
+		s.Progress(key)
+	}
+	res, err := RunCase(prob, cgs, v, s.opt)
+	if err != nil {
+		var oom *sw26010.ErrOutOfMemory
+		if errors.As(err, &oom) {
+			r := &CaseResult{Key: key, Feasible: false}
+			s.cache[key] = r
+			return r, nil
+		}
+		return nil, fmt.Errorf("case %v: %w", key, err)
+	}
+	r := &CaseResult{Key: key, Feasible: true, Result: res}
+	s.cache[key] = r
+	return r, nil
+}
+
+// PerStepSeconds returns the wall time per timestep of a feasible cell.
+func (r *CaseResult) PerStepSeconds() float64 {
+	if !r.Feasible {
+		return 0
+	}
+	return float64(r.Result.PerStep)
+}
+
+// ScalingSeries runs a problem with one variant across every CG count from
+// the problem's minimum to 128 and returns the feasible results keyed by
+// CG count.
+func (s *Sweep) ScalingSeries(prob ProblemSpec, v Variant) (map[int]*CaseResult, error) {
+	out := map[int]*CaseResult{}
+	for _, cgs := range CGCounts {
+		if cgs < prob.MinCGs {
+			continue
+		}
+		r, err := s.Run(prob, cgs, v)
+		if err != nil {
+			return nil, err
+		}
+		if r.Feasible {
+			out[cgs] = r
+		}
+	}
+	return out, nil
+}
+
+// Improvement is the paper's asynchronous-scheduler metric
+// (T_sync - T_async) / T_async, in percent.
+func Improvement(tSync, tAsync float64) float64 {
+	return (tSync - tAsync) / tAsync * 100
+}
+
+// StrongScalingEfficiency is T(min)*min / (T(n)*n), in percent.
+func StrongScalingEfficiency(tMin float64, minCGs int, tN float64, nCGs int) float64 {
+	return tMin * float64(minCGs) / (tN * float64(nCGs)) * 100
+}

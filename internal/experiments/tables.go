@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sunuintah/internal/grid"
+	"sunuintah/internal/perf"
+)
+
+// TableIRow is one row of Table I: FLOPs per cell counted by the CPE
+// performance counters, divided (as the paper does) by the ghost-inclusive
+// cell count of the whole grid.
+type TableIRow struct {
+	Problem      string
+	TotalCells   int64 // grid grown by one ghost layer
+	TotalFlops   int64 // CPE-counter flops for one timestep
+	FlopsPerCell float64
+	ExpFraction  float64
+}
+
+// TableI regenerates the FLOP-per-cell experiment with the acc.async
+// variant at each problem's minimum CG count.
+func TableI(s *Sweep) ([]TableIRow, error) {
+	v, _ := VariantByName("acc.async")
+	var rows []TableIRow
+	for _, prob := range Problems {
+		r, err := s.Run(prob, prob.MinCGs, v)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Feasible {
+			return nil, fmt.Errorf("table I: %s infeasible at %d CGs", prob.Name, prob.MinCGs)
+		}
+		ghosted := prob.GridSize.Add(grid.IV(2, 2, 2)).Volume()
+		perStepFlops := r.Result.Counters.Flops / int64(r.Result.Steps)
+		rows = append(rows, TableIRow{
+			Problem:      prob.Name,
+			TotalCells:   ghosted,
+			TotalFlops:   perStepFlops,
+			FlopsPerCell: float64(perStepFlops) / float64(ghosted),
+			ExpFraction:  float64(r.Result.Counters.ExpFlops) / float64(r.Result.Counters.Flops),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTableI renders Table I in the paper's layout.
+func FormatTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE I: FLOP per cell for the model problem (counted on the CPEs)\n")
+	fmt.Fprintf(&b, "%-13s %13s %15s %15s %9s\n", "Problem Size", "Total Cells", "Total FLOPs", "FLOPs per Cell", "exp share")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-13s %13d %15d %15.0f %8.1f%%\n",
+			r.Problem, r.TotalCells, r.TotalFlops, r.FlopsPerCell, r.ExpFraction*100)
+	}
+	return b.String()
+}
+
+// FormatTableII prints the machine-model parameters (the paper's Table II
+// plus the calibrated software constants).
+func FormatTableII(p perf.Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II: major system parameters of the simulated Sunway TaihuLight\n")
+	fmt.Fprintf(&b, "  Node architecture        1 SW26010 processor (4 CGs, used as 4 nodes)\n")
+	fmt.Fprintf(&b, "  CG cores                 1 MPE + %d CPEs\n", p.NumCPEs)
+	fmt.Fprintf(&b, "  CG peak                  %.1f Gflop/s (MPE %.1f + CPEs %.1f)\n",
+		p.CGPeakFlops()/1e9, p.MPEPeakFlops/1e9, p.CPEClusterPeakFlops/1e9)
+	fmt.Fprintf(&b, "  CG memory                %d GiB (usable for fields: %.2f GiB)\n",
+		p.MemBytesPerCG>>30, float64(p.UsableFieldBytesPerCG)/(1<<30))
+	fmt.Fprintf(&b, "  Memory bandwidth         %.1f GB/s per CG\n", p.MemBandwidth/1e9)
+	fmt.Fprintf(&b, "  LDM per CPE              %d KiB\n", p.LDMBytes>>10)
+	fmt.Fprintf(&b, "  Interconnect             %.0f GB/s P2P, %.1f us latency\n",
+		p.LinkBandwidth/1e9, p.LinkLatency*1e6)
+	fmt.Fprintf(&b, "  Calibrated: CPE scalar kernel %.0f cyc/cell, SIMD /%.1f, MPE kernel %.0f cyc/cell\n",
+		p.CPECyclesPerCellScalar, p.SIMDSpeedup, p.MPECyclesPerCellScalar)
+	return b.String()
+}
+
+// TableIIIRow is one row of Table III.
+type TableIIIRow struct {
+	Problem  string
+	Patch    string
+	Grid     string
+	MemGB    float64
+	MinCGs   int
+	Starred  bool
+	OneCGOOM bool
+}
+
+// TableIII regenerates the problem-settings table, verifying each starred
+// minimum by actually attempting the allocation one CG below it.
+func TableIII(s *Sweep) ([]TableIIIRow, error) {
+	v, _ := VariantByName("acc.async")
+	var rows []TableIIIRow
+	for _, prob := range Problems {
+		row := TableIIIRow{
+			Problem: prob.Name,
+			Patch:   prob.PatchSize.String(),
+			Grid:    prob.GridSize.String(),
+			MemGB:   float64(prob.MemBytes) / (1 << 30),
+			MinCGs:  prob.MinCGs,
+			Starred: prob.MinCGs > 1,
+		}
+		if prob.MinCGs > 1 {
+			below := prob.MinCGs / 2
+			r, err := s.Run(prob, below, v)
+			if err != nil {
+				return nil, err
+			}
+			if r.Feasible {
+				return nil, fmt.Errorf("table III: %s unexpectedly feasible at %d CGs", prob.Name, below)
+			}
+			row.OneCGOOM = true
+		}
+		// The minimum itself must be feasible.
+		r, err := s.Run(prob, prob.MinCGs, v)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Feasible {
+			return nil, fmt.Errorf("table III: %s infeasible at its minimum %d CGs", prob.Name, prob.MinCGs)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTableIII renders Table III.
+func FormatTableIII(rows []TableIIIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE III: problem settings (memory errors verified below each starred minimum)\n")
+	fmt.Fprintf(&b, "%-14s %-12s %-15s %8s %6s\n", "Problem", "Patch Size", "Grid Size", "Mem", "Min")
+	for _, r := range rows {
+		star := ""
+		if r.Starred {
+			star = "*"
+		}
+		mem := fmt.Sprintf("%.0fGB", r.MemGB)
+		if r.MemGB < 1 {
+			mem = fmt.Sprintf("%.0fMB", r.MemGB*1024)
+		}
+		fmt.Fprintf(&b, "%-14s %-12s %-15s %8s %5dCG%s\n", r.Problem+star, r.Patch, r.Grid, mem, r.MinCGs, star)
+	}
+	return b.String()
+}
+
+// FormatTableIV renders the variant matrix.
+func FormatTableIV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE IV: experimental variants\n")
+	fmt.Fprintf(&b, "%-15s %-22s %-7s %-13s\n", "Variant", "Scheduler Mode", "Tiling", "Vectorization")
+	modes := map[string]string{
+		"host.sync":      "MPE-only",
+		"acc.sync":       "synchronous MPE+CPE",
+		"acc_simd.sync":  "synchronous MPE+CPE",
+		"acc.async":      "asynchronous MPE+CPE",
+		"acc_simd.async": "asynchronous MPE+CPE",
+	}
+	for _, v := range Variants {
+		tiling, vec := "Yes", "No"
+		if v.Name == "host.sync" {
+			tiling = "No"
+		}
+		if v.SIMD {
+			vec = "Yes"
+		}
+		fmt.Fprintf(&b, "%-15s %-22s %-7s %-13s\n", v.Name, modes[v.Name], tiling, vec)
+	}
+	return b.String()
+}
+
+// TableVRow holds one problem's strong-scaling efficiencies (percent, from
+// each problem's minimum CG count to 128) for the four accelerated
+// variants.
+type TableVRow struct {
+	Problem    string
+	AccSync    float64
+	AccAsync   float64
+	SimdSync   float64
+	SimdAsync  float64
+	Infeasible bool
+}
+
+// TableV computes strong-scaling efficiency for every problem and
+// accelerated variant.
+func TableV(s *Sweep) ([]TableVRow, error) {
+	names := []string{"acc.sync", "acc.async", "acc_simd.sync", "acc_simd.async"}
+	var rows []TableVRow
+	for _, prob := range Problems {
+		row := TableVRow{Problem: prob.Name}
+		for _, name := range names {
+			v, _ := VariantByName(name)
+			series, err := s.ScalingSeries(prob, v)
+			if err != nil {
+				return nil, err
+			}
+			minR, ok1 := series[prob.MinCGs]
+			maxR, ok2 := series[128]
+			if !ok1 || !ok2 {
+				row.Infeasible = true
+				continue
+			}
+			eff := StrongScalingEfficiency(minR.PerStepSeconds(), prob.MinCGs, maxR.PerStepSeconds(), 128)
+			switch name {
+			case "acc.sync":
+				row.AccSync = eff
+			case "acc.async":
+				row.AccAsync = eff
+			case "acc_simd.sync":
+				row.SimdSync = eff
+			case "acc_simd.async":
+				row.SimdAsync = eff
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTableV renders Table V.
+func FormatTableV(rows []TableVRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE V: strong scaling efficiency (min CGs -> 128 CGs)\n")
+	fmt.Fprintf(&b, "%-14s %9s %10s %10s %11s\n", "Problem", "acc.sync", "acc.async", "simd.sync", "simd.async")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.1f%% %9.1f%% %9.1f%% %10.1f%%\n",
+			r.Problem, r.AccSync, r.AccAsync, r.SimdSync, r.SimdAsync)
+	}
+	return b.String()
+}
+
+// ImprovementTable holds Table VI or VII: the async-over-sync improvement
+// percentage per problem and CG count. Missing cells (below the problem's
+// minimum CG count) are NaN.
+type ImprovementTable struct {
+	Vectorised bool
+	CGs        []int
+	Problems   []string
+	// Cells[p][c] is the improvement of problem p at CGs[c], in percent.
+	Cells [][]float64
+}
+
+// AsyncImprovement computes Table VI (vectorised=false) or Table VII
+// (vectorised=true).
+func AsyncImprovement(s *Sweep, vectorised bool) (*ImprovementTable, error) {
+	syncName, asyncName := "acc.sync", "acc.async"
+	if vectorised {
+		syncName, asyncName = "acc_simd.sync", "acc_simd.async"
+	}
+	vs, _ := VariantByName(syncName)
+	va, _ := VariantByName(asyncName)
+	t := &ImprovementTable{Vectorised: vectorised, CGs: CGCounts}
+	for _, prob := range Problems {
+		t.Problems = append(t.Problems, prob.Name)
+		row := make([]float64, len(CGCounts))
+		for i, cgs := range CGCounts {
+			row[i] = nan()
+			if cgs < prob.MinCGs {
+				continue
+			}
+			rs, err := s.Run(prob, cgs, vs)
+			if err != nil {
+				return nil, err
+			}
+			ra, err := s.Run(prob, cgs, va)
+			if err != nil {
+				return nil, err
+			}
+			if !rs.Feasible || !ra.Feasible {
+				continue
+			}
+			row[i] = Improvement(rs.PerStepSeconds(), ra.PerStepSeconds())
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// Format renders an improvement table in the paper's layout.
+func (t *ImprovementTable) Format() string {
+	var b strings.Builder
+	n := "VI"
+	kind := "non-vectorized"
+	if t.Vectorised {
+		n, kind = "VII", "vectorized"
+	}
+	fmt.Fprintf(&b, "TABLE %s: performance improvement of the asynchronous mode (%s kernel)\n", n, kind)
+	fmt.Fprintf(&b, "%-13s", "Num CGs")
+	for _, c := range t.CGs {
+		fmt.Fprintf(&b, "%8d", c)
+	}
+	fmt.Fprintln(&b)
+	for i, prob := range t.Problems {
+		fmt.Fprintf(&b, "%-13s", prob)
+		for _, v := range t.Cells[i] {
+			if v != v {
+				fmt.Fprintf(&b, "%8s", "-")
+			} else {
+				fmt.Fprintf(&b, "%7.1f%%", v)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Average returns the mean over all defined cells (the paper quotes 13.5%
+// for Table VI).
+func (t *ImprovementTable) Average() float64 {
+	var sum float64
+	var n int
+	for _, row := range t.Cells {
+		for _, v := range row {
+			if v == v {
+				sum += v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Best returns the maximum defined cell.
+func (t *ImprovementTable) Best() float64 {
+	best := nan()
+	for _, row := range t.Cells {
+		for _, v := range row {
+			if v == v && (best != best || v > best) {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func nan() float64 { return math.NaN() }

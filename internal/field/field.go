@@ -1,0 +1,183 @@
+// Package field implements cell-centred variable storage on patches: a
+// contiguous float64 array covering a patch plus an optional ghost margin,
+// with region copies and pack/unpack used for ghost exchange and MPI
+// payloads.
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"sunuintah/internal/grid"
+)
+
+// Cell is a cell-centred double-precision field allocated over a box
+// (usually a patch box grown by the ghost width). Storage is x-fastest,
+// z-slowest, matching grid.Box.ForEach order.
+type Cell struct {
+	alloc  grid.Box
+	stride [2]int // y stride, z stride (x stride is 1)
+	data   []float64
+}
+
+// NewCell allocates a field over box (every value zero).
+func NewCell(box grid.Box) *Cell {
+	if box.Empty() {
+		panic(fmt.Sprintf("field: empty allocation box %v", box))
+	}
+	s := box.Size()
+	return &Cell{
+		alloc:  box,
+		stride: [2]int{s.X, s.X * s.Y},
+		data:   make([]float64, box.NumCells()),
+	}
+}
+
+// NewCellWithGhost allocates a field over interior grown by ghost cells.
+func NewCellWithGhost(interior grid.Box, ghost int) *Cell {
+	return NewCell(interior.Grow(ghost))
+}
+
+// Alloc returns the allocated (ghost-inclusive) box.
+func (f *Cell) Alloc() grid.Box { return f.alloc }
+
+// Data exposes the raw storage in allocation order. Kernels use it for
+// speed; the slice must not be resized.
+func (f *Cell) Data() []float64 { return f.data }
+
+// Index returns the storage offset of cell c. It panics if c is outside
+// the allocated box.
+func (f *Cell) Index(c grid.IVec) int {
+	r := c.Sub(f.alloc.Lo)
+	if r.X < 0 || r.Y < 0 || r.Z < 0 {
+		panic(fmt.Sprintf("field: cell %v below allocation %v", c, f.alloc))
+	}
+	s := f.alloc.Size()
+	if r.X >= s.X || r.Y >= s.Y || r.Z >= s.Z {
+		panic(fmt.Sprintf("field: cell %v above allocation %v", c, f.alloc))
+	}
+	return r.Z*f.stride[1] + r.Y*f.stride[0] + r.X
+}
+
+// At returns the value at cell c.
+func (f *Cell) At(c grid.IVec) float64 { return f.data[f.Index(c)] }
+
+// Set stores v at cell c.
+func (f *Cell) Set(c grid.IVec, v float64) { f.data[f.Index(c)] = v }
+
+// Strides returns (yStride, zStride); the x stride is 1.
+func (f *Cell) Strides() (int, int) { return f.stride[0], f.stride[1] }
+
+// Fill sets every cell in region to v. The region must lie inside the
+// allocation.
+func (f *Cell) Fill(region grid.Box, v float64) {
+	f.forRows(region, func(base, n int) {
+		row := f.data[base : base+n]
+		for i := range row {
+			row[i] = v
+		}
+	})
+}
+
+// FillFunc sets every cell in region to fn(c).
+func (f *Cell) FillFunc(region grid.Box, fn func(c grid.IVec) float64) {
+	region.ForEach(func(c grid.IVec) { f.data[f.Index(c)] = fn(c) })
+}
+
+// CopyRegion copies region from src into f. The region must be allocated
+// in both fields; cell coordinates are global, so this performs the
+// neighbour-ghost copy used by same-rank dependencies.
+func (f *Cell) CopyRegion(src *Cell, region grid.Box) {
+	if region.Empty() {
+		return
+	}
+	if !f.alloc.ContainsBox(region) {
+		panic(fmt.Sprintf("field: copy region %v outside dst allocation %v", region, f.alloc))
+	}
+	if !src.alloc.ContainsBox(region) {
+		panic(fmt.Sprintf("field: copy region %v outside src allocation %v", region, src.alloc))
+	}
+	// Row-wise copy using both fields' strides.
+	for k := region.Lo.Z; k < region.Hi.Z; k++ {
+		for j := region.Lo.Y; j < region.Hi.Y; j++ {
+			lo := grid.IV(region.Lo.X, j, k)
+			d := f.Index(lo)
+			s := src.Index(lo)
+			n := region.Hi.X - region.Lo.X
+			copy(f.data[d:d+n], src.data[s:s+n])
+		}
+	}
+}
+
+// Pack appends region's values (in ForEach order) to buf and returns the
+// extended slice. Used to serialise ghost regions into MPI payloads.
+func (f *Cell) Pack(region grid.Box, buf []float64) []float64 {
+	f.forRows(region, func(base, n int) {
+		buf = append(buf, f.data[base:base+n]...)
+	})
+	return buf
+}
+
+// Unpack reads region's values from buf (written by Pack with the same
+// region) and returns the remaining tail of buf.
+func (f *Cell) Unpack(region grid.Box, buf []float64) []float64 {
+	f.forRows(region, func(base, n int) {
+		copy(f.data[base:base+n], buf[:n])
+		buf = buf[n:]
+	})
+	return buf
+}
+
+// forRows invokes fn(baseIndex, rowLen) for every x-row of region.
+func (f *Cell) forRows(region grid.Box, fn func(base, n int)) {
+	if region.Empty() {
+		return
+	}
+	if !f.alloc.ContainsBox(region) {
+		panic(fmt.Sprintf("field: region %v outside allocation %v", region, f.alloc))
+	}
+	n := region.Hi.X - region.Lo.X
+	for k := region.Lo.Z; k < region.Hi.Z; k++ {
+		for j := region.Lo.Y; j < region.Hi.Y; j++ {
+			fn(f.Index(grid.IV(region.Lo.X, j, k)), n)
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest absolute difference between f and g over
+// region (allocated in both).
+func MaxAbsDiff(f, g *Cell, region grid.Box) float64 {
+	maxd := 0.0
+	region.ForEach(func(c grid.IVec) {
+		if d := math.Abs(f.At(c) - g.At(c)); d > maxd {
+			maxd = d
+		}
+	})
+	return maxd
+}
+
+// L2Norm returns the root-mean-square of f over region.
+func L2Norm(f *Cell, region grid.Box) float64 {
+	var sum float64
+	var n int64
+	region.ForEach(func(c grid.IVec) {
+		v := f.At(c)
+		sum += v * v
+		n++
+	})
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// MaxAbs returns the largest absolute value of f over region.
+func MaxAbs(f *Cell, region grid.Box) float64 {
+	maxv := 0.0
+	region.ForEach(func(c grid.IVec) {
+		if v := math.Abs(f.At(c)); v > maxv {
+			maxv = v
+		}
+	})
+	return maxv
+}

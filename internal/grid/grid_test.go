@@ -1,0 +1,380 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIVecArithmetic(t *testing.T) {
+	a, b := IV(1, 2, 3), IV(4, 5, 6)
+	if got := a.Add(b); got != IV(5, 7, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != IV(3, 3, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != IV(4, 10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := b.Div(a); got != IV(4, 2, 2) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := a.Scale(3); got != IV(3, 6, 9) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Min(IV(2, 1, 5)); got != IV(1, 1, 3) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(IV(2, 1, 5)); got != IV(2, 2, 5) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Volume(); got != 6 {
+		t.Errorf("Volume = %d", got)
+	}
+	if a.String() != "1x2x3" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestIVecCompAccess(t *testing.T) {
+	v := IV(7, 8, 9)
+	for axis, want := range []int{7, 8, 9} {
+		if got := v.Comp(axis); got != want {
+			t.Errorf("Comp(%d) = %d, want %d", axis, got, want)
+		}
+	}
+	if got := v.WithComp(1, 42); got != IV(7, 42, 9) {
+		t.Errorf("WithComp = %v", got)
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(IV(0, 0, 0), IV(4, 3, 2))
+	if b.NumCells() != 24 {
+		t.Errorf("NumCells = %d", b.NumCells())
+	}
+	if b.Empty() {
+		t.Error("box should not be empty")
+	}
+	if !b.Contains(IV(3, 2, 1)) {
+		t.Error("should contain high corner cell")
+	}
+	if b.Contains(IV(4, 0, 0)) {
+		t.Error("Hi is exclusive")
+	}
+	empty := NewBox(IV(2, 0, 0), IV(2, 5, 5))
+	if !empty.Empty() || empty.NumCells() != 0 {
+		t.Error("degenerate box should be empty")
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := NewBox(IV(0, 0, 0), IV(10, 10, 10))
+	b := NewBox(IV(5, 5, 5), IV(15, 15, 15))
+	got := a.Intersect(b)
+	if got != NewBox(IV(5, 5, 5), IV(10, 10, 10)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	c := NewBox(IV(20, 20, 20), IV(30, 30, 30))
+	if a.Intersects(c) {
+		t.Error("disjoint boxes intersect")
+	}
+}
+
+func TestBoxGrowAndSurface(t *testing.T) {
+	b := BoxFromSize(IV(0, 0, 0), IV(16, 16, 8))
+	g := b.Grow(1)
+	if g.Size() != IV(18, 18, 10) {
+		t.Errorf("grown size = %v", g.Size())
+	}
+	want := g.NumCells() - b.NumCells()
+	if b.SurfaceCells() != want {
+		t.Errorf("SurfaceCells = %d, want %d", b.SurfaceCells(), want)
+	}
+	if got := b.Grow(-4).Size(); got != IV(8, 8, 0) {
+		t.Errorf("negative grow size = %v", got)
+	}
+}
+
+func TestBoxForEachOrderAndCount(t *testing.T) {
+	b := BoxFromSize(IV(1, 2, 3), IV(2, 2, 2))
+	var cells []IVec
+	b.ForEach(func(c IVec) { cells = append(cells, c) })
+	if len(cells) != 8 {
+		t.Fatalf("visited %d cells", len(cells))
+	}
+	if cells[0] != IV(1, 2, 3) || cells[1] != IV(2, 2, 3) {
+		t.Errorf("x must vary fastest: %v", cells[:2])
+	}
+	if cells[7] != IV(2, 3, 4) {
+		t.Errorf("last cell = %v", cells[7])
+	}
+}
+
+func TestLayoutPaperConfiguration(t *testing.T) {
+	// The paper's smallest problem: 128x128x1024 grid, 8x8x2 patches of
+	// 16x16x512.
+	l, err := NewLayout(BoxFromSize(IV(0, 0, 0), IV(128, 128, 1024)), IV(8, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumPatches() != 128 {
+		t.Fatalf("NumPatches = %d, want 128", l.NumPatches())
+	}
+	if l.PatchSize != IV(16, 16, 512) {
+		t.Fatalf("PatchSize = %v", l.PatchSize)
+	}
+	// Patches tile the domain exactly: total cells match, no overlaps.
+	var total int64
+	for _, p := range l.Patches() {
+		total += p.NumCells()
+	}
+	if total != l.Domain.NumCells() {
+		t.Errorf("patch cells %d != domain cells %d", total, l.Domain.NumCells())
+	}
+}
+
+func TestLayoutRejectsBadConfigs(t *testing.T) {
+	dom := BoxFromSize(IV(0, 0, 0), IV(10, 10, 10))
+	if _, err := NewLayout(dom, IV(3, 1, 1)); err == nil {
+		t.Error("indivisible layout should fail")
+	}
+	if _, err := NewLayout(dom, IV(0, 1, 1)); err == nil {
+		t.Error("zero counts should fail")
+	}
+	if _, err := NewLayout(NewBox(IV(0, 0, 0), IV(0, 5, 5)), IV(1, 1, 1)); err == nil {
+		t.Error("empty domain should fail")
+	}
+}
+
+func TestPatchContaining(t *testing.T) {
+	l, _ := NewLayout(BoxFromSize(IV(0, 0, 0), IV(8, 8, 8)), IV(2, 2, 2))
+	p := l.PatchContaining(IV(5, 3, 7))
+	if p == nil || p.Pos != IV(1, 0, 1) {
+		t.Fatalf("PatchContaining = %v", p)
+	}
+	if l.PatchContaining(IV(8, 0, 0)) != nil {
+		t.Error("outside cell should return nil")
+	}
+}
+
+func TestGhostRegionsCoverMarginExactly(t *testing.T) {
+	l, _ := NewLayout(BoxFromSize(IV(0, 0, 0), IV(8, 8, 8)), IV(2, 2, 2))
+	for _, p := range l.Patches() {
+		regions := l.GhostRegions(p, 1)
+		// Regions must exactly tile Grow(1) minus the patch box.
+		covered := map[IVec]int{}
+		for _, gr := range regions {
+			gr.Region.ForEach(func(c IVec) { covered[c]++ })
+		}
+		margin := p.Box.Grow(1)
+		var wantCells int64 = margin.NumCells() - p.Box.NumCells()
+		if int64(len(covered)) != wantCells {
+			t.Fatalf("patch %v: covered %d cells, want %d", p, len(covered), wantCells)
+		}
+		for c, n := range covered {
+			if n != 1 {
+				t.Fatalf("patch %v: cell %v covered %d times", p, c, n)
+			}
+			if p.Box.Contains(c) || !margin.Contains(c) {
+				t.Fatalf("patch %v: cell %v outside margin", p, c)
+			}
+		}
+		// Source attribution: in-domain cells must come from the owning
+		// patch; out-of-domain cells must be boundary regions.
+		for _, gr := range regions {
+			gr.Region.ForEach(func(c IVec) {
+				owner := l.PatchContaining(c)
+				if owner == nil {
+					if gr.Src != nil {
+						t.Fatalf("cell %v outside domain attributed to %v", c, gr.Src)
+					}
+				} else if gr.Src == nil || gr.Src.ID != owner.ID {
+					t.Fatalf("cell %v owned by %v but attributed to %v", c, owner, gr.Src)
+				}
+			})
+		}
+	}
+}
+
+func TestNeighboursCornerAndCenterCounts(t *testing.T) {
+	l, _ := NewLayout(BoxFromSize(IV(0, 0, 0), IV(12, 12, 12)), IV(3, 3, 3))
+	corner := l.PatchAt(IV(0, 0, 0))
+	if got := len(l.Neighbours(corner, 1)); got != 7 {
+		t.Errorf("corner neighbours = %d, want 7", got)
+	}
+	center := l.PatchAt(IV(1, 1, 1))
+	if got := len(l.Neighbours(center, 1)); got != 26 {
+		t.Errorf("center neighbours = %d, want 26", got)
+	}
+	// Paper layout 8x8x2: an interior patch has 17 neighbours.
+	l2, _ := NewLayout(BoxFromSize(IV(0, 0, 0), IV(128, 128, 1024)), IV(8, 8, 2))
+	inner := l2.PatchAt(IV(4, 4, 0))
+	if got := len(l2.Neighbours(inner, 1)); got != 17 {
+		t.Errorf("8x8x2 interior neighbours = %d, want 17", got)
+	}
+}
+
+// Property: ghost regions never overlap the patch and always lie within the
+// grown box, for random layouts and widths.
+func TestPropertyGhostRegions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		counts := IV(1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(3))
+		cellsPer := IV(2+rng.Intn(4), 2+rng.Intn(4), 2+rng.Intn(4))
+		dom := BoxFromSize(IV(0, 0, 0), counts.Mul(cellsPer))
+		l, err := NewLayout(dom, counts)
+		if err != nil {
+			return false
+		}
+		width := 1 + rng.Intn(2)
+		if width >= cellsPer.X || width >= cellsPer.Y || width >= cellsPer.Z {
+			width = 1
+		}
+		p := l.Patch(rng.Intn(l.NumPatches()))
+		var cells int64
+		for _, gr := range l.GhostRegions(p, width) {
+			if gr.Region.Intersects(p.Box) {
+				return false
+			}
+			if !p.Box.Grow(width).ContainsBox(gr.Region) {
+				return false
+			}
+			cells += gr.Region.NumCells()
+		}
+		return cells == p.Box.Grow(width).NumCells()-p.Box.NumCells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtractBox(t *testing.T) {
+	b := BoxFromSize(IV(0, 0, 0), IV(4, 4, 4))
+	cut := BoxFromSize(IV(1, 1, 1), IV(2, 2, 2))
+	parts := subtractBox(b, cut)
+	var cells int64
+	for _, p := range parts {
+		cells += p.NumCells()
+		if p.Intersects(cut) {
+			t.Fatalf("part %v overlaps cut", p)
+		}
+	}
+	if cells != b.NumCells()-cut.NumCells() {
+		t.Fatalf("cells = %d", cells)
+	}
+	// Disjoint cut returns the box unchanged.
+	if parts := subtractBox(b, BoxFromSize(IV(10, 10, 10), IV(1, 1, 1))); len(parts) != 1 || parts[0] != b {
+		t.Fatalf("disjoint subtract = %v", parts)
+	}
+	// Full cut removes everything.
+	if parts := subtractBox(b, b); parts != nil {
+		t.Fatalf("full subtract = %v", parts)
+	}
+}
+
+func TestLevelCellCenters(t *testing.T) {
+	lv, err := NewUnitCubeLevel(IV(10, 20, 40), IV(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, z := lv.CellCenter(IV(0, 0, 0))
+	if x != 0.05 || y != 0.025 || z != 0.0125 {
+		t.Errorf("first center = %v,%v,%v", x, y, z)
+	}
+	x, _, _ = lv.CellCenter(IV(9, 0, 0))
+	if math.Abs(x-0.95) > 1e-12 {
+		t.Errorf("last x center = %v", x)
+	}
+}
+
+func TestTilingPaperTileShape(t *testing.T) {
+	// 16x16x512 patch with 16x16x8 tiles: 64 tiles, one z slab each.
+	l, _ := NewLayout(BoxFromSize(IV(0, 0, 0), IV(16, 16, 512)), IV(1, 1, 1))
+	tl, err := NewTiling(l.Patch(0), IV(16, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.NumTiles() != 64 || tl.Counts != IV(1, 1, 64) {
+		t.Fatalf("tiles = %d counts = %v", tl.NumTiles(), tl.Counts)
+	}
+	// The paper's working set: 41.3 KiB for a 16x16x8 tile with 1 ghost.
+	ws := WorkingSetBytes(tl.Tile(IV(0, 0, 0)), 1)
+	if ws != 18*18*10*8+16*16*8*8 {
+		t.Fatalf("working set = %d", ws)
+	}
+	if float64(ws)/1024 > 64 {
+		t.Fatalf("working set %d exceeds 64 KiB LDM", ws)
+	}
+}
+
+func TestTilingClipsAtEdges(t *testing.T) {
+	l, _ := NewLayout(BoxFromSize(IV(0, 0, 0), IV(20, 16, 8)), IV(1, 1, 1))
+	tl, _ := NewTiling(l.Patch(0), IV(16, 16, 8))
+	if tl.Counts != IV(2, 1, 1) {
+		t.Fatalf("counts = %v", tl.Counts)
+	}
+	edge := tl.Tile(IV(1, 0, 0))
+	if edge.Box.Size() != IV(4, 16, 8) {
+		t.Fatalf("clipped tile size = %v", edge.Box.Size())
+	}
+}
+
+func TestAssignZOneSlabPerCPE(t *testing.T) {
+	l, _ := NewLayout(BoxFromSize(IV(0, 0, 0), IV(16, 16, 512)), IV(1, 1, 1))
+	tl, _ := NewTiling(l.Patch(0), IV(16, 16, 8))
+	assign := tl.AssignZ(64)
+	for w, tiles := range assign {
+		if len(tiles) != 1 {
+			t.Fatalf("worker %d got %d tiles, want 1", w, len(tiles))
+		}
+	}
+}
+
+func TestAssignZCoversAllTilesOnce(t *testing.T) {
+	l, _ := NewLayout(BoxFromSize(IV(0, 0, 0), IV(128, 128, 512)), IV(1, 1, 1))
+	tl, _ := NewTiling(l.Patch(0), IV(16, 16, 8))
+	assign := tl.AssignZ(64)
+	seen := map[IVec]bool{}
+	total := 0
+	for _, tiles := range assign {
+		for _, tile := range tiles {
+			if seen[tile.Index] {
+				t.Fatalf("tile %v assigned twice", tile.Index)
+			}
+			seen[tile.Index] = true
+			total++
+		}
+	}
+	if total != tl.NumTiles() {
+		t.Fatalf("assigned %d of %d tiles", total, tl.NumTiles())
+	}
+}
+
+// Property: AssignZ covers every tile exactly once for arbitrary worker
+// counts and tile grids.
+func TestPropertyAssignZPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := IV(8*(1+rng.Intn(4)), 8*(1+rng.Intn(4)), 8*(1+rng.Intn(16)))
+		l, err := NewLayout(BoxFromSize(IV(0, 0, 0), size), IV(1, 1, 1))
+		if err != nil {
+			return false
+		}
+		tl, err := NewTiling(l.Patch(0), IV(8, 8, 8))
+		if err != nil {
+			return false
+		}
+		workers := 1 + rng.Intn(80)
+		total := 0
+		for _, tiles := range tl.AssignZ(workers) {
+			total += len(tiles)
+		}
+		return total == tl.NumTiles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package grid
+
+import "fmt"
+
+// Level couples a patch layout with physical geometry: the grid covers the
+// box [Origin, Origin+Spacing*DomainSize) in physical space, with solution
+// values situated at cell centroids (as in the paper's discretisation).
+type Level struct {
+	Layout  *Layout
+	Origin  [3]float64 // physical coordinate of the domain's low corner
+	Spacing [3]float64 // dx, dy, dz
+}
+
+// NewUnitCubeLevel builds a level whose physical domain is the unit cube
+// [0,1]^3 regardless of cell counts (anisotropic spacing when the counts
+// differ per axis), subdivided into the given patch counts.
+func NewUnitCubeLevel(cells, patchCounts IVec) (*Level, error) {
+	layout, err := NewLayout(BoxFromSize(IV(0, 0, 0), cells), patchCounts)
+	if err != nil {
+		return nil, err
+	}
+	return &Level{
+		Layout: layout,
+		Origin: [3]float64{0, 0, 0},
+		Spacing: [3]float64{
+			1.0 / float64(cells.X),
+			1.0 / float64(cells.Y),
+			1.0 / float64(cells.Z),
+		},
+	}, nil
+}
+
+// CellCenter returns the physical coordinates of cell c's centroid.
+func (lv *Level) CellCenter(c IVec) (x, y, z float64) {
+	x = lv.Origin[0] + (float64(c.X)+0.5)*lv.Spacing[0]
+	y = lv.Origin[1] + (float64(c.Y)+0.5)*lv.Spacing[1]
+	z = lv.Origin[2] + (float64(c.Z)+0.5)*lv.Spacing[2]
+	return
+}
+
+// String summarises the level.
+func (lv *Level) String() string {
+	return fmt.Sprintf("level %v cells, %v patches of %v",
+		lv.Layout.Domain.Size(), lv.Layout.Counts, lv.Layout.PatchSize)
+}

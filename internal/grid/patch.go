@@ -1,0 +1,235 @@
+package grid
+
+import "fmt"
+
+// Patch is one rectangular piece of the computational grid. Patches carry a
+// global ID (dense, 0-based, in z-major layout order) and their position in
+// the patch layout.
+type Patch struct {
+	ID  int
+	Pos IVec // position in the patch layout (0..Counts-1 per axis)
+	Box Box  // cells owned by the patch
+}
+
+// String formats as "patch#id pos box".
+func (p *Patch) String() string {
+	return fmt.Sprintf("patch#%d %v %v", p.ID, p.Pos, p.Box)
+}
+
+// NumCells is the number of interior (owned) cells.
+func (p *Patch) NumCells() int64 { return p.Box.NumCells() }
+
+// Layout is a regular partition of a domain box into Counts.X × Counts.Y ×
+// Counts.Z equally sized patches (the paper uses a fixed 8x8x2 layout of 128
+// patches). The domain size must be divisible by the patch counts.
+type Layout struct {
+	Domain    Box
+	Counts    IVec
+	PatchSize IVec
+	patches   []*Patch
+}
+
+// NewLayout partitions domain into counts patches per axis.
+func NewLayout(domain Box, counts IVec) (*Layout, error) {
+	if domain.Empty() {
+		return nil, fmt.Errorf("grid: empty domain %v", domain)
+	}
+	if !counts.AllPositive() {
+		return nil, fmt.Errorf("grid: patch counts must be positive, got %v", counts)
+	}
+	size := domain.Size()
+	if size.X%counts.X != 0 || size.Y%counts.Y != 0 || size.Z%counts.Z != 0 {
+		return nil, fmt.Errorf("grid: domain %v not divisible by patch counts %v", size, counts)
+	}
+	ps := size.Div(counts)
+	l := &Layout{Domain: domain, Counts: counts, PatchSize: ps}
+	l.patches = make([]*Patch, 0, counts.Volume())
+	id := 0
+	for pz := 0; pz < counts.Z; pz++ {
+		for py := 0; py < counts.Y; py++ {
+			for px := 0; px < counts.X; px++ {
+				pos := IV(px, py, pz)
+				lo := domain.Lo.Add(pos.Mul(ps))
+				l.patches = append(l.patches, &Patch{
+					ID:  id,
+					Pos: pos,
+					Box: BoxFromSize(lo, ps),
+				})
+				id++
+			}
+		}
+	}
+	return l, nil
+}
+
+// NumPatches returns the total patch count.
+func (l *Layout) NumPatches() int { return len(l.patches) }
+
+// Patch returns the patch with the given ID.
+func (l *Layout) Patch(id int) *Patch {
+	if id < 0 || id >= len(l.patches) {
+		panic(fmt.Sprintf("grid: patch id %d out of range [0,%d)", id, len(l.patches)))
+	}
+	return l.patches[id]
+}
+
+// Patches returns all patches in ID order. The returned slice is shared;
+// callers must not modify it.
+func (l *Layout) Patches() []*Patch { return l.patches }
+
+// PatchAt returns the patch at layout position pos, or nil if out of range.
+func (l *Layout) PatchAt(pos IVec) *Patch {
+	if pos.X < 0 || pos.Y < 0 || pos.Z < 0 ||
+		pos.X >= l.Counts.X || pos.Y >= l.Counts.Y || pos.Z >= l.Counts.Z {
+		return nil
+	}
+	id := (pos.Z*l.Counts.Y+pos.Y)*l.Counts.X + pos.X
+	return l.patches[id]
+}
+
+// PatchContaining returns the patch owning cell c, or nil if c is outside
+// the domain.
+func (l *Layout) PatchContaining(c IVec) *Patch {
+	if !l.Domain.Contains(c) {
+		return nil
+	}
+	rel := c.Sub(l.Domain.Lo)
+	return l.PatchAt(rel.Div(l.PatchSize))
+}
+
+// GhostRegion describes one rectangular piece of a patch's ghost margin and
+// where its data comes from: either a neighbouring patch (Src != nil) or
+// the physical boundary (Src == nil), to be filled by boundary conditions.
+type GhostRegion struct {
+	Region Box    // cells in the ghost margin of the destination patch
+	Src    *Patch // owning patch, or nil for a physical-boundary region
+}
+
+// GhostRegions returns the decomposition of patch p's ghost margin of the
+// given width into source regions. Neighbour regions cover the part of the
+// margin inside the domain; boundary regions cover the part outside.
+//
+// The decomposition walks the 26 (for width >= 1) neighbour offsets so each
+// returned region maps to exactly one source patch; regions are returned in
+// deterministic offset order (z-major).
+func (l *Layout) GhostRegions(p *Patch, width int) []GhostRegion {
+	if width <= 0 {
+		return nil
+	}
+	var out []GhostRegion
+	grown := p.Box.Grow(width)
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				region := sideRegion(p.Box, grown, IV(dx, dy, dz))
+				if region.Empty() {
+					continue
+				}
+				inDomain := region.Intersect(l.Domain)
+				if !inDomain.Empty() {
+					// One neighbour patch owns the whole in-domain part
+					// because ghost width never exceeds the patch size in
+					// practice; split defensively if it straddles patches.
+					out = append(out, l.splitByOwners(inDomain)...)
+				}
+				// The rest (outside the domain) is physical boundary.
+				outside := subtractBox(region, l.Domain)
+				for _, ob := range outside {
+					out = append(out, GhostRegion{Region: ob, Src: nil})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sideRegion returns the part of grown \ box lying in direction dir.
+func sideRegion(box, grown Box, dir IVec) Box {
+	r := grown
+	for axis := 0; axis < 3; axis++ {
+		switch dir.Comp(axis) {
+		case -1:
+			r.Lo = r.Lo.WithComp(axis, grown.Lo.Comp(axis))
+			r.Hi = r.Hi.WithComp(axis, box.Lo.Comp(axis))
+		case 0:
+			r.Lo = r.Lo.WithComp(axis, box.Lo.Comp(axis))
+			r.Hi = r.Hi.WithComp(axis, box.Hi.Comp(axis))
+		case 1:
+			r.Lo = r.Lo.WithComp(axis, box.Hi.Comp(axis))
+			r.Hi = r.Hi.WithComp(axis, grown.Hi.Comp(axis))
+		}
+	}
+	return r
+}
+
+// splitByOwners decomposes an in-domain box into per-owning-patch pieces.
+func (l *Layout) splitByOwners(b Box) []GhostRegion {
+	var out []GhostRegion
+	// Patches owning b's corners bound the patch-position range to scan.
+	rel := b.Lo.Sub(l.Domain.Lo)
+	lop := rel.Div(l.PatchSize)
+	relHi := b.Hi.Sub(IV(1, 1, 1)).Sub(l.Domain.Lo)
+	hip := relHi.Div(l.PatchSize)
+	for pz := lop.Z; pz <= hip.Z; pz++ {
+		for py := lop.Y; py <= hip.Y; py++ {
+			for px := lop.X; px <= hip.X; px++ {
+				src := l.PatchAt(IV(px, py, pz))
+				piece := b.Intersect(src.Box)
+				if !piece.Empty() {
+					out = append(out, GhostRegion{Region: piece, Src: src})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// subtractBox returns b minus cut as a list of disjoint boxes.
+func subtractBox(b, cut Box) []Box {
+	inter := b.Intersect(cut)
+	if inter.Empty() {
+		return []Box{b}
+	}
+	if inter == b {
+		return nil
+	}
+	var out []Box
+	rest := b
+	for axis := 0; axis < 3; axis++ {
+		// Slice off the parts of rest below and above inter on this axis.
+		if lo, cutLo := rest.Lo.Comp(axis), inter.Lo.Comp(axis); lo < cutLo {
+			below := rest
+			below.Hi = below.Hi.WithComp(axis, cutLo)
+			out = append(out, below)
+			rest.Lo = rest.Lo.WithComp(axis, cutLo)
+		}
+		if hi, cutHi := rest.Hi.Comp(axis), inter.Hi.Comp(axis); hi > cutHi {
+			above := rest
+			above.Lo = above.Lo.WithComp(axis, cutHi)
+			out = append(out, above)
+			rest.Hi = rest.Hi.WithComp(axis, cutHi)
+		}
+	}
+	return out
+}
+
+// Neighbours returns the distinct patches that contribute ghost data to p
+// for the given ghost width, in ascending ID order.
+func (l *Layout) Neighbours(p *Patch, width int) []*Patch {
+	seen := map[int]*Patch{}
+	for _, gr := range l.GhostRegions(p, width) {
+		if gr.Src != nil {
+			seen[gr.Src.ID] = gr.Src
+		}
+	}
+	out := make([]*Patch, 0, len(seen))
+	for id := 0; id < l.NumPatches(); id++ {
+		if q, ok := seen[id]; ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package grid
+
+import "fmt"
+
+// Tile is one TiDA-style sub-block of a patch, sized so a kernel's working
+// set fits in a CPE's 64 KB local data memory (the paper uses 16x16x8).
+type Tile struct {
+	Index IVec // tile coordinates within the patch (0..per-axis count-1)
+	Box   Box  // cells covered (clipped to the patch at high edges)
+}
+
+// Tiling subdivides a patch into tiles of a nominal size. Tiles at the high
+// edge of the patch are clipped when the patch size is not divisible by the
+// tile size.
+type Tiling struct {
+	Patch    *Patch
+	TileSize IVec
+	Counts   IVec // number of tiles per axis
+}
+
+// NewTiling builds the tiling of patch p with the given nominal tile size.
+func NewTiling(p *Patch, tileSize IVec) (*Tiling, error) {
+	if !tileSize.AllPositive() {
+		return nil, fmt.Errorf("grid: tile size must be positive, got %v", tileSize)
+	}
+	s := p.Box.Size()
+	counts := IV(ceilDiv(s.X, tileSize.X), ceilDiv(s.Y, tileSize.Y), ceilDiv(s.Z, tileSize.Z))
+	return &Tiling{Patch: p, TileSize: tileSize, Counts: counts}, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// NumTiles returns the total tile count.
+func (t *Tiling) NumTiles() int { return int(t.Counts.Volume()) }
+
+// Tile returns the tile at tile coordinates idx.
+func (t *Tiling) Tile(idx IVec) Tile {
+	lo := t.Patch.Box.Lo.Add(idx.Mul(t.TileSize))
+	hi := lo.Add(t.TileSize).Min(t.Patch.Box.Hi)
+	return Tile{Index: idx, Box: Box{Lo: lo, Hi: hi}}
+}
+
+// Tiles returns all tiles in z-major order (x fastest).
+func (t *Tiling) Tiles() []Tile {
+	out := make([]Tile, 0, t.NumTiles())
+	for tz := 0; tz < t.Counts.Z; tz++ {
+		for ty := 0; ty < t.Counts.Y; ty++ {
+			for tx := 0; tx < t.Counts.X; tx++ {
+				out = append(out, t.Tile(IV(tx, ty, tz)))
+			}
+		}
+	}
+	return out
+}
+
+// AssignZ partitions the tiles among nWorkers CPEs by naturally splitting
+// the tile index space along the z dimension, as the paper's CPE tile
+// scheduler does: worker w receives every tile whose z slab index falls in
+// the contiguous block [w*nz/n, (w+1)*nz/n). All tiles of one z slab go to
+// the same worker; workers beyond the slab count receive nothing.
+//
+// When the patch has fewer z slabs than workers, trailing workers idle —
+// exactly the situation that makes 16x16x512 the smallest sensible patch for
+// 64 CPEs with 16x16x8 tiles (64 slabs, one per CPE).
+func (t *Tiling) AssignZ(nWorkers int) [][]Tile {
+	if nWorkers <= 0 {
+		panic("grid: AssignZ needs at least one worker")
+	}
+	out := make([][]Tile, nWorkers)
+	nz := t.Counts.Z
+	perSlab := t.Counts.X * t.Counts.Y
+	for w := 0; w < nWorkers; w++ {
+		zlo := w * nz / nWorkers
+		zhi := (w + 1) * nz / nWorkers
+		if zhi <= zlo {
+			continue
+		}
+		tiles := make([]Tile, 0, (zhi-zlo)*perSlab)
+		for tz := zlo; tz < zhi; tz++ {
+			for ty := 0; ty < t.Counts.Y; ty++ {
+				for tx := 0; tx < t.Counts.X; tx++ {
+					tiles = append(tiles, t.Tile(IV(tx, ty, tz)))
+				}
+			}
+		}
+		out[w] = tiles
+	}
+	return out
+}
+
+// WorkingSetBytes returns the bytes of CPE local memory a kernel needs for
+// one tile: the ghosted input region plus the interior output region, both
+// in float64 (the paper's u and u_new working set; 41.3 KiB for a 16x16x8
+// tile with one ghost layer).
+func WorkingSetBytes(tile Tile, ghost int) int64 {
+	in := tile.Box.Grow(ghost).NumCells()
+	out := tile.Box.NumCells()
+	return (in + out) * 8
+}

@@ -1,0 +1,300 @@
+// Package mpisim is a simulated MPI subset sufficient for the Uintah
+// scheduler: non-blocking point-to-point sends and receives with tag
+// matching, request testing, and blocking reductions.
+//
+// Two behaviours of real MPI that the paper's scheduler design depends on
+// are modelled faithfully:
+//
+//   - Transfers take latency + bytes/bandwidth on the interconnect
+//     (Table II: ~1 us, 16 GB/s bidirectional P2P).
+//   - Completion is only observable through Test/Wait, and each call costs
+//     MPE time. "In most MPI implementations, the non-blocking sends and
+//     receives do not progress without the help of the host processor"
+//     (Section V-C, citing Denis & Trahay): a rank that spins on a
+//     completion flag without testing sees none of its communication
+//     finish, which is precisely the handicap of the synchronous scheduler.
+//
+// Payloads are real []float64 slices, so the simulated application's
+// numerics are correct across ranks; timing-only runs pass nil payloads
+// with an explicit byte count.
+package mpisim
+
+import (
+	"fmt"
+	"math"
+
+	"sunuintah/internal/perf"
+	"sunuintah/internal/sim"
+)
+
+// Comm is a communicator spanning size ranks (one per core group).
+type Comm struct {
+	eng    *sim.Engine
+	params perf.Params
+	ranks  []*Rank
+}
+
+// NewComm builds a communicator with the given number of ranks.
+func NewComm(eng *sim.Engine, params perf.Params, size int) *Comm {
+	if size <= 0 {
+		panic("mpisim: communicator needs at least one rank")
+	}
+	c := &Comm{eng: eng, params: params}
+	for r := 0; r < size; r++ {
+		c.ranks = append(c.ranks, &Rank{comm: c, rank: r})
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns rank r's endpoint.
+func (c *Comm) Rank(r int) *Rank {
+	if r < 0 || r >= len(c.ranks) {
+		panic(fmt.Sprintf("mpisim: rank %d out of range [0,%d)", r, len(c.ranks)))
+	}
+	return c.ranks[r]
+}
+
+// Rank is one MPI process's endpoint.
+type Rank struct {
+	comm *Comm
+	rank int
+
+	recvs      []*Request // posted, unmatched receives
+	unexpected []*message // arrived or in-flight messages with no receive yet
+
+	// Collectives executed so far, for in-order matching across ranks.
+	collectives []*collective
+	nextColl    int
+
+	// Stats.
+	BytesSent     int64
+	BytesReceived int64
+	MsgsSent      int64
+	MsgsReceived  int64
+	TestCalls     int64
+}
+
+// RankID returns this endpoint's rank number.
+func (r *Rank) RankID() int { return r.rank }
+
+type message struct {
+	src, tag  int
+	bytes     int64
+	payload   []float64
+	arrivesAt sim.Time
+}
+
+// Request is the handle of a non-blocking operation.
+type Request struct {
+	isSend  bool
+	src     int // sends: destination; receives: expected source
+	tag     int
+	bytes   int64
+	payload []float64 // receives: filled on match
+
+	matched bool
+	doneAt  sim.Time
+	sig     *sim.Signal
+}
+
+// Payload returns the received data (nil for sends, timing-only transfers,
+// or before completion).
+func (q *Request) Payload() []float64 { return q.payload }
+
+// Signal returns the signal fired when the request completes, for callers
+// that want to block or register wake-ups instead of polling.
+func (q *Request) Signal() *sim.Signal { return q.sig }
+
+// Bytes returns the message size.
+func (q *Request) Bytes() int64 { return q.bytes }
+
+// Isend posts a non-blocking send of payload (may be nil) with the given
+// on-wire size to rank dst with the given tag. The calling process is
+// charged the posting cost. The send completes locally once the data has
+// left the sender (one wire time).
+func (r *Rank) Isend(p *sim.Process, dst, tag int, payload []float64, bytes int64) *Request {
+	if bytes < 0 {
+		panic("mpisim: negative message size")
+	}
+	p.Sleep(sim.Time(r.comm.params.MPIPostCost))
+	now := r.comm.eng.Now()
+	wire := sim.Time(r.comm.params.MessageTimeBetween(r.rank, dst, bytes))
+	req := &Request{
+		isSend: true, src: dst, tag: tag, bytes: bytes,
+		matched: true, doneAt: now + wire,
+		sig: sim.NewSignal(r.comm.eng, fmt.Sprintf("send %d->%d tag %d", r.rank, dst, tag)),
+	}
+	r.comm.eng.Schedule(wire, req.sig.Fire)
+	r.BytesSent += bytes
+	r.MsgsSent++
+
+	m := &message{src: r.rank, tag: tag, bytes: bytes, payload: payload, arrivesAt: now + wire}
+	dstRank := r.comm.Rank(dst)
+	r.comm.eng.Schedule(wire, func() { dstRank.deliver(m) })
+	return req
+}
+
+// Irecv posts a non-blocking receive for a message from src with the given
+// tag. The calling process is charged the posting cost. Matching follows
+// posting order for identical (src, tag) pairs.
+func (r *Rank) Irecv(p *sim.Process, src, tag int) *Request {
+	p.Sleep(sim.Time(r.comm.params.MPIPostCost))
+	req := &Request{
+		src: src, tag: tag,
+		sig: sim.NewSignal(r.comm.eng, fmt.Sprintf("recv %d<-%d tag %d", r.rank, src, tag)),
+	}
+	// Check the unexpected queue first (message already arrived or is in
+	// flight).
+	for i, m := range r.unexpected {
+		if m.src == src && m.tag == tag {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			r.complete(req, m)
+			return req
+		}
+	}
+	r.recvs = append(r.recvs, req)
+	return req
+}
+
+// deliver matches an arriving message against posted receives.
+func (r *Rank) deliver(m *message) {
+	for i, req := range r.recvs {
+		if req.src == m.src && req.tag == m.tag {
+			r.recvs = append(r.recvs[:i], r.recvs[i+1:]...)
+			r.complete(req, m)
+			return
+		}
+	}
+	r.unexpected = append(r.unexpected, m)
+}
+
+func (r *Rank) complete(req *Request, m *message) {
+	now := r.comm.eng.Now()
+	req.matched = true
+	req.bytes = m.bytes
+	req.payload = m.payload
+	if m.arrivesAt > now {
+		req.doneAt = m.arrivesAt
+		r.comm.eng.Schedule(m.arrivesAt-now, req.sig.Fire)
+	} else {
+		req.doneAt = now
+		req.sig.Fire()
+	}
+	r.BytesReceived += m.bytes
+	r.MsgsReceived++
+}
+
+// Test checks a request for completion, charging the calling process the
+// per-test cost. It reports whether the operation has finished.
+func (r *Rank) Test(p *sim.Process, req *Request) bool {
+	p.Sleep(sim.Time(r.comm.params.MPITestCost))
+	r.TestCalls++
+	return req.matched && req.doneAt <= r.comm.eng.Now()
+}
+
+// TestAll tests a batch of requests with a single charge per request,
+// returning the number completed.
+func (r *Rank) TestAll(p *sim.Process, reqs []*Request) int {
+	done := 0
+	for _, req := range reqs {
+		if r.Test(p, req) {
+			done++
+		}
+	}
+	return done
+}
+
+// Wait blocks the calling process until the request completes. Unlike
+// Test-polling, Wait models a blocking MPI_Wait (the library progresses the
+// request internally).
+func (r *Rank) Wait(p *sim.Process, req *Request) {
+	r.TestCalls++
+	p.Sleep(sim.Time(r.comm.params.MPITestCost))
+	if req.matched && req.doneAt <= r.comm.eng.Now() {
+		return
+	}
+	req.sig.Wait(p)
+}
+
+// Done reports completion without charging any cost (for assertions).
+func (q *Request) Done(now sim.Time) bool { return q.matched && q.doneAt <= now }
+
+// ---- Collectives ----
+
+// ReduceOp is a reduction operator.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+type collective struct {
+	op      ReduceOp
+	arrived int
+	value   float64
+	sig     *sim.Signal
+	result  float64
+	doneSet bool
+}
+
+// Allreduce combines x across all ranks with op and returns the result,
+// blocking until every rank has contributed. Every rank must call
+// collectives in the same order. The modelled cost is the software base
+// cost plus a 2*ceil(log2(P)) latency tree after the last arrival.
+func (r *Rank) Allreduce(p *sim.Process, x float64, op ReduceOp) float64 {
+	c := r.comm
+	idx := r.nextColl
+	r.nextColl++
+	// The collective object is shared: rank 0's slice is authoritative.
+	root := c.ranks[0]
+	for len(root.collectives) <= idx {
+		root.collectives = append(root.collectives, nil)
+	}
+	coll := root.collectives[idx]
+	if coll == nil {
+		coll = &collective{op: op, sig: sim.NewSignal(c.eng, fmt.Sprintf("allreduce#%d", idx))}
+		switch op {
+		case OpMax:
+			coll.value = math.Inf(-1)
+		case OpMin:
+			coll.value = math.Inf(1)
+		}
+		root.collectives[idx] = coll
+	}
+	if coll.op != op {
+		panic("mpisim: mismatched collective operations across ranks")
+	}
+	p.Sleep(sim.Time(c.params.ReduceBaseCost))
+	switch op {
+	case OpSum:
+		coll.value += x
+	case OpMax:
+		coll.value = math.Max(coll.value, x)
+	case OpMin:
+		coll.value = math.Min(coll.value, x)
+	}
+	coll.arrived++
+	if coll.arrived == c.Size() {
+		levels := 0
+		for 1<<levels < c.Size() {
+			levels++
+		}
+		delay := sim.Time(2*float64(levels)*c.params.LinkLatency + c.params.ReduceBaseCost)
+		coll.result = coll.value
+		coll.doneSet = true
+		c.eng.Schedule(delay, coll.sig.Fire)
+	}
+	coll.sig.Wait(p)
+	return coll.result
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier(p *sim.Process) {
+	r.Allreduce(p, 0, OpSum)
+}

@@ -1,0 +1,353 @@
+package mpisim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sunuintah/internal/perf"
+	"sunuintah/internal/sim"
+)
+
+func newComm(size int) (*sim.Engine, *Comm) {
+	eng := sim.NewEngine()
+	return eng, NewComm(eng, perf.DefaultParams(), size)
+}
+
+func TestSendRecvDeliversPayload(t *testing.T) {
+	eng, c := newComm(2)
+	payload := []float64{1, 2, 3}
+	var got []float64
+	eng.Spawn("rank0", func(p *sim.Process) {
+		c.Rank(0).Isend(p, 1, 7, payload, 24)
+	})
+	eng.Spawn("rank1", func(p *sim.Process) {
+		req := c.Rank(1).Irecv(p, 0, 7)
+		c.Rank(1).Wait(p, req)
+		got = req.Payload()
+	})
+	eng.Run()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestRecvBeforeSendMatches(t *testing.T) {
+	eng, c := newComm(2)
+	var doneAt sim.Time
+	eng.Spawn("rank1", func(p *sim.Process) {
+		req := c.Rank(1).Irecv(p, 0, 1)
+		c.Rank(1).Wait(p, req)
+		doneAt = p.Now()
+	})
+	eng.Spawn("rank0", func(p *sim.Process) {
+		p.Sleep(5e-6)
+		c.Rank(0).Isend(p, 1, 1, nil, 1000)
+	})
+	eng.Run()
+	params := perf.DefaultParams()
+	// Send is posted at 5us + post cost; arrival adds wire time (ranks 0
+	// and 1 share a node, so the on-chip path applies).
+	want := sim.Time(5e-6+params.MPIPostCost) + sim.Time(params.MessageTimeBetween(0, 1, 1000))
+	if doneAt < want {
+		t.Fatalf("recv done at %v, want >= %v", doneAt, want)
+	}
+}
+
+func TestUnexpectedMessageQueue(t *testing.T) {
+	eng, c := newComm(2)
+	var got float64
+	eng.Spawn("rank0", func(p *sim.Process) {
+		c.Rank(0).Isend(p, 1, 9, []float64{42}, 8)
+	})
+	eng.Spawn("rank1", func(p *sim.Process) {
+		p.Sleep(1e-3) // message arrives long before the receive posts
+		req := c.Rank(1).Irecv(p, 0, 9)
+		if !c.Rank(1).Test(p, req) {
+			t.Error("late receive of arrived message should complete on first test")
+		}
+		got = req.Payload()[0]
+	})
+	eng.Run()
+	if got != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	eng, c := newComm(3)
+	var fromTag1, fromTag2, fromRank2 float64
+	eng.Spawn("rank0", func(p *sim.Process) {
+		c.Rank(0).Isend(p, 1, 2, []float64{20}, 8)
+		c.Rank(0).Isend(p, 1, 1, []float64{10}, 8)
+	})
+	eng.Spawn("rank2", func(p *sim.Process) {
+		c.Rank(2).Isend(p, 1, 1, []float64{30}, 8)
+	})
+	eng.Spawn("rank1", func(p *sim.Process) {
+		r1 := c.Rank(1).Irecv(p, 0, 1)
+		r2 := c.Rank(1).Irecv(p, 0, 2)
+		r3 := c.Rank(1).Irecv(p, 2, 1)
+		c.Rank(1).Wait(p, r1)
+		c.Rank(1).Wait(p, r2)
+		c.Rank(1).Wait(p, r3)
+		fromTag1, fromTag2, fromRank2 = r1.Payload()[0], r2.Payload()[0], r3.Payload()[0]
+	})
+	eng.Run()
+	if fromTag1 != 10 || fromTag2 != 20 || fromRank2 != 30 {
+		t.Fatalf("got %v %v %v", fromTag1, fromTag2, fromRank2)
+	}
+}
+
+func TestSameTagFIFOOrder(t *testing.T) {
+	eng, c := newComm(2)
+	var first, second float64
+	eng.Spawn("rank0", func(p *sim.Process) {
+		c.Rank(0).Isend(p, 1, 5, []float64{1}, 8)
+		c.Rank(0).Isend(p, 1, 5, []float64{2}, 8)
+	})
+	eng.Spawn("rank1", func(p *sim.Process) {
+		a := c.Rank(1).Irecv(p, 0, 5)
+		b := c.Rank(1).Irecv(p, 0, 5)
+		c.Rank(1).Wait(p, a)
+		c.Rank(1).Wait(p, b)
+		first, second = a.Payload()[0], b.Payload()[0]
+	})
+	eng.Run()
+	if first != 1 || second != 2 {
+		t.Fatalf("order = %v, %v", first, second)
+	}
+}
+
+func TestTestReflectsWireTime(t *testing.T) {
+	eng, c := newComm(2)
+	params := perf.DefaultParams()
+	bytes := int64(16 << 20) // 16 MB: 1 ms on the wire
+	eng.Spawn("rank0", func(p *sim.Process) {
+		c.Rank(0).Isend(p, 1, 1, nil, bytes)
+	})
+	eng.Spawn("rank1", func(p *sim.Process) {
+		req := c.Rank(1).Irecv(p, 0, 1)
+		if c.Rank(1).Test(p, req) {
+			t.Error("16 MB message cannot complete instantly")
+		}
+		p.Sleep(sim.Time(params.MessageTime(bytes)) + 1e-6)
+		if !c.Rank(1).Test(p, req) {
+			t.Error("message should have arrived after wire time")
+		}
+	})
+	eng.Run()
+}
+
+func TestTestChargesTime(t *testing.T) {
+	eng, c := newComm(2)
+	params := perf.DefaultParams()
+	eng.Spawn("rank1", func(p *sim.Process) {
+		req := c.Rank(1).Irecv(p, 0, 1)
+		start := p.Now()
+		for i := 0; i < 100; i++ {
+			c.Rank(1).Test(p, req)
+		}
+		elapsed := float64(p.Now() - start)
+		want := 100 * params.MPITestCost
+		if math.Abs(elapsed-want) > 1e-12 {
+			t.Errorf("100 tests took %v, want %v", elapsed, want)
+		}
+	})
+	eng.Spawn("rank0", func(p *sim.Process) {
+		p.Sleep(1)
+		c.Rank(0).Isend(p, 1, 1, nil, 8)
+	})
+	eng.Run()
+	if c.Rank(1).TestCalls != 100 {
+		t.Errorf("TestCalls = %d", c.Rank(1).TestCalls)
+	}
+}
+
+func TestSendRequestCompletesAfterWire(t *testing.T) {
+	eng, c := newComm(2)
+	eng.Spawn("rank0", func(p *sim.Process) {
+		req := c.Rank(0).Isend(p, 1, 1, nil, 16<<20)
+		if c.Rank(0).Test(p, req) {
+			t.Error("send of 16 MB should not complete instantly")
+		}
+		c.Rank(0).Wait(p, req)
+	})
+	eng.Spawn("rank1", func(p *sim.Process) {
+		c.Rank(1).Wait(p, c.Rank(1).Irecv(p, 0, 1))
+	})
+	eng.Run()
+}
+
+func TestAllreduceSum(t *testing.T) {
+	eng, c := newComm(4)
+	results := make([]float64, 4)
+	for r := 0; r < 4; r++ {
+		r := r
+		eng.Spawn("rank", func(p *sim.Process) {
+			p.Sleep(sim.Time(r) * 1e-6) // stagger arrivals
+			results[r] = c.Rank(r).Allreduce(p, float64(r+1), OpSum)
+		})
+	}
+	eng.Run()
+	for r, v := range results {
+		if v != 10 {
+			t.Fatalf("rank %d result = %v, want 10", r, v)
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	eng, c := newComm(3)
+	maxs := make([]float64, 3)
+	mins := make([]float64, 3)
+	vals := []float64{3, -7, 5}
+	for r := 0; r < 3; r++ {
+		r := r
+		eng.Spawn("rank", func(p *sim.Process) {
+			maxs[r] = c.Rank(r).Allreduce(p, vals[r], OpMax)
+			mins[r] = c.Rank(r).Allreduce(p, vals[r], OpMin)
+		})
+	}
+	eng.Run()
+	for r := 0; r < 3; r++ {
+		if maxs[r] != 5 || mins[r] != -7 {
+			t.Fatalf("rank %d: max %v min %v", r, maxs[r], mins[r])
+		}
+	}
+}
+
+func TestAllreduceSingleRank(t *testing.T) {
+	eng, c := newComm(1)
+	var got float64
+	eng.Spawn("rank0", func(p *sim.Process) {
+		got = c.Rank(0).Allreduce(p, 3.5, OpSum)
+	})
+	eng.Run()
+	if got != 3.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	eng, c := newComm(3)
+	exits := make([]sim.Time, 3)
+	for r := 0; r < 3; r++ {
+		r := r
+		eng.Spawn("rank", func(p *sim.Process) {
+			p.Sleep(sim.Time(r) * 1e-3)
+			c.Rank(r).Barrier(p)
+			exits[r] = p.Now()
+		})
+	}
+	eng.Run()
+	if exits[0] != exits[1] || exits[1] != exits[2] {
+		t.Fatalf("exit times diverge: %v", exits)
+	}
+	if exits[0] < 2e-3 {
+		t.Fatalf("barrier exited before last arrival: %v", exits)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	eng, c := newComm(2)
+	eng.Spawn("rank0", func(p *sim.Process) {
+		c.Rank(0).Isend(p, 1, 1, nil, 100)
+		c.Rank(0).Isend(p, 1, 2, nil, 200)
+	})
+	eng.Spawn("rank1", func(p *sim.Process) {
+		c.Rank(1).Wait(p, c.Rank(1).Irecv(p, 0, 1))
+		c.Rank(1).Wait(p, c.Rank(1).Irecv(p, 0, 2))
+	})
+	eng.Run()
+	if c.Rank(0).BytesSent != 300 || c.Rank(0).MsgsSent != 2 {
+		t.Errorf("sender stats: %d B, %d msgs", c.Rank(0).BytesSent, c.Rank(0).MsgsSent)
+	}
+	if c.Rank(1).BytesReceived != 300 || c.Rank(1).MsgsReceived != 2 {
+		t.Errorf("receiver stats: %d B, %d msgs", c.Rank(1).BytesReceived, c.Rank(1).MsgsReceived)
+	}
+}
+
+// Property: an all-to-all random exchange delivers every payload intact
+// regardless of posting order.
+func TestPropertyRandomExchange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		eng, c := newComm(n)
+		sent := make([][]float64, n*n)
+		got := make([][]float64, n*n)
+		for r := 0; r < n; r++ {
+			r := r
+			eng.Spawn("rank", func(p *sim.Process) {
+				// Post receives and sends in a rank-dependent shuffled order.
+				var reqs []*Request
+				var slots []int
+				if r%2 == 0 {
+					p.Sleep(sim.Time(rng.Intn(10)) * 1e-6)
+				}
+				for s := 0; s < n; s++ {
+					if s == r {
+						continue
+					}
+					reqs = append(reqs, c.Rank(r).Irecv(p, s, 1))
+					slots = append(slots, s*n+r)
+				}
+				for d := 0; d < n; d++ {
+					if d == r {
+						continue
+					}
+					payload := []float64{float64(r*1000 + d)}
+					sent[r*n+d] = payload
+					c.Rank(r).Isend(p, d, 1, payload, 8)
+				}
+				for i, req := range reqs {
+					c.Rank(r).Wait(p, req)
+					got[slots[i]] = req.Payload()
+				}
+			})
+		}
+		eng.Run()
+		for r := 0; r < n; r++ {
+			for d := 0; d < n; d++ {
+				if r == d {
+					continue
+				}
+				if len(got[r*n+d]) != 1 || got[r*n+d][0] != sent[r*n+d][0] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraNodeMessagesFasterThanInterNode(t *testing.T) {
+	eng, c := newComm(8) // ranks 0-3 on node 0, 4-7 on node 1
+	params := perf.DefaultParams()
+	bytes := int64(8 << 20)
+	var intra, inter sim.Time
+	eng.Spawn("rank0", func(p *sim.Process) {
+		c.Rank(0).Isend(p, 1, 1, nil, bytes) // same node
+		c.Rank(0).Isend(p, 4, 2, nil, bytes) // other node
+	})
+	eng.Spawn("rank1", func(p *sim.Process) {
+		start := p.Now()
+		c.Rank(1).Wait(p, c.Rank(1).Irecv(p, 0, 1))
+		intra = p.Now() - start
+	})
+	eng.Spawn("rank4", func(p *sim.Process) {
+		start := p.Now()
+		c.Rank(4).Wait(p, c.Rank(4).Irecv(p, 0, 2))
+		inter = p.Now() - start
+	})
+	eng.Run()
+	if intra >= inter {
+		t.Fatalf("intra-node transfer (%v) should beat inter-node (%v)", intra, inter)
+	}
+	_ = params
+}

@@ -1,0 +1,254 @@
+package scheduler_test
+
+import (
+	"strings"
+	"testing"
+
+	"sunuintah/internal/burgers"
+	"sunuintah/internal/core"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/taskgraph"
+	"sunuintah/internal/trace"
+)
+
+func timingSim(t *testing.T, cells grid.IVec, cgs int, cfg scheduler.Config) *core.Simulation {
+	t.Helper()
+	u := burgers.NewULabel()
+	prob := core.Problem{
+		Tasks: []*taskgraph.Task{burgers.NewAdvanceTask(u, burgers.FastExpLib, cfg.SIMD)},
+		Dt:    1e-5,
+	}
+	s, err := core.NewSimulation(core.Config{
+		Cells:       cells,
+		PatchCounts: grid.IV(2, 2, 2),
+		NumCGs:      cgs,
+		Scheduler:   cfg,
+	}, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSyncModeNeverOverlapsKernelWithMPEWork(t *testing.T) {
+	rec := trace.New()
+	s := timingSim(t, grid.IV(64, 64, 64), 2,
+		scheduler.Config{Mode: scheduler.ModeSync, Trace: rec})
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		if ov := rec.OverlapTime(rank, trace.KindKernel, trace.KindMPEWork); ov > 0 {
+			t.Errorf("rank %d: sync scheduler overlapped %.6fs of MPE work with kernels", rank, float64(ov))
+		}
+	}
+}
+
+func TestAsyncModeOverlapsKernelWithMPEWork(t *testing.T) {
+	rec := trace.New()
+	s := timingSim(t, grid.IV(64, 64, 64), 2,
+		scheduler.Config{Mode: scheduler.ModeAsync, Trace: rec})
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	total := trace.Kind("")
+	_ = total
+	anyOverlap := false
+	for rank := 0; rank < 2; rank++ {
+		if rec.OverlapTime(rank, trace.KindKernel, trace.KindMPEWork) > 0 {
+			anyOverlap = true
+		}
+	}
+	if !anyOverlap {
+		t.Fatal("async scheduler showed no computation/MPE-work overlap")
+	}
+}
+
+func TestAsyncFasterThanSyncWithMultiplePatches(t *testing.T) {
+	run := func(mode scheduler.Mode) float64 {
+		s := timingSim(t, grid.IV(64, 64, 64), 2, scheduler.Config{Mode: mode})
+		res, err := s.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.PerStep)
+	}
+	if a, b := run(scheduler.ModeAsync), run(scheduler.ModeSync); a >= b {
+		t.Fatalf("async %.6f not faster than sync %.6f", a, b)
+	}
+}
+
+func TestHostModePerformsNoOffloads(t *testing.T) {
+	s := timingSim(t, grid.IV(32, 32, 32), 1, scheduler.Config{Mode: scheduler.ModeMPEOnly})
+	res, err := s.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Offloads != 0 {
+		t.Fatalf("host mode performed %d offloads", res.Counters.Offloads)
+	}
+	if res.Counters.MPEFlops == 0 {
+		t.Fatal("host mode should count MPE kernel flops")
+	}
+	if res.Counters.Flops != 0 {
+		t.Fatal("host mode should not count CPE flops")
+	}
+}
+
+func TestOffloadModesDriveTheCPEs(t *testing.T) {
+	s := timingSim(t, grid.IV(32, 32, 32), 1, scheduler.Config{Mode: scheduler.ModeAsync})
+	res, err := s.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Offloads != 8 { // 8 patches, one offload each
+		t.Fatalf("offloads = %d, want 8", res.Counters.Offloads)
+	}
+	if res.Counters.FaawOps != 8*64 {
+		t.Fatalf("faaw ops = %d, want one per CPE per offload", res.Counters.FaawOps)
+	}
+	if res.Counters.DMAOps == 0 || res.Counters.DMABytes == 0 {
+		t.Fatal("tile scheduler issued no DMA")
+	}
+}
+
+func TestLDMOverflowSurfacesAsError(t *testing.T) {
+	// A 32x32x16 tile with ghosts needs ~270 KB, far over the 64 KB LDM.
+	s := timingSim(t, grid.IV(64, 64, 64), 1, scheduler.Config{
+		Mode:     scheduler.ModeAsync,
+		TileSize: grid.IV(32, 32, 16),
+	})
+	_, err := s.Run(1)
+	if err == nil || !strings.Contains(err.Error(), "LDM") {
+		t.Fatalf("expected LDM feasibility error, got %v", err)
+	}
+}
+
+func TestCPEGroupsRunKernelsConcurrently(t *testing.T) {
+	rec := trace.New()
+	s := timingSim(t, grid.IV(64, 64, 64), 1, scheduler.Config{
+		Mode:      scheduler.ModeAsync,
+		CPEGroups: 2,
+		Trace:     rec,
+	})
+	if _, err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if ov := rec.OverlapTime(0, trace.KindKernel, trace.KindKernel); ov <= 0 {
+		// Two kernel intervals of the same kind overlapping requires two
+		// slots busy at once.
+		t.Fatal("CPE groups never ran two kernels concurrently")
+	}
+}
+
+func TestAsyncDMAFasterThanSyncDMA(t *testing.T) {
+	run := func(asyncDMA bool) float64 {
+		s := timingSim(t, grid.IV(64, 64, 64), 1, scheduler.Config{
+			Mode:     scheduler.ModeAsync,
+			AsyncDMA: asyncDMA,
+		})
+		res, err := s.Run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.PerStep)
+	}
+	if a, b := run(true), run(false); a >= b {
+		t.Fatalf("async DMA %.6f not faster than sync DMA %.6f", a, b)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := timingSim(t, grid.IV(64, 64, 64), 2, scheduler.Config{Mode: scheduler.ModeSync})
+	res, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range res.RankStats {
+		if st.StepsRun != 3 {
+			t.Errorf("rank %d ran %d steps", r, st.StepsRun)
+		}
+		if st.TasksRun != 4*3 { // 4 local patches x 3 steps
+			t.Errorf("rank %d ran %d tasks", r, st.TasksRun)
+		}
+		if st.KernelWaitTime <= 0 {
+			t.Errorf("rank %d sync mode should record kernel wait", r)
+		}
+		if st.MPEWorkTime <= 0 {
+			t.Errorf("rank %d recorded no MPE work", r)
+		}
+	}
+}
+
+func TestGhostBytesFlowBothWays(t *testing.T) {
+	s := timingSim(t, grid.IV(64, 64, 64), 2, scheduler.Config{Mode: scheduler.ModeAsync})
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		rk := s.Comm.Rank(r)
+		if rk.BytesSent == 0 || rk.BytesReceived == 0 {
+			t.Fatalf("rank %d: sent %d received %d", r, rk.BytesSent, rk.BytesReceived)
+		}
+		if rk.BytesSent != rk.BytesReceived {
+			// Symmetric decomposition: equal traffic both ways.
+			t.Fatalf("rank %d traffic asymmetric: %d vs %d", r, rk.BytesSent, rk.BytesReceived)
+		}
+	}
+}
+
+func TestTraceRecordsKernelsPerOffload(t *testing.T) {
+	rec := trace.New()
+	s := timingSim(t, grid.IV(32, 32, 32), 1, scheduler.Config{
+		Mode: scheduler.ModeAsync, Trace: rec})
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	kernels := 0
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindKernel {
+			kernels++
+			if e.End <= e.Start {
+				t.Fatalf("kernel event with non-positive duration: %+v", e)
+			}
+		}
+	}
+	if kernels != 16 { // 8 patches x 2 steps
+		t.Fatalf("traced %d kernel intervals, want 16", kernels)
+	}
+}
+
+func TestTilePackingFasterThanStrided(t *testing.T) {
+	run := func(packing bool) float64 {
+		s := timingSim(t, grid.IV(64, 64, 64), 1, scheduler.Config{
+			Mode:        scheduler.ModeAsync,
+			TilePacking: packing,
+		})
+		res, err := s.Run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.PerStep)
+	}
+	if a, b := run(true), run(false); a >= b {
+		t.Fatalf("packed DMA %.6f not faster than strided %.6f", a, b)
+	}
+}
+
+func TestInOrderNeverFasterThanOutOfOrder(t *testing.T) {
+	run := func(inOrder bool) float64 {
+		s := timingSim(t, grid.IV(64, 64, 64), 2, scheduler.Config{
+			Mode:    scheduler.ModeAsync,
+			InOrder: inOrder,
+		})
+		res, err := s.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.PerStep)
+	}
+	if ordered, free := run(true), run(false); ordered < free {
+		t.Fatalf("in-order (%.6f) faster than out-of-order (%.6f)", ordered, free)
+	}
+}

@@ -1,0 +1,290 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+
+	"sunuintah/internal/athread"
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/sim"
+	"sunuintah/internal/taskgraph"
+	"sunuintah/internal/trace"
+)
+
+var (
+	negInf = math.Inf(-1)
+	posInf = math.Inf(1)
+)
+
+// slot is one offload lane: a (sub-)cluster of CPEs with its completion
+// flag and the object currently running on it. With CPEGroups == 1 there
+// is a single slot spanning all 64 CPEs, as in the paper; more slots
+// implement the future-work CPE grouping.
+type slot struct {
+	group *athread.Group
+	flag  *sim.Counter
+	obj   *taskgraph.Object
+}
+
+// initSlots builds the offload lanes; called from New.
+func (s *Rank) initSlots() {
+	n := s.cfg.CPEGroups
+	per := s.params.NumCPEs / n
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < n; i++ {
+		s.slots = append(s.slots, &slot{
+			group: athread.NewGroupN(s.cg, per),
+			flag:  sim.NewCounter(s.cg.Engine(), fmt.Sprintf("rank%d.flag%d", s.mpi.RankID(), i)),
+		})
+	}
+}
+
+// freeSlot returns an idle offload lane, or nil.
+func (s *Rank) freeSlot() *slot {
+	for _, sl := range s.slots {
+		if sl.obj == nil && !sl.group.Busy() {
+			return sl
+		}
+	}
+	return nil
+}
+
+// ioVar couples a dependency with its (possibly nil) main-memory field.
+type ioVar struct {
+	dep taskgraph.Dep
+	f   *field.Cell
+}
+
+// gatherIO resolves a task object's inputs and outputs against the
+// warehouses. Fields are nil in timing-only mode.
+func (s *Rank) gatherIO(obj *taskgraph.Object) (ins, outs []ioVar) {
+	for _, d := range obj.Task.Requires {
+		var f *field.Cell
+		if s.cfg.Functional {
+			f = s.DWs.Select(d.DW).Get(d.Label, obj.Patch)
+		}
+		ins = append(ins, ioVar{dep: d, f: f})
+	}
+	for _, d := range obj.Task.Computes {
+		var f *field.Cell
+		if s.cfg.Functional {
+			f = s.DWs.New.Get(d.Label, obj.Patch)
+		}
+		outs = append(outs, ioVar{dep: d, f: f})
+	}
+	return ins, outs
+}
+
+// kernelSpec builds the cost descriptor of an offloaded kernel under the
+// current configuration.
+func (s *Rank) kernelSpec(task *taskgraph.Task) athread.KernelSpec {
+	k := task.Kernel
+	w := k.Weight
+	if w == 0 {
+		w = 1
+	}
+	return athread.KernelSpec{
+		Name:            task.Name,
+		FlopsPerCell:    k.FlopsPerCell,
+		ExpFlopsPerCell: k.ExpFlopsPerCell,
+		Weight:          w,
+		SIMD:            s.cfg.SIMD,
+		OverlapDMA:      s.cfg.AsyncDMA,
+		PackedDMA:       s.cfg.TilePacking,
+	}
+}
+
+// ldmWorkingSet returns the per-tile LDM requirement of a task: each input
+// staged with its ghost margin plus each output tile.
+func ldmWorkingSet(task *taskgraph.Task, tile grid.Tile) int64 {
+	var bytes int64
+	for _, d := range task.Requires {
+		bytes += tile.Box.Grow(d.Ghost).NumCells() * 8
+	}
+	bytes += int64(len(task.Computes)) * tile.Box.NumCells() * 8
+	return bytes
+}
+
+// offload launches a kernel task on a CPE slot: the CPE tile scheduler of
+// Section V-D. The patch is subdivided into LDM-sized tiles, tiles are
+// assigned to CPEs by natural z-partition, and each CPE loops over its
+// tiles performing athread_get, kernel, athread_put, finally bumping the
+// completion flag with faaw.
+func (s *Rank) offload(p *sim.Process, step int, t, dt float64, obj *taskgraph.Object, sl *slot) error {
+	task := obj.Task
+	patch := obj.Patch
+	tiling, err := grid.NewTiling(patch, s.cfg.TileSize)
+	if err != nil {
+		return err
+	}
+	// LDM feasibility on the nominal (largest) tile shape.
+	nominal := grid.Tile{Box: grid.BoxFromSize(patch.Box.Lo, s.cfg.TileSize.Min(patch.Box.Size()))}
+	if ws := ldmWorkingSet(task, nominal); ws > s.params.LDMBytes {
+		return fmt.Errorf("scheduler: task %q tile %v needs %d B of LDM, only %d available",
+			task.Name, s.cfg.TileSize, ws, s.params.LDMBytes)
+	}
+
+	assign := tiling.AssignZ(sl.group.NumCPEs())
+	active := 0
+	for _, tiles := range assign {
+		if len(tiles) > 0 {
+			active++
+		}
+	}
+	ins, outs := s.gatherIO(obj)
+	spec := s.kernelSpec(task)
+
+	// Uniform tilings in timing-only mode take the analytic fast path.
+	uniform := !s.cfg.Functional && tilingUniform(patch, s.cfg.TileSize)
+	var getBytes, putBytes, cellsPerTile int64
+	if uniform {
+		tile := tiling.Tile(grid.IV(0, 0, 0))
+		cellsPerTile = tile.Box.NumCells()
+		for _, iv := range ins {
+			getBytes += tile.Box.Grow(iv.dep.Ghost).NumCells() * 8
+		}
+		putBytes = int64(len(outs)) * cellsPerTile * 8
+	}
+
+	s.charge(p, sim.Time(s.params.OffloadCost), &s.Stats.MPEWorkTime,
+		trace.KindMPEWork, step, "offload "+task.Name)
+
+	sl.flag.Reset()
+	var tileErr error
+	start := p.Now()
+	dur := sl.group.Spawn(spec, active, s.cfg.Functional, sl.flag, func(c *athread.CPE) {
+		tiles := assign[c.ID]
+		if len(tiles) == 0 {
+			return
+		}
+		if uniform {
+			c.RepeatTiles(len(tiles), getBytes, putBytes, cellsPerTile)
+			return
+		}
+		for _, tile := range tiles {
+			if tileErr != nil {
+				return
+			}
+			if err := s.runTile(c, obj, tile, step, t, dt, ins, outs); err != nil {
+				tileErr = err
+				return
+			}
+		}
+	})
+	if tileErr != nil {
+		return tileErr
+	}
+	obj.State = taskgraph.StateRunning
+	sl.obj = obj
+	s.patchCost[patch.ID] += dur
+	s.Stats.Offloads++
+	name := task.Name
+	if patch != nil {
+		name = fmt.Sprintf("%s p%d", task.Name, patch.ID)
+	}
+	s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step,
+		Kind: trace.KindKernel, Name: name, Start: start, End: start + dur})
+	return nil
+}
+
+// tilingUniform reports whether every tile of the patch has the nominal
+// shape (the patch size divides evenly).
+func tilingUniform(patch *grid.Patch, tileSize grid.IVec) bool {
+	s := patch.Box.Size()
+	return s.X%tileSize.X == 0 && s.Y%tileSize.Y == 0 && s.Z%tileSize.Z == 0
+}
+
+// runTile performs one tile's get/compute/put round trip on a CPE.
+func (s *Rank) runTile(c *athread.CPE, obj *taskgraph.Object, tile grid.Tile,
+	step int, t, dt float64, ins, outs []ioVar) error {
+	var bufs []*athread.LDMBuf
+	release := func() {
+		for _, b := range bufs {
+			c.Release(b)
+		}
+	}
+	inMap := map[*taskgraph.Label]*taskgraph.LDMData{}
+	for _, iv := range ins {
+		region := tile.Box.Grow(iv.dep.Ghost)
+		buf, err := c.Get(region, iv.f)
+		if err != nil {
+			release()
+			return err
+		}
+		bufs = append(bufs, buf)
+		inMap[iv.dep.Label] = &taskgraph.LDMData{Region: region, Data: buf.Data}
+	}
+	outMap := map[*taskgraph.Label]*taskgraph.LDMData{}
+	var outBufs []*athread.LDMBuf
+	for _, ov := range outs {
+		buf, err := c.NewBuf(tile.Box)
+		if err != nil {
+			release()
+			for _, b := range outBufs {
+				c.Release(b)
+			}
+			return err
+		}
+		outBufs = append(outBufs, buf)
+		outMap[ov.dep.Label] = &taskgraph.LDMData{Region: tile.Box, Data: buf.Data}
+	}
+	if s.cfg.Functional && obj.Task.Kernel.Compute != nil {
+		obj.Task.Kernel.Compute(&taskgraph.TileContext{
+			Patch: obj.Patch, Tile: tile,
+			In: inMap, Out: outMap,
+			Step: step, Time: t, Dt: dt,
+			Level: s.graph.Level,
+		})
+	}
+	c.Compute(tile.Box.NumCells())
+	for i, ov := range outs {
+		c.Put(ov.f, outBufs[i])
+	}
+	release()
+	for _, b := range outBufs {
+		c.Release(b)
+	}
+	c.EndTile()
+	return nil
+}
+
+// runOnMPE executes a kernel task directly on the MPE (the paper's
+// host.sync baseline): no tiling, no offload, the whole patch computed by
+// the management element.
+func (s *Rank) runOnMPE(p *sim.Process, step int, t, dt float64, obj *taskgraph.Object) error {
+	task := obj.Task
+	cells := obj.Patch.NumCells()
+	w := task.Kernel.Weight
+	if w == 0 {
+		w = 1
+	}
+	kernelTime := sim.Time(s.params.MPEKernelTime(cells, w))
+	s.patchCost[obj.Patch.ID] += kernelTime
+	s.charge(p, kernelTime, &s.Stats.MPEKernelTime,
+		trace.KindMPEKern, step, fmt.Sprintf("%s p%d (mpe)", task.Name, obj.Patch.ID))
+	if s.cfg.Functional && task.Kernel.Compute != nil {
+		ins, outs := s.gatherIO(obj)
+		inMap := map[*taskgraph.Label]*taskgraph.LDMData{}
+		for _, iv := range ins {
+			inMap[iv.dep.Label] = &taskgraph.LDMData{
+				Region: obj.Patch.Box.Grow(iv.dep.Ghost), Data: iv.f}
+		}
+		outMap := map[*taskgraph.Label]*taskgraph.LDMData{}
+		for _, ov := range outs {
+			outMap[ov.dep.Label] = &taskgraph.LDMData{Region: obj.Patch.Box, Data: ov.f}
+		}
+		task.Kernel.Compute(&taskgraph.TileContext{
+			Patch: obj.Patch, Tile: grid.Tile{Box: obj.Patch.Box},
+			In: inMap, Out: outMap,
+			Step: step, Time: t, Dt: dt,
+			Level: s.graph.Level,
+		})
+	}
+	ctr := &s.cg.Counters
+	ctr.MPEFlops += int64(task.Kernel.FlopsPerCell * float64(cells))
+	ctr.CellsComputed += cells
+	return nil
+}

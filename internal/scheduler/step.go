@@ -1,0 +1,493 @@
+package scheduler
+
+import (
+	"fmt"
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+
+	"sunuintah/internal/mpisim"
+	"sunuintah/internal/sim"
+	"sunuintah/internal/taskgraph"
+	"sunuintah/internal/trace"
+)
+
+// bcFlopsPerCell is the counted floating-point work of one boundary-
+// condition evaluation on the MPE: a product of three phi values, six
+// exponentials plus the rational combination.
+const bcFlopsPerCell = 221
+
+// ExecuteStep runs one timestep of the compiled task graph on this rank,
+// following the MPE task-scheduler loop of Section V-C:
+//
+//  1. post non-blocking receives for tasks depending on remote data,
+//  2. when the CPE completion flag is set, complete the running task,
+//     select the next ready offloadable task, process its MPE part and
+//     offload it (asynchronously, synchronously, or run it on the MPE),
+//  3. test posted sends and receives and update dependent task states,
+//  4. execute ready MPE tasks such as reductions.
+//
+// t is the old warehouse's time level and dt the step size. On return, all
+// local tasks have completed, all sends have drained, and the warehouses
+// have swapped.
+func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
+	g := s.graph
+	g.ResetForStep()
+	if s.cfg.Scrub {
+		s.resetConsumers()
+	}
+	nPatches := g.Level.Layout.NumPatches()
+	tagOf := func(e *taskgraph.Edge) int { return step*g.NumTags() + e.BaseTag(nPatches) }
+
+	// Step 1 and step 4 of Section V-C: prepare for scheduling (flags,
+	// athread environment) and check whether task-graph recompilation,
+	// load balancing or regridding is needed. This per-step infrastructure
+	// cost is what limits strong scaling once kernels get short.
+	s.charge(p, sim.Time(s.params.StepFixedCost), &s.Stats.MPEWorkTime,
+		trace.KindMPEWork, step, "step setup/teardown")
+
+	// Step 3a: post non-blocking receives.
+	s.recvs = s.recvs[:0]
+	for _, e := range g.Recvs {
+		t0 := p.Now()
+		req := s.mpi.Irecv(p, e.SrcRank, tagOf(e))
+		s.noteComm(p, t0, step, "irecv "+e.Label.Name())
+		s.recvs = append(s.recvs, &pendingRecv{edge: e, req: req})
+	}
+
+	// Post sends: the data they carry was completed by the previous
+	// timestep (or initialisation), so it is ready now. Packing is MPE
+	// work.
+	s.sends = s.sends[:0]
+	for _, e := range g.Sends {
+		var payload []float64
+		if s.cfg.Functional {
+			f := s.DWs.Old.Get(e.Label, e.Src)
+			for _, r := range e.Regions {
+				payload = f.Pack(r, payload)
+			}
+		}
+		s.charge(p, sim.Time(s.params.LocalCopyTime(e.Bytes)), &s.Stats.MPEWorkTime,
+			trace.KindMPEWork, step, "pack "+e.Label.Name())
+		t0 := p.Now()
+		req := s.mpi.Isend(p, e.DstRank, tagOf(e), payload, e.Bytes)
+		s.noteComm(p, t0, step, "isend "+e.Label.Name())
+		s.sends = append(s.sends, &pendingSend{req: req})
+	}
+
+	completed := 0
+	total := len(g.Objects)
+
+	for {
+		progressed := false
+
+		// Step 3b: completion-flag checks on every CPE slot.
+		for _, sl := range s.slots {
+			if sl.obj == nil {
+				continue
+			}
+			s.charge(p, sim.Time(s.params.PollCost), &s.Stats.CommTime,
+				trace.KindComm, step, "poll flag")
+			if sl.flag.Value() >= int64(sl.group.NumCPEs()) {
+				s.completeObject(sl.obj, &completed)
+				sl.obj = nil
+				progressed = true
+			}
+		}
+
+		// Offload ready kernels into free slots (or run them on the MPE).
+		// Objects prepared ahead of time go first — their MPE part is
+		// already done.
+		for {
+			sl := s.freeSlot()
+			if sl == nil {
+				break
+			}
+			var obj *taskgraph.Object
+			if len(s.prepared) > 0 {
+				obj = s.prepared[0]
+				s.prepared = s.prepared[1:]
+			} else {
+				obj = s.nextReady(true)
+				if obj == nil {
+					break
+				}
+				if err := s.processMPEPart(p, step, t, obj); err != nil {
+					return err
+				}
+			}
+			if s.cfg.Mode == ModeMPEOnly {
+				if err := s.runOnMPE(p, step, t, dt, obj); err != nil {
+					return err
+				}
+				s.completeObject(obj, &completed)
+			} else {
+				if err := s.offload(p, step, t, dt, obj, sl); err != nil {
+					return err
+				}
+				if s.cfg.Mode == ModeSync {
+					// Spin until the completion flag is set: no overlap of
+					// computation with other work (Section V-C).
+					t0 := p.Now()
+					sl.flag.WaitFor(p, int64(sl.group.NumCPEs()))
+					s.Stats.KernelWaitTime += p.Now() - t0
+					s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step,
+						Kind: trace.KindKernel, Name: "spin " + obj.Task.Name,
+						Start: t0, End: p.Now()})
+					s.completeObject(sl.obj, &completed)
+					sl.obj = nil
+				}
+			}
+			progressed = true
+		}
+
+		// Work-ahead (asynchronous mode): while the CPEs are busy, process
+		// the MPE part of the next ready kernel — allocate its outputs,
+		// copy same-rank ghosts, fill boundary conditions — so it can be
+		// offloaded the instant the completion flag is set. This is the
+		// "continues with jobs" overlap of Section V-C applied to task
+		// preparation; the synchronous scheduler, spinning on the flag,
+		// cannot do any of it.
+		if s.cfg.Mode == ModeAsync {
+			for len(s.prepared) < len(s.slots) {
+				obj := s.nextReady(true)
+				if obj == nil {
+					break
+				}
+				if err := s.processMPEPart(p, step, t, obj); err != nil {
+					return err
+				}
+				obj.State = taskgraph.StatePrepared
+				s.prepared = append(s.prepared, obj)
+				progressed = true
+			}
+		}
+
+		// Step 3c: test posted receives and sends; completed receives are
+		// unpacked and release their dependent tasks.
+		for _, r := range s.recvs {
+			if r.done {
+				continue
+			}
+			t0 := p.Now()
+			ok := s.mpi.Test(p, r.req)
+			s.noteComm(p, t0, step, "test recv")
+			if !ok {
+				continue
+			}
+			r.done = true
+			s.unpackRecv(p, step, r)
+			progressed = true
+		}
+		for _, sd := range s.sends {
+			if sd.done {
+				continue
+			}
+			t0 := p.Now()
+			ok := s.mpi.Test(p, sd.req)
+			s.noteComm(p, t0, step, "test send")
+			if ok {
+				sd.done = true
+			}
+		}
+
+		// Step 3d: execute ready MPE tasks (reductions, small kernels).
+		for {
+			obj := s.nextReady(false)
+			if obj == nil {
+				break
+			}
+			if err := s.runMPEObject(p, step, t, obj); err != nil {
+				return err
+			}
+			s.completeObject(obj, &completed)
+			progressed = true
+		}
+
+		if completed == total && s.commDrained() {
+			break
+		}
+		if !progressed {
+			s.waitForEvent(p, step)
+		}
+	}
+
+	// Step 4: the timestep is finished; the new warehouse becomes old.
+	s.DWs.Swap()
+	s.Stats.StepsRun++
+	return nil
+}
+
+// noteComm attributes the virtual time an MPI call consumed to the
+// communication bucket.
+func (s *Rank) noteComm(p *sim.Process, t0 sim.Time, step int, name string) {
+	d := p.Now() - t0
+	if d <= 0 {
+		return
+	}
+	s.Stats.CommTime += d
+	s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step,
+		Kind: trace.KindComm, Name: name, Start: t0, End: p.Now()})
+}
+
+// nextReady returns the lowest-index ready object, selecting offloadable
+// kernels or MPE-side tasks. In in-order mode, an object is only eligible
+// once every lower-index object of the same class has at least started.
+func (s *Rank) nextReady(offloadable bool) *taskgraph.Object {
+	for _, o := range s.graph.Objects {
+		isKernel := o.Task.Kind == taskgraph.KindOffload
+		if isKernel != offloadable {
+			continue
+		}
+		if o.State == taskgraph.StateReady {
+			return o
+		}
+		if s.cfg.InOrder && o.State == taskgraph.StateWaiting {
+			// The next-in-order object is not ready yet: wait for it
+			// rather than skipping ahead.
+			return nil
+		}
+	}
+	return nil
+}
+
+// completeObject marks an object done, releases its downstream
+// dependencies, and scrubs any new-warehouse inputs whose last consumer
+// this was.
+func (s *Rank) completeObject(o *taskgraph.Object, completed *int) {
+	o.State = taskgraph.StateCompleted
+	*completed++
+	s.Stats.TasksRun++
+	for _, d := range o.Downstream {
+		d.PendingDeps--
+		if d.PendingDeps == 0 && d.State == taskgraph.StateWaiting {
+			d.State = taskgraph.StateReady
+		}
+	}
+	if !s.cfg.Scrub {
+		return
+	}
+	for _, d := range o.Task.Requires {
+		if d.DW != taskgraph.NewDW {
+			continue
+		}
+		if o.Patch != nil {
+			s.noteConsumed(d.Label, o.Patch.ID)
+		} else {
+			for _, p := range s.graph.LocalPatches {
+				s.noteConsumed(d.Label, p.ID)
+			}
+		}
+	}
+}
+
+// processMPEPart performs the MPE-side work of a selected task object:
+// task bookkeeping, allocating its outputs in the new warehouse, copying
+// same-rank ghost regions, and filling physical-boundary ghosts.
+func (s *Rank) processMPEPart(p *sim.Process, step int, t float64, obj *taskgraph.Object) error {
+	s.charge(p, sim.Time(s.params.TaskFixedCost), &s.Stats.MPEWorkTime,
+		trace.KindMPEWork, step, "select "+obj.Task.Name)
+
+	for _, d := range obj.Task.Computes {
+		if s.DWs.New.Exists(d.Label, obj.Patch) {
+			continue
+		}
+		if err := s.DWs.New.Allocate(d.Label, obj.Patch, s.maxGhost[d.Label]); err != nil {
+			return err
+		}
+		bytes := s.DWs.New.Bytes(d.Label, obj.Patch)
+		s.charge(p, sim.Time(s.params.TouchTime(bytes)), &s.Stats.MPEWorkTime,
+			trace.KindMPEWork, step, "touch "+d.Label.Name())
+	}
+
+	for _, cr := range obj.LocalCopies {
+		if s.cfg.Functional {
+			dst := s.DWs.Old.Get(cr.Label, obj.Patch)
+			src := s.DWs.Old.Get(cr.Label, cr.Src)
+			for _, r := range cr.Regions {
+				dst.CopyRegion(src, r)
+			}
+		}
+		s.charge(p, sim.Time(s.params.LocalCopyTime(2*cr.Bytes)), &s.Stats.MPEWorkTime,
+			trace.KindMPEWork, step, "ghost copy "+cr.Label.Name())
+	}
+
+	for _, bc := range obj.BCFills {
+		if s.cfg.Functional {
+			f := s.DWs.Old.Get(bc.Label, obj.Patch)
+			lv := s.graph.Level
+			fill := bc.Label.BC
+			for _, r := range bc.Regions {
+				if fill == nil {
+					f.Fill(r, 0)
+					continue
+				}
+				f.FillFunc(r, func(c grid.IVec) float64 {
+					x, y, z := lv.CellCenter(c)
+					return fill(x, y, z, t)
+				})
+			}
+		}
+		s.charge(p, sim.Time(s.params.BCFillTime(bc.Cells)), &s.Stats.MPEWorkTime,
+			trace.KindMPEWork, step, "bc fill "+bc.Label.Name())
+		s.cg.Counters.MPEFlops += bc.Cells * bcFlopsPerCell
+	}
+	return nil
+}
+
+// unpackRecv copies a completed receive's payload into the destination
+// patch's ghost margin and releases dependent tasks.
+func (s *Rank) unpackRecv(p *sim.Process, step int, r *pendingRecv) {
+	e := r.edge
+	if s.cfg.Functional {
+		f := s.DWs.Old.Get(e.Label, e.Dst)
+		buf := r.req.Payload()
+		for _, region := range e.Regions {
+			buf = f.Unpack(region, buf)
+		}
+		if len(buf) != 0 {
+			panic(fmt.Sprintf("scheduler: recv payload for %s %v->%v has %d values left over",
+				e.Label.Name(), e.Src, e.Dst, len(buf)))
+		}
+	}
+	s.charge(p, sim.Time(s.params.LocalCopyTime(e.Bytes)), &s.Stats.MPEWorkTime,
+		trace.KindMPEWork, step, "unpack "+e.Label.Name())
+	for _, o := range e.DstObjs {
+		o.PendingDeps--
+		if o.PendingDeps == 0 && o.State == taskgraph.StateWaiting {
+			o.State = taskgraph.StateReady
+		}
+	}
+}
+
+// runMPEObject executes a ready MPE-side object: a small MPE task or a
+// reduction.
+func (s *Rank) runMPEObject(p *sim.Process, step int, t float64, obj *taskgraph.Object) error {
+	switch obj.Task.Kind {
+	case taskgraph.KindMPE:
+		return s.runMPETask(p, step, obj)
+	case taskgraph.KindReduction:
+		return s.runReduction(p, step, obj)
+	}
+	return fmt.Errorf("scheduler: object %q is not an MPE task", obj.Task.Name)
+}
+
+func (s *Rank) runMPETask(p *sim.Process, step int, obj *taskgraph.Object) error {
+	task := obj.Task
+	for _, d := range task.Computes {
+		if s.DWs.New.Exists(d.Label, obj.Patch) {
+			continue
+		}
+		if err := s.DWs.New.Allocate(d.Label, obj.Patch, s.maxGhost[d.Label]); err != nil {
+			return err
+		}
+	}
+	cells := obj.Patch.NumCells()
+	s.charge(p, sim.Time(s.params.MPEKernelTime(cells, task.MPECostWeight)),
+		&s.Stats.MPEKernelTime, trace.KindMPEKern, step, task.Name)
+	if s.cfg.Functional && task.MPERun != nil {
+		ins := map[*taskgraph.Label]*field.Cell{}
+		outs := map[*taskgraph.Label]*field.Cell{}
+		for _, d := range task.Requires {
+			ins[d.Label] = s.DWs.Select(d.DW).Get(d.Label, obj.Patch)
+		}
+		for _, d := range task.Computes {
+			outs[d.Label] = s.DWs.New.Get(d.Label, obj.Patch)
+		}
+		task.MPERun(obj.Patch, ins, outs)
+	}
+	return nil
+}
+
+func (s *Rank) runReduction(p *sim.Process, step int, obj *taskgraph.Object) error {
+	task := obj.Task
+	d := task.Requires[0]
+	var partial float64
+	switch task.Reduce.Op {
+	case mpisim.OpMax:
+		partial = negInf
+	case mpisim.OpMin:
+		partial = posInf
+	}
+	var bytes int64
+	for _, patch := range s.graph.LocalPatches {
+		bytes += patch.NumCells() * 8
+		if s.cfg.Functional && task.Reduce.Local != nil {
+			v := task.Reduce.Local(patch, s.DWs.Select(d.DW).Get(d.Label, patch))
+			switch task.Reduce.Op {
+			case mpisim.OpSum:
+				partial += v
+			case mpisim.OpMax:
+				if v > partial {
+					partial = v
+				}
+			case mpisim.OpMin:
+				if v < partial {
+					partial = v
+				}
+			}
+		}
+	}
+	s.charge(p, sim.Time(s.params.LocalCopyTime(bytes)), &s.Stats.MPEWorkTime,
+		trace.KindReduce, step, "local reduce "+task.Name)
+	t0 := p.Now()
+	result := s.mpi.Allreduce(p, partial, task.Reduce.Op)
+	s.Stats.CommTime += p.Now() - t0
+	s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step,
+		Kind: trace.KindReduce, Name: task.Name, Start: t0, End: p.Now()})
+	if task.Reduce.Result != nil {
+		task.Reduce.Result(step, result)
+	}
+	return nil
+}
+
+// commDrained reports whether every posted send and receive has been
+// observed complete.
+func (s *Rank) commDrained() bool {
+	for _, r := range s.recvs {
+		if !r.done {
+			return false
+		}
+	}
+	for _, sd := range s.sends {
+		if !sd.done {
+			return false
+		}
+	}
+	return true
+}
+
+// waitForEvent parks the MPE until something it is waiting on can make
+// progress: a completion flag reaching its threshold or an outstanding
+// request finishing on the wire. The virtual time spent corresponds to the
+// scheduler's idle polling.
+func (s *Rank) waitForEvent(p *sim.Process, step int) {
+	eng := s.cg.Engine()
+	wake := sim.NewSignal(eng, fmt.Sprintf("rank%d.wake", s.mpi.RankID()))
+	armed := false
+	for _, sl := range s.slots {
+		if sl.obj != nil {
+			sl.flag.OnReach(int64(sl.group.NumCPEs()), wake.Fire)
+			armed = true
+		}
+	}
+	for _, r := range s.recvs {
+		if !r.done {
+			r.req.Signal().OnFire(wake.Fire)
+			armed = true
+		}
+	}
+	for _, sd := range s.sends {
+		if !sd.done {
+			sd.req.Signal().OnFire(wake.Fire)
+			armed = true
+		}
+	}
+	if !armed {
+		panic(fmt.Sprintf("scheduler: rank %d stalled with nothing to wait for", s.mpi.RankID()))
+	}
+	t0 := p.Now()
+	wake.Wait(p)
+	s.Stats.IdleTime += p.Now() - t0
+	s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step,
+		Kind: trace.KindIdle, Name: "wait", Start: t0, End: p.Now()})
+}

@@ -1,0 +1,38 @@
+package scheduler
+
+import (
+	"testing"
+
+	"sunuintah/internal/grid"
+)
+
+func TestVariantNamesMatchTableIV(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Mode: ModeMPEOnly}, "host.sync"},
+		{Config{Mode: ModeMPEOnly, SIMD: true}, "host.sync"},
+		{Config{Mode: ModeSync}, "acc.sync"},
+		{Config{Mode: ModeSync, SIMD: true}, "acc_simd.sync"},
+		{Config{Mode: ModeAsync}, "acc.async"},
+		{Config{Mode: ModeAsync, SIMD: true}, "acc_simd.async"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Variant(); got != c.want {
+			t.Errorf("Variant(%v, simd=%v) = %q, want %q", c.cfg.Mode, c.cfg.SIMD, got, c.want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeMPEOnly.String() != "mpe-only" || ModeSync.String() != "sync" || ModeAsync.String() != "async" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestDefaultTileSizeIsPapers(t *testing.T) {
+	if DefaultTileSize != grid.IV(16, 16, 8) {
+		t.Errorf("default tile = %v, want 16x16x8", DefaultTileSize)
+	}
+}

@@ -1,0 +1,197 @@
+// Package sim implements a deterministic, process-model discrete-event
+// simulation engine. It is the substrate on which the Sunway machine model,
+// the simulated MPI library, and the Uintah schedulers execute: every
+// component that "takes time" is a Process whose delays advance a shared
+// virtual clock.
+//
+// The engine is strictly cooperative. At any instant exactly one process
+// goroutine is running; all others are parked waiting for the engine to hand
+// control back. Events that fire at the same virtual time are executed in
+// the order they were scheduled, so a simulation is reproducible run to run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is virtual time in seconds.
+type Time float64
+
+// Infinity is a sentinel time later than any event.
+const Infinity Time = Time(math.MaxFloat64)
+
+// Duration helpers for readability at call sites.
+const (
+	Nanosecond  Time = 1e-9
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+// event is a single entry in the engine's calendar queue.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: schedule order
+	fn  func()
+	// index in heap, maintained by heap.Interface; -1 when popped/cancelled.
+	index     int
+	cancelled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	procs   []*Process
+	stopped bool
+	// nextPID numbers processes for deterministic diagnostics.
+	nextPID int
+	// active counts live (spawned, not yet finished) processes.
+	active int
+}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at now+delay. Negative delays are clamped to
+// zero (the event runs "now", after currently pending same-time events).
+// The returned handle may be used to cancel the event before it fires.
+func (e *Engine) Schedule(delay Time, fn func()) *EventHandle {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &EventHandle{ev: ev}
+}
+
+// EventHandle allows cancelling a scheduled callback.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Reports whether the event was live.
+func (h *EventHandle) Cancel() bool {
+	if h == nil || h.ev == nil || h.ev.cancelled || h.ev.index == -1 {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Run drives the simulation until no events remain or Stop is called.
+// It returns the final virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Infinity)
+}
+
+// RunUntil drives the simulation until the calendar is empty, Stop is
+// called, or the next event would fire strictly after the deadline. Events
+// exactly at the deadline are executed.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for !e.stopped && len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		if next.at < e.now {
+			panic(fmt.Sprintf("sim: event at %v is before now %v", next.at, e.now))
+		}
+		e.now = next.at
+		next.fn()
+	}
+	if e.active > 0 && !e.stopped {
+		// Every runnable process is blocked and no event can wake any of
+		// them: the model has deadlocked. Surface it loudly with a roster.
+		panic("sim: deadlock: " + e.blockedRoster())
+	}
+	return e.now
+}
+
+// Stop halts the run loop after the current event completes. Parked process
+// goroutines are abandoned (the engine is single-use after Stop).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// PendingEvents returns the number of live calendar entries (cancelled
+// events still in the heap are not counted).
+func (e *Engine) PendingEvents() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveProcesses returns the number of spawned, unfinished processes.
+func (e *Engine) ActiveProcesses() int { return e.active }
+
+func (e *Engine) blockedRoster() string {
+	var names []string
+	for _, p := range e.procs {
+		if !p.finished {
+			names = append(names, fmt.Sprintf("%s(blocked at %q)", p.name, p.blockedOn))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return "no live processes"
+	}
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

@@ -1,0 +1,336 @@
+package sim
+
+import "fmt"
+
+// Process is a simulated thread of control. A process runs on its own
+// goroutine but never concurrently with the engine or another process: it
+// executes until it blocks (Sleep, Wait, ...) and then hands control back.
+//
+// All Process methods must be called from the process's own body function.
+type Process struct {
+	eng  *Engine
+	name string
+	pid  int
+
+	resume chan struct{} // engine -> process: run
+	parked chan struct{} // process -> engine: I have blocked or finished
+
+	finished  bool
+	blockedOn string // diagnostics: what the process is waiting for
+	doneSig   *Signal
+}
+
+// Spawn starts a new process executing body. The body begins running at the
+// current virtual time, after the currently executing event/process yields.
+// The name appears in deadlock diagnostics.
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{
+		eng:    e,
+		name:   name,
+		pid:    e.nextPID,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	p.doneSig = NewSignal(e, name+".done")
+	e.nextPID++
+	e.procs = append(e.procs, p)
+	e.active++
+
+	go func() {
+		<-p.resume // wait for first activation
+		body(p)
+		p.finished = true
+		e.active--
+		p.doneSig.Fire()
+		p.parked <- struct{}{}
+	}()
+
+	e.Schedule(0, func() { p.run() })
+	return p
+}
+
+// run transfers control to the process goroutine and waits for it to park.
+// It is always invoked from an engine event callback, so the strict
+// one-runner-at-a-time invariant holds.
+func (p *Process) run() {
+	if p.finished {
+		panic(fmt.Sprintf("sim: resuming finished process %s", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// yield parks the process and returns control to the engine. The process
+// resumes when some event calls run() again.
+func (p *Process) yield(why string) {
+	p.blockedOn = why
+	p.parked <- struct{}{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Process) Now() Time { return p.eng.now }
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Sleep advances the process by d of virtual time. Other processes and
+// events run in the interim. A non-positive d yields the processor for the
+// current instant (other same-time events run) and resumes.
+func (p *Process) Sleep(d Time) {
+	p.eng.Schedule(d, func() { p.run() })
+	p.yield(fmt.Sprintf("sleep(%g)", float64(d)))
+}
+
+// Done returns a signal fired when the process body returns. Other
+// processes may Wait on it to join this process.
+func (p *Process) Done() *Signal { return p.doneSig }
+
+// Finished reports whether the process body has returned.
+func (p *Process) Finished() bool { return p.finished }
+
+// Signal is a one-shot broadcast event: processes block on Wait until some
+// actor calls Fire, after which Wait returns immediately forever.
+type Signal struct {
+	eng       *Engine
+	name      string
+	fired     bool
+	waiters   []*Process
+	callbacks []func()
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(e *Engine, name string) *Signal {
+	return &Signal{eng: e, name: name}
+}
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire triggers the signal, waking all waiters at the current virtual time.
+// Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	waiters := s.waiters
+	s.waiters = nil
+	for _, w := range waiters {
+		w := w
+		s.eng.Schedule(0, func() { w.run() })
+	}
+	callbacks := s.callbacks
+	s.callbacks = nil
+	for _, fn := range callbacks {
+		s.eng.Schedule(0, fn)
+	}
+}
+
+// Wait blocks the calling process until the signal fires.
+func (s *Signal) Wait(p *Process) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.yield("signal:" + s.name)
+}
+
+// OnFire schedules fn to run when the signal fires (immediately, at the
+// current time, if it already has). Each registered callback runs once.
+func (s *Signal) OnFire(fn func()) {
+	if s.fired {
+		s.eng.Schedule(0, fn)
+		return
+	}
+	s.callbacks = append(s.callbacks, fn)
+}
+
+// Mailbox is an unbounded FIFO queue of messages with blocking receive.
+// Any actor (process or event callback) may Send; only processes Recv.
+type Mailbox[T any] struct {
+	eng     *Engine
+	name    string
+	items   []T
+	waiters []*Process
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox[T any](e *Engine, name string) *Mailbox[T] {
+	return &Mailbox[T]{eng: e, name: name}
+}
+
+// Len returns the number of queued messages.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Send enqueues v and wakes one waiting receiver, if any.
+func (m *Mailbox[T]) Send(v T) {
+	m.items = append(m.items, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.eng.Schedule(0, func() { w.run() })
+	}
+}
+
+// Recv dequeues the oldest message, blocking the calling process until one
+// is available.
+func (m *Mailbox[T]) Recv(p *Process) T {
+	for len(m.items) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.yield("mailbox:" + m.name)
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v
+}
+
+// TryRecv dequeues a message without blocking. ok is false if empty.
+func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
+	if len(m.items) == 0 {
+		return v, false
+	}
+	v = m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Resource is a counting semaphore representing a pool of identical units
+// (for example DMA channels or memory-controller slots). Acquire blocks the
+// calling process while no unit is free.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Process
+}
+
+// NewResource creates a resource with the given number of units.
+// Capacity must be positive.
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &Resource{eng: e, name: name, capacity: capacity}
+}
+
+// Acquire claims one unit, blocking until available.
+func (r *Resource) Acquire(p *Process) {
+	for r.inUse >= r.capacity {
+		r.waiters = append(r.waiters, p)
+		p.yield("resource:" + r.name)
+	}
+	r.inUse++
+}
+
+// Release returns one unit and wakes one waiter.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	r.inUse--
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.eng.Schedule(0, func() { w.run() })
+	}
+}
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// Use runs fn while holding one unit of the resource for the given service
+// time: acquire, sleep(serviceTime), optional fn, release.
+func (r *Resource) Use(p *Process, serviceTime Time, fn func()) {
+	r.Acquire(p)
+	p.Sleep(serviceTime)
+	if fn != nil {
+		fn()
+	}
+	r.Release()
+}
+
+// Counter is a monotonically increasing integer with the ability to wait
+// until it reaches a threshold. It models completion flags updated with the
+// SW26010 faaw (fetch-and-add word) instruction.
+type Counter struct {
+	eng      *Engine
+	name     string
+	value    int64
+	waiters  []counterWaiter
+	reachCBs []counterCallback
+}
+
+type counterWaiter struct {
+	threshold int64
+	proc      *Process
+}
+
+type counterCallback struct {
+	threshold int64
+	fn        func()
+}
+
+// NewCounter creates a counter at zero.
+func NewCounter(e *Engine, name string) *Counter {
+	return &Counter{eng: e, name: name}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.value }
+
+// Add increments the counter and wakes waiters whose threshold is reached.
+func (c *Counter) Add(delta int64) {
+	c.value += delta
+	var keep []counterWaiter
+	for _, w := range c.waiters {
+		if c.value >= w.threshold {
+			w := w
+			c.eng.Schedule(0, func() { w.proc.run() })
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+	var keepCB []counterCallback
+	for _, cb := range c.reachCBs {
+		if c.value >= cb.threshold {
+			c.eng.Schedule(0, cb.fn)
+		} else {
+			keepCB = append(keepCB, cb)
+		}
+	}
+	c.reachCBs = keepCB
+}
+
+// Reset sets the counter back to zero. Waiters are unaffected (they keep
+// their absolute thresholds against the new value).
+func (c *Counter) Reset() { c.value = 0 }
+
+// WaitFor blocks the calling process until the counter value is at least
+// threshold.
+func (c *Counter) WaitFor(p *Process, threshold int64) {
+	if c.value >= threshold {
+		return
+	}
+	c.waiters = append(c.waiters, counterWaiter{threshold: threshold, proc: p})
+	p.yield(fmt.Sprintf("counter:%s>=%d", c.name, threshold))
+}
+
+// OnReach schedules fn once the counter value reaches threshold
+// (immediately if it already has). Each registered callback runs once.
+func (c *Counter) OnReach(threshold int64, fn func()) {
+	if c.value >= threshold {
+		c.eng.Schedule(0, fn)
+		return
+	}
+	c.reachCBs = append(c.reachCBs, counterCallback{threshold: threshold, fn: fn})
+}

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcessSleepAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var wake []Time
+	e.Spawn("sleeper", func(p *Process) {
+		p.Sleep(1)
+		wake = append(wake, p.Now())
+		p.Sleep(2.5)
+		wake = append(wake, p.Now())
+	})
+	end := e.Run()
+	if end != 3.5 {
+		t.Fatalf("end = %v, want 3.5", end)
+	}
+	if len(wake) != 2 || wake[0] != 1 || wake[1] != 3.5 {
+		t.Fatalf("wake = %v", wake)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	mk := func(name string, period Time) {
+		e.Spawn(name, func(p *Process) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(period)
+				trace = append(trace, name)
+			}
+		})
+	}
+	mk("a", 1)
+	mk("b", 1.5)
+	e.Run()
+	// times: a@1, b@1.5, a@2, then both at t=3 — b's event was scheduled
+	// earlier (at 1.5) so it wins the tie — then b@4.5.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSignalWakesAllWaiters(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e, "go")
+	var woke []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Spawn(name, func(p *Process) {
+			sig.Wait(p)
+			woke = append(woke, name)
+			if p.Now() != 5 {
+				t.Errorf("%s woke at %v, want 5", name, p.Now())
+			}
+		})
+	}
+	e.Spawn("firer", func(p *Process) {
+		p.Sleep(5)
+		sig.Fire()
+	})
+	e.Run()
+	if len(woke) != 3 {
+		t.Fatalf("woke = %v", woke)
+	}
+}
+
+func TestSignalWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e, "done")
+	sig.Fire()
+	ran := false
+	e.Spawn("late", func(p *Process) {
+		sig.Wait(p)
+		ran = true
+		if p.Now() != 0 {
+			t.Errorf("late waiter at %v, want 0", p.Now())
+		}
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("late waiter did not run")
+	}
+	if !sig.Fired() {
+		t.Fatal("Fired() = false")
+	}
+}
+
+func TestProcessDoneJoin(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	worker := e.Spawn("worker", func(p *Process) {
+		p.Sleep(2)
+		order = append(order, "worker")
+	})
+	e.Spawn("joiner", func(p *Process) {
+		worker.Done().Wait(p)
+		order = append(order, "joiner")
+		if p.Now() != 2 {
+			t.Errorf("join at %v, want 2", p.Now())
+		}
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "worker" || order[1] != "joiner" {
+		t.Fatalf("order = %v", order)
+	}
+	if !worker.Finished() {
+		t.Fatal("worker not finished")
+	}
+}
+
+func TestMailboxFIFOAndBlocking(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[int](e, "mb")
+	var got []int
+	e.Spawn("consumer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p))
+		}
+	})
+	e.Spawn("producer", func(p *Process) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(1)
+			mb.Send(i * 10)
+		}
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[string](e, "mb")
+	if _, ok := mb.TryRecv(); ok {
+		t.Fatal("TryRecv on empty mailbox succeeded")
+	}
+	mb.Send("x")
+	if mb.Len() != 1 {
+		t.Fatalf("Len = %d", mb.Len())
+	}
+	v, ok := mb.TryRecv()
+	if !ok || v != "x" {
+		t.Fatalf("TryRecv = %q, %v", v, ok)
+	}
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	e := NewEngine()
+	res := NewResource(e, "dma", 2)
+	maxInUse := 0
+	for i := 0; i < 6; i++ {
+		e.Spawn("user", func(p *Process) {
+			res.Acquire(p)
+			if res.InUse() > maxInUse {
+				maxInUse = res.InUse()
+			}
+			p.Sleep(1)
+			res.Release()
+		})
+	}
+	end := e.Run()
+	if maxInUse != 2 {
+		t.Fatalf("max in use = %d, want 2", maxInUse)
+	}
+	// 6 unit-time jobs on 2 servers take 3 time units.
+	if end != 3 {
+		t.Fatalf("end = %v, want 3", end)
+	}
+}
+
+func TestResourceUseHelper(t *testing.T) {
+	e := NewEngine()
+	res := NewResource(e, "mc", 1)
+	ran := false
+	e.Spawn("u", func(p *Process) {
+		res.Use(p, 2, func() { ran = true })
+	})
+	end := e.Run()
+	if !ran || end != 2 {
+		t.Fatalf("ran=%v end=%v", ran, end)
+	}
+	if res.InUse() != 0 {
+		t.Fatal("resource not released")
+	}
+}
+
+func TestResourceReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := NewEngine()
+	NewResource(e, "r", 1).Release()
+}
+
+func TestCounterWaitFor(t *testing.T) {
+	e := NewEngine()
+	c := NewCounter(e, "flag")
+	reached := Time(-1)
+	e.Spawn("waiter", func(p *Process) {
+		c.WaitFor(p, 3)
+		reached = p.Now()
+	})
+	e.Spawn("adder", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(1)
+			c.Add(1)
+		}
+	})
+	e.Run()
+	if reached != 3 {
+		t.Fatalf("waiter woke at %v, want 3", reached)
+	}
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestCounterWaitForAlreadyReached(t *testing.T) {
+	e := NewEngine()
+	c := NewCounter(e, "flag")
+	c.Add(5)
+	ran := false
+	e.Spawn("w", func(p *Process) {
+		c.WaitFor(p, 5)
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("waiter blocked despite threshold reached")
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	e := NewEngine()
+	c := NewCounter(e, "flag")
+	c.Add(7)
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("value after reset = %d", c.Value())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEngine()
+	sig := NewSignal(e, "never")
+	e.Spawn("stuck", func(p *Process) { sig.Wait(p) })
+	e.Run()
+}
+
+func TestActiveProcessesAccounting(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p1", func(p *Process) { p.Sleep(1) })
+	e.Spawn("p2", func(p *Process) { p.Sleep(2) })
+	if e.ActiveProcesses() != 2 {
+		t.Fatalf("active = %d, want 2", e.ActiveProcesses())
+	}
+	e.Run()
+	if e.ActiveProcesses() != 0 {
+		t.Fatalf("active after run = %d, want 0", e.ActiveProcesses())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	res := NewResource(e, "r", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn("u", func(p *Process) {
+			p.Sleep(Time(i) * 0.001) // arrive in index order
+			res.Acquire(p)
+			order = append(order, i)
+			p.Sleep(0.01)
+			res.Release()
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("resource not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSignalOnFireAfterFired(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e, "s")
+	s.Fire()
+	ran := false
+	s.OnFire(func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("OnFire after Fire did not run")
+	}
+}
+
+func TestCounterOnReachMultipleThresholds(t *testing.T) {
+	e := NewEngine()
+	c := NewCounter(e, "c")
+	var hits []int64
+	c.OnReach(2, func() { hits = append(hits, 2) })
+	c.OnReach(5, func() { hits = append(hits, 5) })
+	e.Spawn("adder", func(p *Process) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(1)
+			c.Add(1)
+		}
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 2 || hits[1] != 5 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestMailboxMultipleWaitersServedInOrder(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[int](e, "mb")
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("consumer", func(p *Process) {
+			p.Sleep(Time(i) * 0.001)
+			v := mb.Recv(p)
+			got = append(got, v*10+i)
+		})
+	}
+	e.Spawn("producer", func(p *Process) {
+		p.Sleep(0.01)
+		for i := 1; i <= 3; i++ {
+			mb.Send(i)
+		}
+	})
+	e.Run()
+	if len(got) != 3 {
+		t.Fatalf("got = %v", got)
+	}
+	// First waiter receives the first message.
+	if got[0] != 10 {
+		t.Fatalf("first delivery = %d, want 10", got[0])
+	}
+}

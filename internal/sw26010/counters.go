@@ -1,0 +1,62 @@
+// Package sw26010 models the Sunway SW26010 processor as seen by one MPI
+// rank: a core group (CG) with one management processing element (MPE), a
+// cluster of 64 computing processing elements (CPEs) with 64 KB scratch-pad
+// local data memories (LDM), a shared memory controller, DMA engines, the
+// faaw atomic, and the precise per-CPE floating-point counters the paper
+// uses to build Table I.
+//
+// The model is driven by the discrete-event engine in internal/sim and
+// costed by internal/perf. It executes *real work* when the caller supplies
+// kernels (functional mode) and pure timing otherwise.
+package sw26010
+
+// Counters mirrors the SW26010 hardware performance counters plus a few
+// software counters the runtime keeps. Like the hardware, the FLOP counter
+// counts a divide or square root as a single operation (Section VII-E).
+type Counters struct {
+	// Flops is the total floating-point operations executed on the CPEs.
+	Flops int64
+	// ExpFlops is the portion of Flops attributable to the software
+	// exponential routines (the paper: ~215 of ~311 per cell).
+	ExpFlops int64
+	// MPEFlops counts floating-point work executed on the MPE (kernel
+	// fallback in MPE-only mode, boundary-condition fills).
+	MPEFlops int64
+	// CellsComputed is the number of cells processed by kernels.
+	CellsComputed int64
+	// DMABytes is the total bytes moved by athread_get/athread_put.
+	DMABytes int64
+	// DMAOps is the number of DMA operations issued.
+	DMAOps int64
+	// Offloads is the number of kernel offloads to the CPE cluster.
+	Offloads int64
+	// FaawOps is the number of atomic fetch-and-add operations.
+	FaawOps int64
+}
+
+// Sub returns c - o componentwise (used to isolate one run segment's
+// counters from cumulative totals).
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Flops:         c.Flops - o.Flops,
+		ExpFlops:      c.ExpFlops - o.ExpFlops,
+		MPEFlops:      c.MPEFlops - o.MPEFlops,
+		CellsComputed: c.CellsComputed - o.CellsComputed,
+		DMABytes:      c.DMABytes - o.DMABytes,
+		DMAOps:        c.DMAOps - o.DMAOps,
+		Offloads:      c.Offloads - o.Offloads,
+		FaawOps:       c.FaawOps - o.FaawOps,
+	}
+}
+
+// Add accumulates o into c (used to aggregate per-CG counters machine-wide).
+func (c *Counters) Add(o Counters) {
+	c.Flops += o.Flops
+	c.ExpFlops += o.ExpFlops
+	c.MPEFlops += o.MPEFlops
+	c.CellsComputed += o.CellsComputed
+	c.DMABytes += o.DMABytes
+	c.DMAOps += o.DMAOps
+	c.Offloads += o.Offloads
+	c.FaawOps += o.FaawOps
+}

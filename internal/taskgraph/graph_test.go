@@ -1,0 +1,349 @@
+package taskgraph
+
+import (
+	"testing"
+
+	"sunuintah/internal/grid"
+	"sunuintah/internal/loadbalancer"
+)
+
+func level(t *testing.T, cells, counts grid.IVec) *grid.Level {
+	t.Helper()
+	lv, err := grid.NewUnitCubeLevel(cells, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lv
+}
+
+func advanceTask(u *Label) *Task {
+	return &Task{
+		Name: "advance",
+		Kind: KindOffload,
+		Requires: []Dep{
+			{Label: u, DW: OldDW, Ghost: 1},
+		},
+		Computes: []Dep{
+			{Label: u, DW: NewDW},
+		},
+		Kernel: &Kernel{FlopsPerCell: 311, ExpFlopsPerCell: 215, Weight: 1},
+	}
+}
+
+func TestValidateRejectsBadTasks(t *testing.T) {
+	u := NewLabel("u", nil)
+	cases := []*Task{
+		{Name: "no-kernel", Kind: KindOffload, Computes: []Dep{{Label: u, DW: NewDW}}},
+		{Name: "no-computes", Kind: KindOffload, Kernel: &Kernel{}},
+		{Name: "old-computes", Kind: KindOffload, Kernel: &Kernel{},
+			Computes: []Dep{{Label: u, DW: OldDW}}},
+		{Name: "ghost-computes", Kind: KindOffload, Kernel: &Kernel{},
+			Computes: []Dep{{Label: u, DW: NewDW, Ghost: 1}}},
+		{Name: "new-ghost-requires", Kind: KindOffload, Kernel: &Kernel{},
+			Requires: []Dep{{Label: u, DW: NewDW, Ghost: 1}},
+			Computes: []Dep{{Label: u, DW: NewDW}}},
+		{Name: "neg-ghost", Kind: KindOffload, Kernel: &Kernel{},
+			Requires: []Dep{{Label: u, DW: OldDW, Ghost: -1}},
+			Computes: []Dep{{Label: u, DW: NewDW}}},
+		{Name: "empty-mpe", Kind: KindMPE},
+		{Name: "bad-reduce", Kind: KindReduction, Reduce: &ReduceSpec{},
+			Requires: []Dep{{Label: u, DW: NewDW}, {Label: u, DW: OldDW}}},
+		{Name: "bad-kind", Kind: Kind(42)},
+	}
+	for _, task := range cases {
+		if err := task.Validate(); err == nil {
+			t.Errorf("task %q should fail validation", task.Name)
+		}
+	}
+}
+
+func TestCompileSingleRankHasNoMessages(t *testing.T) {
+	lv := level(t, grid.IV(16, 16, 16), grid.IV(2, 2, 2))
+	u := NewLabel("u", nil)
+	assign := make([]int, 8) // all on rank 0
+	g, err := Compile(lv, []*Task{advanceTask(u)}, assign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Objects) != 8 {
+		t.Fatalf("objects = %d, want 8", len(g.Objects))
+	}
+	if len(g.Recvs) != 0 || len(g.Sends) != 0 {
+		t.Fatalf("single rank should have no edges: %d recvs, %d sends", len(g.Recvs), len(g.Sends))
+	}
+	for _, o := range g.Objects {
+		if o.NumRecvs != 0 {
+			t.Errorf("object %v has %d recvs", o.Patch, o.NumRecvs)
+		}
+		// Every patch of a 2x2x2 layout touches 7 local neighbours.
+		if len(o.LocalCopies) != 7 {
+			t.Errorf("object on %v has %d local copies, want 7", o.Patch, len(o.LocalCopies))
+		}
+		// Every patch touches the physical boundary.
+		if len(o.BCFills) != 1 {
+			t.Errorf("object on %v has %d BC fills, want 1", o.Patch, len(o.BCFills))
+		}
+	}
+}
+
+func TestCompileGhostAccountingExact(t *testing.T) {
+	// For each object: local copy cells + recv cells + BC cells must equal
+	// the full ghost margin.
+	lv := level(t, grid.IV(16, 16, 16), grid.IV(2, 2, 2))
+	u := NewLabel("u", nil)
+	assign := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for rank := 0; rank < 2; rank++ {
+		g, err := Compile(lv, []*Task{advanceTask(u)}, assign, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recvCells := map[int]int64{} // patch ID -> cells arriving
+		for _, e := range g.Recvs {
+			recvCells[e.Dst.ID] += e.Cells
+		}
+		for _, o := range g.Objects {
+			var cells int64
+			for _, cr := range o.LocalCopies {
+				for _, r := range cr.Regions {
+					cells += r.NumCells()
+				}
+			}
+			for _, bc := range o.BCFills {
+				cells += bc.Cells
+			}
+			cells += recvCells[o.Patch.ID]
+			want := o.Patch.Box.Grow(1).NumCells() - o.Patch.Box.NumCells()
+			if cells != want {
+				t.Errorf("rank %d patch %v: ghost cells %d, want %d", rank, o.Patch, cells, want)
+			}
+		}
+	}
+}
+
+func TestCompileSendRecvSymmetry(t *testing.T) {
+	lv := level(t, grid.IV(16, 16, 32), grid.IV(2, 2, 4))
+	u := NewLabel("u", nil)
+	assign, _ := loadbalancer.Assign(loadbalancer.Block, 16, 4)
+	tasks := []*Task{advanceTask(u)}
+	graphs := make([]*Graph, 4)
+	for r := 0; r < 4; r++ {
+		g, err := Compile(lv, tasks, assign, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[r] = g
+	}
+	n := lv.Layout.NumPatches()
+	// Every send edge must have a matching recv edge with the same tag,
+	// byte count, and regions.
+	type edgeID struct{ tag int }
+	recvByTag := map[int]*Edge{}
+	for _, g := range graphs {
+		for _, e := range g.Recvs {
+			tag := e.BaseTag(n)
+			if recvByTag[tag] != nil {
+				t.Fatalf("duplicate recv tag %d", tag)
+			}
+			recvByTag[tag] = e
+		}
+	}
+	sendCount := 0
+	for _, g := range graphs {
+		for _, e := range g.Sends {
+			sendCount++
+			r := recvByTag[e.BaseTag(n)]
+			if r == nil {
+				t.Fatalf("send %v->%v has no matching recv", e.Src, e.Dst)
+			}
+			if r.Bytes != e.Bytes || r.Cells != e.Cells {
+				t.Fatalf("edge size mismatch: send %d B recv %d B", e.Bytes, r.Bytes)
+			}
+			if e.SrcRank != r.SrcRank || e.DstRank != r.DstRank {
+				t.Fatalf("edge rank mismatch")
+			}
+		}
+	}
+	if sendCount != len(recvByTag) {
+		t.Fatalf("%d sends vs %d recvs", sendCount, len(recvByTag))
+	}
+	if sendCount == 0 {
+		t.Fatal("expected cross-rank edges in a 4-rank decomposition")
+	}
+}
+
+func TestCompileTaskChain(t *testing.T) {
+	lv := level(t, grid.IV(8, 8, 8), grid.IV(1, 1, 1))
+	u := NewLabel("u", nil)
+	du := NewLabel("du", nil)
+	t1 := &Task{
+		Name: "derivs", Kind: KindOffload,
+		Requires: []Dep{{Label: u, DW: OldDW, Ghost: 1}},
+		Computes: []Dep{{Label: du, DW: NewDW}},
+		Kernel:   &Kernel{Weight: 1},
+	}
+	t2 := &Task{
+		Name: "update", Kind: KindOffload,
+		Requires: []Dep{{Label: u, DW: OldDW}, {Label: du, DW: NewDW}},
+		Computes: []Dep{{Label: u, DW: NewDW}},
+		Kernel:   &Kernel{Weight: 0.2},
+	}
+	g, err := Compile(lv, []*Task{t1, t2}, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Objects) != 2 {
+		t.Fatalf("objects = %d", len(g.Objects))
+	}
+	first, second := g.Objects[0], g.Objects[1]
+	if first.Task != t1 || second.Task != t2 {
+		t.Fatal("object order should follow task declaration order")
+	}
+	if len(second.Upstream) != 1 || second.Upstream[0] != first {
+		t.Fatal("update must depend on derivs")
+	}
+	if len(first.Downstream) != 1 || first.Downstream[0] != second {
+		t.Fatal("derivs must release update")
+	}
+	g.ResetForStep()
+	if first.State != StateReady {
+		t.Error("derivs should start ready")
+	}
+	if second.State != StateWaiting || second.PendingDeps != 1 {
+		t.Errorf("update state = %v deps = %d", second.State, second.PendingDeps)
+	}
+}
+
+func TestCompileMissingProducerFails(t *testing.T) {
+	lv := level(t, grid.IV(8, 8, 8), grid.IV(1, 1, 1))
+	u := NewLabel("u", nil)
+	ghostTask := &Task{
+		Name: "bad", Kind: KindOffload,
+		Requires: []Dep{{Label: u, DW: NewDW}},
+		Computes: []Dep{{Label: NewLabel("v", nil), DW: NewDW}},
+		Kernel:   &Kernel{},
+	}
+	if _, err := Compile(lv, []*Task{ghostTask}, []int{0}, 0); err == nil {
+		t.Fatal("missing producer should fail compilation")
+	}
+}
+
+func TestCompileReductionDependsOnAllLocalPatches(t *testing.T) {
+	lv := level(t, grid.IV(8, 8, 16), grid.IV(1, 1, 4))
+	u := NewLabel("u", nil)
+	red := &Task{
+		Name: "maxU", Kind: KindReduction,
+		Requires: []Dep{{Label: u, DW: NewDW}},
+		Reduce:   &ReduceSpec{},
+	}
+	assign := []int{0, 0, 1, 1}
+	g, err := Compile(lv, []*Task{advanceTask(u), red}, assign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var redObj *Object
+	for _, o := range g.Objects {
+		if o.Task == red {
+			redObj = o
+		}
+	}
+	if redObj == nil {
+		t.Fatal("no reduction object")
+	}
+	if redObj.Patch != nil {
+		t.Error("reduction object should be rank-level")
+	}
+	if len(redObj.Upstream) != 2 {
+		t.Fatalf("reduction upstream = %d, want 2 local patches", len(redObj.Upstream))
+	}
+}
+
+func TestPaperConfigurationEdgeCounts(t *testing.T) {
+	// 8x8x2 layout of 128 patches over 128 ranks: every patch's ghost
+	// dependencies are remote.
+	lv := level(t, grid.IV(128, 128, 1024), grid.IV(8, 8, 2))
+	u := NewLabel("u", nil)
+	assign := make([]int, 128)
+	for i := range assign {
+		assign[i] = i
+	}
+	g, err := Compile(lv, []*Task{advanceTask(u)}, assign, 37) // interior-ish rank
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Objects) != 1 {
+		t.Fatalf("objects = %d", len(g.Objects))
+	}
+	o := g.Objects[0]
+	nbrs := lv.Layout.Neighbours(o.Patch, 1)
+	if o.NumRecvs != len(nbrs) {
+		t.Errorf("recvs = %d, want %d (all neighbours remote)", o.NumRecvs, len(nbrs))
+	}
+	if len(o.LocalCopies) != 0 {
+		t.Errorf("local copies = %d, want 0", len(o.LocalCopies))
+	}
+	if len(g.Sends) != len(nbrs) {
+		t.Errorf("sends = %d, want %d", len(g.Sends), len(nbrs))
+	}
+}
+
+func TestResetForStepRestoresState(t *testing.T) {
+	lv := level(t, grid.IV(8, 8, 8), grid.IV(2, 1, 1))
+	u := NewLabel("u", nil)
+	g, err := Compile(lv, []*Task{advanceTask(u)}, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ResetForStep()
+	o := g.Objects[0]
+	if o.State != StateWaiting || o.PendingDeps != o.NumRecvs {
+		t.Fatalf("state = %v deps = %d", o.State, o.PendingDeps)
+	}
+	o.State = StateCompleted
+	o.PendingDeps = -5
+	g.ResetForStep()
+	if o.State != StateWaiting || o.PendingDeps != o.NumRecvs {
+		t.Fatal("reset did not restore state")
+	}
+}
+
+func TestTagUniquenessAcrossEdges(t *testing.T) {
+	lv := level(t, grid.IV(16, 16, 32), grid.IV(2, 2, 4))
+	u := NewLabel("u", nil)
+	assign, _ := loadbalancer.Assign(loadbalancer.Block, 16, 8)
+	n := lv.Layout.NumPatches()
+	seen := map[int]bool{}
+	for r := 0; r < 8; r++ {
+		g, err := Compile(lv, []*Task{advanceTask(u)}, assign, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Recvs {
+			tag := e.BaseTag(n)
+			if seen[tag] {
+				t.Fatalf("tag %d reused", tag)
+			}
+			seen[tag] = true
+			if tag < 0 || tag >= g.NumTags() {
+				t.Fatalf("tag %d outside [0,%d)", tag, g.NumTags())
+			}
+		}
+	}
+}
+
+func TestTotalBytesSymmetric(t *testing.T) {
+	lv := level(t, grid.IV(16, 16, 32), grid.IV(2, 2, 4))
+	u := NewLabel("u", nil)
+	assign, _ := loadbalancer.Assign(loadbalancer.Block, 16, 4)
+	var sent, recvd int64
+	for r := 0; r < 4; r++ {
+		g, err := Compile(lv, []*Task{advanceTask(u)}, assign, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent += g.TotalSendBytes()
+		recvd += g.TotalRecvBytes()
+	}
+	if sent != recvd || sent == 0 {
+		t.Fatalf("sent %d, received %d", sent, recvd)
+	}
+}

@@ -1,0 +1,185 @@
+// Package taskgraph implements Uintah's distributed task graph: user-level
+// coarse tasks declaring which variables they require and compute, compiled
+// against a patch layout and a patch-to-rank assignment into per-rank task
+// objects (task × patch), intra-step dependency edges, and the MPI
+// communication edges implied by ghost-cell requirements.
+//
+// Each rank compiles only its own portion of the graph, as in Uintah; the
+// compilation is deterministic, so every rank derives identical message
+// tags for matching edges.
+package taskgraph
+
+import (
+	"fmt"
+
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/mpisim"
+)
+
+// Label identifies a simulation variable (Uintah's VarLabel). Labels are
+// compared by pointer; create each once and share it.
+type Label struct {
+	name string
+	// BC supplies the physical-boundary value at position (x,y,z) and time
+	// t, used to fill ghost cells outside the domain. Nil means zero.
+	BC func(x, y, z, t float64) float64
+}
+
+// NewLabel creates a variable label with an optional boundary-condition
+// function.
+func NewLabel(name string, bc func(x, y, z, t float64) float64) *Label {
+	return &Label{name: name, BC: bc}
+}
+
+// Name returns the label's name.
+func (l *Label) Name() string { return l.name }
+
+// DWSel selects which data warehouse a dependency refers to.
+type DWSel int
+
+// Warehouse selectors: OldDW holds the previous timestep's results, NewDW
+// receives the current timestep's.
+const (
+	OldDW DWSel = iota
+	NewDW
+)
+
+func (d DWSel) String() string {
+	if d == OldDW {
+		return "old"
+	}
+	return "new"
+}
+
+// Dep is one requires/computes declaration.
+type Dep struct {
+	Label *Label
+	DW    DWSel
+	Ghost int // ghost layers needed (requires only)
+}
+
+// Kind classifies tasks by where they execute.
+type Kind int
+
+// Task kinds: offloadable numerical kernels run on the CPE cluster, MPE
+// tasks run on the management element, reductions combine a value across
+// ranks.
+const (
+	KindOffload Kind = iota
+	KindMPE
+	KindReduction
+)
+
+// TileContext is passed to a kernel's Compute function for each tile. In
+// functional runs the LDM buffers carry real data; in timing-only runs
+// their Data fields are nil and Compute is not invoked.
+type TileContext struct {
+	Patch *grid.Patch
+	Tile  grid.Tile
+	// In and Out map each required/computed label to its staged LDM
+	// buffer. Input buffers cover the tile grown by the ghost width;
+	// output buffers cover the tile interior.
+	In  map[*Label]*LDMData
+	Out map[*Label]*LDMData
+	// Step, Time and Dt describe the timestep being computed: Time is the
+	// time level of the old warehouse.
+	Step int
+	Time float64
+	Dt   float64
+	// Level provides cell geometry.
+	Level *grid.Level
+}
+
+// LDMData is a tile-local view of a variable staged in LDM.
+type LDMData struct {
+	Region grid.Box
+	Data   *field.Cell // nil in timing-only mode
+}
+
+// Kernel describes an offloadable numerical kernel.
+type Kernel struct {
+	// FlopsPerCell and ExpFlopsPerCell feed the hardware FLOP counters.
+	FlopsPerCell    float64
+	ExpFlopsPerCell float64
+	// Weight scales the calibrated compute time relative to the Burgers
+	// kernel (1.0).
+	Weight float64
+	// Compute performs the tile computation on LDM data (functional runs
+	// only).
+	Compute func(tc *TileContext)
+}
+
+// MPEFunc is the body of an MPE task, invoked once per (task, patch) with
+// the patch's fields (nil values in timing-only mode).
+type MPEFunc func(patch *grid.Patch, in, out map[*Label]*field.Cell)
+
+// ReduceSpec describes a reduction task: each rank extracts a local
+// partial from its patches' fields and the result is combined with MPI.
+type ReduceSpec struct {
+	Op mpisim.ReduceOp
+	// Local extracts the partial value for one patch (functional mode
+	// only; timing-only reductions contribute 0).
+	Local func(patch *grid.Patch, f *field.Cell) float64
+	// Result receives the globally reduced value on every rank.
+	Result func(step int, v float64)
+}
+
+// Task is a user-level coarse task. Exactly one of Kernel, MPERun, Reduce
+// must be set, matching Kind.
+type Task struct {
+	Name     string
+	Kind     Kind
+	Requires []Dep
+	Computes []Dep
+
+	Kernel *Kernel
+	MPERun MPEFunc
+	// MPECostWeight scales the MPE-kernel cost model for KindMPE tasks
+	// (cells × MPE per-cell time × weight). Zero means negligible cost.
+	MPECostWeight float64
+	Reduce        *ReduceSpec
+}
+
+// Validate checks structural consistency of the declaration.
+func (t *Task) Validate() error {
+	switch t.Kind {
+	case KindOffload:
+		if t.Kernel == nil {
+			return fmt.Errorf("taskgraph: offload task %q has no kernel", t.Name)
+		}
+		if len(t.Computes) == 0 {
+			return fmt.Errorf("taskgraph: offload task %q computes nothing", t.Name)
+		}
+	case KindMPE:
+		if t.MPERun == nil && t.MPECostWeight == 0 {
+			return fmt.Errorf("taskgraph: MPE task %q has no body and no cost", t.Name)
+		}
+	case KindReduction:
+		if t.Reduce == nil {
+			return fmt.Errorf("taskgraph: reduction task %q has no reduce spec", t.Name)
+		}
+		if len(t.Requires) != 1 {
+			return fmt.Errorf("taskgraph: reduction task %q must require exactly one variable", t.Name)
+		}
+	default:
+		return fmt.Errorf("taskgraph: task %q has unknown kind %d", t.Name, t.Kind)
+	}
+	for _, d := range t.Computes {
+		if d.DW != NewDW {
+			return fmt.Errorf("taskgraph: task %q computes %q into the old warehouse", t.Name, d.Label.Name())
+		}
+		if d.Ghost != 0 {
+			return fmt.Errorf("taskgraph: task %q computes %q with ghost cells", t.Name, d.Label.Name())
+		}
+	}
+	for _, d := range t.Requires {
+		if d.Ghost < 0 {
+			return fmt.Errorf("taskgraph: task %q requires %q with negative ghost", t.Name, d.Label.Name())
+		}
+		if d.DW == NewDW && d.Ghost != 0 {
+			return fmt.Errorf("taskgraph: task %q requires %q from the new warehouse with ghost cells (intra-step halo exchange is not supported)", t.Name, d.Label.Name())
+		}
+	}
+	return nil
+}

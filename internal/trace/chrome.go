@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("traceEvents"
+// array, "X" complete events), loadable in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name     string            `json:"name"`
+	Category string            `json:"cat"`
+	Phase    string            `json:"ph"`
+	TimeUS   float64           `json:"ts"`
+	DurUS    float64           `json:"dur"`
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+// laneOf maps an interval kind to a per-rank display lane: the MPE thread
+// (bookkeeping, communication, host kernels) versus the CPE cluster.
+func laneOf(k Kind) int {
+	if k == KindKernel {
+		return 1 // CPE cluster lane
+	}
+	return 0 // MPE lane
+}
+
+// WriteChromeTrace serialises the recorder in the Chrome trace-event JSON
+// format: one process per rank, lane 0 for the MPE and lane 1 for the CPE
+// cluster. Virtual seconds map to microseconds of trace time.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := []chromeEvent{}
+	if r != nil {
+		for _, e := range r.events {
+			events = append(events, chromeEvent{
+				Name:     e.Name,
+				Category: string(e.Kind),
+				Phase:    "X",
+				TimeUS:   float64(e.Start) * 1e6,
+				DurUS:    float64(e.Duration()) * 1e6,
+				PID:      e.Rank,
+				TID:      laneOf(e.Kind),
+				Args:     map[string]string{"step": fmt.Sprint(e.Step)},
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,182 @@
+// Package trace records scheduler activity on the virtual timeline: task
+// selections, MPE bookkeeping, kernel offloads, MPI traffic. Recorders are
+// optional — a nil *Recorder is safe to use and records nothing — and feed
+// the timeline output of the asyncoverlap example and scheduler tests.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sunuintah/internal/sim"
+)
+
+// Kind classifies a traced interval.
+type Kind string
+
+// Interval kinds recorded by the scheduler.
+const (
+	KindMPEWork Kind = "mpe"     // packing, unpacking, touches, BC fills
+	KindKernel  Kind = "kernel"  // CPE cluster busy with an offloaded kernel
+	KindMPEKern Kind = "mpekern" // kernel executed on the MPE (host mode)
+	KindComm    Kind = "comm"    // MPI posting and testing
+	KindReduce  Kind = "reduce"  // reductions
+	KindIdle    Kind = "idle"    // scheduler polling with nothing to do
+)
+
+// Event is one traced interval.
+type Event struct {
+	Rank  int
+	Step  int
+	Kind  Kind
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns End-Start.
+func (e Event) Duration() sim.Time { return e.End - e.Start }
+
+// Recorder accumulates events. The zero value is usable; a nil recorder
+// discards everything.
+type Recorder struct {
+	events []Event
+}
+
+// New creates an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records one interval. Safe on a nil receiver.
+func (r *Recorder) Add(ev Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns all recorded events in insertion order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// TotalByKind sums interval durations per kind, optionally filtered by
+// rank (rank < 0 means all ranks).
+func (r *Recorder) TotalByKind(rank int) map[Kind]sim.Time {
+	out := map[Kind]sim.Time{}
+	if r == nil {
+		return out
+	}
+	for _, e := range r.events {
+		if rank >= 0 && e.Rank != rank {
+			continue
+		}
+		out[e.Kind] += e.Duration()
+	}
+	return out
+}
+
+// OverlapTime returns, for one rank, the total virtual time during which
+// an interval of kind a and an interval of kind b are simultaneously open —
+// the quantity that demonstrates the asynchronous scheduler's
+// computation/communication overlap. With a == b it returns the time during
+// which at least two intervals of that kind are open (for example two
+// kernels in flight on different CPE groups).
+func (r *Recorder) OverlapTime(rank int, a, b Kind) sim.Time {
+	if r == nil {
+		return 0
+	}
+	if a == b {
+		return r.selfOverlap(rank, a)
+	}
+	type edge struct {
+		t     sim.Time
+		kind  Kind
+		delta int
+	}
+	var edges []edge
+	for _, e := range r.events {
+		if e.Rank != rank || (e.Kind != a && e.Kind != b) {
+			continue
+		}
+		edges = append(edges, edge{e.Start, e.Kind, +1}, edge{e.End, e.Kind, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta < edges[j].delta // close before open at ties
+	})
+	var total sim.Time
+	var openA, openB int
+	var since sim.Time
+	for _, ed := range edges {
+		if openA > 0 && openB > 0 {
+			total += ed.t - since
+		}
+		if ed.kind == a {
+			openA += ed.delta
+		} else {
+			openB += ed.delta
+		}
+		since = ed.t
+	}
+	return total
+}
+
+// selfOverlap returns the time during which two or more intervals of the
+// kind are open simultaneously on the rank.
+func (r *Recorder) selfOverlap(rank int, k Kind) sim.Time {
+	type edge struct {
+		t     sim.Time
+		delta int
+	}
+	var edges []edge
+	for _, e := range r.events {
+		if e.Rank != rank || e.Kind != k {
+			continue
+		}
+		edges = append(edges, edge{e.Start, +1}, edge{e.End, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta < edges[j].delta
+	})
+	var total sim.Time
+	open := 0
+	var since sim.Time
+	for _, ed := range edges {
+		if open >= 2 {
+			total += ed.t - since
+		}
+		open += ed.delta
+		since = ed.t
+	}
+	return total
+}
+
+// WriteTimeline renders a compact per-rank textual timeline, most useful
+// for small runs.
+func (r *Recorder) WriteTimeline(w io.Writer, rank int, maxEvents int) {
+	if r == nil {
+		return
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Rank != rank {
+			continue
+		}
+		if maxEvents > 0 && n >= maxEvents {
+			fmt.Fprintf(w, "  ... (%d more events)\n", len(r.events)-n)
+			return
+		}
+		fmt.Fprintf(w, "  [%12.6f, %12.6f] step %2d %-8s %s\n",
+			float64(e.Start)*1e3, float64(e.End)*1e3, e.Step, e.Kind, e.Name)
+		n++
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Event{Kind: KindKernel, Start: 0, End: 1})
+	if r.Events() != nil {
+		t.Fatal("nil recorder returned events")
+	}
+	if got := r.OverlapTime(0, KindKernel, KindMPEWork); got != 0 {
+		t.Fatal("nil recorder overlap nonzero")
+	}
+	if len(r.TotalByKind(-1)) != 0 {
+		t.Fatal("nil recorder totals nonzero")
+	}
+	var sb strings.Builder
+	r.WriteTimeline(&sb, 0, 10) // must not panic
+}
+
+func TestTotalByKind(t *testing.T) {
+	r := New()
+	r.Add(Event{Rank: 0, Kind: KindKernel, Start: 0, End: 2})
+	r.Add(Event{Rank: 0, Kind: KindKernel, Start: 3, End: 4})
+	r.Add(Event{Rank: 0, Kind: KindMPEWork, Start: 1, End: 2})
+	r.Add(Event{Rank: 1, Kind: KindKernel, Start: 0, End: 10})
+	tot := r.TotalByKind(0)
+	if tot[KindKernel] != 3 || tot[KindMPEWork] != 1 {
+		t.Fatalf("totals = %v", tot)
+	}
+	all := r.TotalByKind(-1)
+	if all[KindKernel] != 13 {
+		t.Fatalf("all-ranks kernel total = %v", all[KindKernel])
+	}
+}
+
+func TestOverlapTimeDistinctKinds(t *testing.T) {
+	r := New()
+	r.Add(Event{Rank: 0, Kind: KindKernel, Start: 0, End: 10})
+	r.Add(Event{Rank: 0, Kind: KindMPEWork, Start: 4, End: 6})
+	r.Add(Event{Rank: 0, Kind: KindMPEWork, Start: 12, End: 14})
+	if got := r.OverlapTime(0, KindKernel, KindMPEWork); got != 2 {
+		t.Fatalf("overlap = %v, want 2", got)
+	}
+	// Symmetric.
+	if got := r.OverlapTime(0, KindMPEWork, KindKernel); got != 2 {
+		t.Fatalf("reverse overlap = %v, want 2", got)
+	}
+	// Other ranks unaffected.
+	if got := r.OverlapTime(1, KindKernel, KindMPEWork); got != 0 {
+		t.Fatalf("rank 1 overlap = %v", got)
+	}
+}
+
+func TestOverlapTimeAdjacentIntervalsDoNotCount(t *testing.T) {
+	r := New()
+	r.Add(Event{Rank: 0, Kind: KindKernel, Start: 0, End: 5})
+	r.Add(Event{Rank: 0, Kind: KindMPEWork, Start: 5, End: 8})
+	if got := r.OverlapTime(0, KindKernel, KindMPEWork); got != 0 {
+		t.Fatalf("touching intervals overlap = %v, want 0", got)
+	}
+}
+
+func TestSelfOverlap(t *testing.T) {
+	r := New()
+	r.Add(Event{Rank: 0, Kind: KindKernel, Start: 0, End: 10})
+	r.Add(Event{Rank: 0, Kind: KindKernel, Start: 6, End: 12})
+	r.Add(Event{Rank: 0, Kind: KindKernel, Start: 20, End: 22})
+	if got := r.OverlapTime(0, KindKernel, KindKernel); got != 4 {
+		t.Fatalf("self overlap = %v, want 4", got)
+	}
+}
+
+func TestWriteTimelineFiltersAndLimits(t *testing.T) {
+	r := New()
+	for i := 0; i < 5; i++ {
+		r.Add(Event{Rank: 0, Step: i, Kind: KindComm, Name: "x", Start: 0, End: 1})
+	}
+	r.Add(Event{Rank: 1, Kind: KindKernel, Name: "other", Start: 0, End: 1})
+	var sb strings.Builder
+	r.WriteTimeline(&sb, 0, 3)
+	out := sb.String()
+	if strings.Count(out, "comm") != 3 {
+		t.Fatalf("timeline = %q", out)
+	}
+	if strings.Contains(out, "other") {
+		t.Fatal("timeline leaked another rank's events")
+	}
+	if !strings.Contains(out, "more events") {
+		t.Fatal("timeline missing truncation marker")
+	}
+}
+
+func TestEventDuration(t *testing.T) {
+	e := Event{Start: 1.5, End: 4}
+	if e.Duration() != 2.5 {
+		t.Fatalf("duration = %v", e.Duration())
+	}
+}
