@@ -1,0 +1,31 @@
+# Development targets. `make check` is the gate CI (and PRs) must pass.
+
+GO ?= go
+
+.PHONY: check vet build test race bench clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent subsystems: the runner package in full
+# (including the determinism guard, which exercises real simulations on
+# concurrent workers) and the experiments package's fast tests. The
+# full-sweep experiments tests are minutes-long under the race detector,
+# hence -short there.
+race:
+	$(GO) test -race -count=1 ./internal/runner/...
+	$(GO) test -race -short -count=1 ./internal/experiments/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+clean:
+	rm -rf .suncache

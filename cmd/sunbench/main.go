@@ -3,9 +3,14 @@
 // ablations. Results print in the paper's layout; EXPERIMENTS.md records
 // the paper-vs-measured comparison.
 //
+// Independent cases execute concurrently on -jobs workers, and results
+// are memoised by content hash; with -cache DIR the memo persists on
+// disk, so a second invocation skips every completed case.
+//
 // Usage:
 //
-//	sunbench [-steps N] [-noise f -repeats k] [-json file] [-v] <artifact>...
+//	sunbench [-steps N] [-noise f -repeats k] [-jobs N] [-cache dir|off]
+//	         [-json file] [-v] <artifact>...
 //
 // Artifacts: table1 table2 table3 table4 table5 table6 table7
 // fig5 fig6 fig7 fig8 fig9 fig10 ablation-dma ablation-packing
@@ -16,186 +21,123 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"sunuintah/internal/experiments"
-	"sunuintah/internal/perf"
+	"sunuintah/internal/runner"
 )
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-jobs N] [-cache dir|off] [-json file] [-v] <artifact>...")
+	fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles summary all")
+}
+
+// reorderArgs moves flag tokens ahead of positionals so invocations like
+// "sunbench all -jobs 4" work: Go's flag package stops parsing at the
+// first non-flag argument.
+func reorderArgs(args []string, boolFlags map[string]bool) []string {
+	var flags, positional []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if len(a) < 2 || a[0] != '-' {
+			positional = append(positional, a)
+			continue
+		}
+		flags = append(flags, a)
+		name := strings.TrimLeft(a, "-")
+		if !strings.Contains(a, "=") && !boolFlags[name] && i+1 < len(args) {
+			i++
+			flags = append(flags, args[i])
+		}
+	}
+	return append(flags, positional...)
+}
 
 func main() {
 	steps := flag.Int("steps", experiments.Steps, "timesteps per run")
 	noise := flag.Float64("noise", 0, "machine-instability jitter fraction (0 disables)")
 	repeats := flag.Int("repeats", 1, "with -noise: repeat each case and keep the best, like the paper")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs")
+	cacheFlag := flag.String("cache", "off", `result cache: "off", or a directory for an on-disk store (e.g. .suncache)`)
 	jsonPath := flag.String("json", "", "also write the full evaluation as structured JSON to this file")
-	verbose := flag.Bool("v", false, "print per-case progress")
-	flag.Parse()
+	verbose := flag.Bool("v", false, "print per-case progress as [done/total, hit-rate]")
+	flag.CommandLine.Parse(reorderArgs(os.Args[1:], map[string]bool{"v": true}))
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-json file] [-v] <artifact>...")
-		fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles summary all")
+		usage()
 		os.Exit(2)
 	}
 
-	sweep := experiments.NewSweep(experiments.Options{Steps: *steps, Noise: *noise, Repeats: *repeats})
-	if *verbose {
-		sweep.Progress = func(key experiments.CaseKey) {
-			fmt.Fprintf(os.Stderr, "running %s on %d CGs with %s...\n", key.Problem, key.CGs, key.Variant)
-		}
-	}
-
-	want := map[string]bool{}
+	// Validate every artifact name up front: an unknown name after valid
+	// ones must fail before any sweep runs, not midway through.
+	runAll := false
+	var wanted []string
+	seen := map[string]bool{}
 	for _, a := range args {
 		if a == "all" {
-			for _, k := range []string{"table1", "table2", "table3", "table4", "table5",
-				"table6", "table7", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-				"ablation-dma", "ablation-packing", "ablation-groups", "ablation-tiles", "summary"} {
-				want[k] = true
+			runAll = true
+			continue
+		}
+		if !experiments.IsArtifact(a) {
+			fmt.Fprintf(os.Stderr, "sunbench: unknown artifact %q\n", a)
+			usage()
+			os.Exit(2)
+		}
+		if !seen[a] {
+			seen[a] = true
+			wanted = append(wanted, a)
+		}
+	}
+	if runAll {
+		wanted = experiments.ArtifactNames()
+	}
+
+	var cache runner.Cache = runner.NewMemoryCache(0)
+	if *cacheFlag != "off" && *cacheFlag != "" {
+		dc, err := runner.NewDiskCache(*cacheFlag, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		cache = dc
+	}
+
+	var onEvent func(runner.Event)
+	if *verbose {
+		onEvent = func(ev runner.Event) {
+			switch ev.Type {
+			case runner.EventStarted:
+				fmt.Fprintf(os.Stderr, "[%d/%d, %.0f%% hit] running %s...\n",
+					ev.Done, ev.Total, ev.HitRate*100, ev.Spec)
+			case runner.EventRetried:
+				fmt.Fprintf(os.Stderr, "[%d/%d] retrying %s: %v\n", ev.Done, ev.Total, ev.Spec, ev.Err)
+			case runner.EventCacheHit:
+				fmt.Fprintf(os.Stderr, "[%d/%d, %.0f%% hit] cached  %s\n",
+					ev.Done, ev.Total, ev.HitRate*100, ev.Spec)
 			}
-		} else {
-			want[a] = true
 		}
 	}
 
-	run := func(name string, fn func() error) {
-		if !want[name] {
-			return
-		}
-		delete(want, name)
-		if err := fn(); err != nil {
+	pool := experiments.NewPool(*jobs, cache, onEvent)
+	defer pool.Close()
+	sweep := experiments.NewSweepWithPool(
+		experiments.Options{Steps: *steps, Noise: *noise, Repeats: *repeats}, pool)
+
+	// A full (or near-full) evaluation saturates the pool from the start;
+	// single artifacts prefetch their own cells.
+	if runAll || len(wanted) > 3 {
+		sweep.PrefetchEvaluation()
+	}
+
+	for _, name := range wanted {
+		out, err := experiments.RunArtifact(sweep, name, *steps)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sunbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		fmt.Print(out)
 		fmt.Println()
-	}
-
-	run("table1", func() error {
-		rows, err := experiments.TableI(sweep)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatTableI(rows))
-		return nil
-	})
-	run("table2", func() error {
-		fmt.Print(experiments.FormatTableII(perf.DefaultParams()))
-		return nil
-	})
-	run("table3", func() error {
-		rows, err := experiments.TableIII(sweep)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatTableIII(rows))
-		return nil
-	})
-	run("table4", func() error {
-		fmt.Print(experiments.FormatTableIV())
-		return nil
-	})
-	run("fig5", func() error {
-		series, err := experiments.Figure5(sweep)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatFigure5(series))
-		return nil
-	})
-	run("table5", func() error {
-		rows, err := experiments.TableV(sweep)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatTableV(rows))
-		return nil
-	})
-	run("table6", func() error {
-		t, err := experiments.AsyncImprovement(sweep, false)
-		if err != nil {
-			return err
-		}
-		fmt.Print(t.Format())
-		fmt.Printf("average improvement: %.1f%%  best: %.1f%%\n", t.Average(), t.Best())
-		return nil
-	})
-	run("table7", func() error {
-		t, err := experiments.AsyncImprovement(sweep, true)
-		if err != nil {
-			return err
-		}
-		fmt.Print(t.Format())
-		fmt.Printf("average improvement: %.1f%%  best: %.1f%%\n", t.Average(), t.Best())
-		return nil
-	})
-	for figNum, probIdx := range map[int]int{6: 0, 7: 3, 8: 6} {
-		figNum, probIdx := figNum, probIdx
-		run(fmt.Sprintf("fig%d", figNum), func() error {
-			fig, err := experiments.Boosts(sweep, experiments.Problems[probIdx])
-			if err != nil {
-				return err
-			}
-			fmt.Print(fig.Format(figNum))
-			return nil
-		})
-	}
-	run("fig9", func() error {
-		series, err := experiments.Figure9And10(sweep)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatFigure9(series))
-		return nil
-	})
-	run("fig10", func() error {
-		series, err := experiments.Figure9And10(sweep)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatFigure10(series))
-		return nil
-	})
-	run("ablation-dma", func() error {
-		out, err := experiments.AblationAsyncDMA(*steps)
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-		return nil
-	})
-	run("ablation-packing", func() error {
-		out, err := experiments.AblationTilePacking(*steps)
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-		return nil
-	})
-	run("ablation-groups", func() error {
-		out, err := experiments.AblationCPEGroups(*steps)
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-		return nil
-	})
-	run("ablation-tiles", func() error {
-		out, err := experiments.AblationTileSize(*steps)
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-		return nil
-	})
-	run("summary", func() error {
-		out, err := experiments.ShapeSummary(sweep)
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-		return nil
-	})
-
-	for name := range want {
-		fmt.Fprintf(os.Stderr, "sunbench: unknown artifact %q\n", name)
-		os.Exit(2)
 	}
 
 	if *jsonPath != "" {
@@ -218,5 +160,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+
+	if *verbose {
+		fmt.Fprintln(os.Stderr, "sunbench:", pool.Metrics())
 	}
 }

@@ -1,0 +1,73 @@
+// Command sunserver serves simulated-Sunway experiment runs over HTTP:
+// the first step toward a traffic-serving system built on the runtime.
+// Requests execute on a shared worker pool with a content-addressed
+// result cache, so identical specs — across clients and restarts — are
+// near-free.
+//
+// Endpoints:
+//
+//	POST /run              submit a spec, returns {"id": "jN"}
+//	GET  /jobs/{id}        job state and, when done, the full result
+//	GET  /jobs             job summaries
+//	GET  /metrics          pool metrics: queued/running/done/failed, hit rate
+//	GET  /artifacts/{name} render a paper table/figure (text)
+//
+// Example:
+//
+//	sunserver -addr :8177 &
+//	curl -s localhost:8177/run -d '{"cells":"32x32x64","layout":"2x2x1","cgs":2,"variant":"acc.async","steps":2,"functional":true}'
+//	curl -s localhost:8177/jobs/j1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"sunuintah/internal/experiments"
+	"sunuintah/internal/runner"
+)
+
+func main() {
+	addr := flag.String("addr", ":8177", "listen address")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs")
+	cacheFlag := flag.String("cache", runner.DefaultCacheDir, `result cache: "off" (memory only) or an on-disk store directory`)
+	steps := flag.Int("steps", experiments.Steps, "default timesteps for requests that omit steps")
+	timeout := flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 disables)")
+	flag.Parse()
+
+	var cache runner.Cache = runner.NewMemoryCache(0)
+	if *cacheFlag != "off" && *cacheFlag != "" {
+		dc, err := runner.NewDiskCache(*cacheFlag, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunserver:", err)
+			os.Exit(1)
+		}
+		cache = dc
+		fmt.Printf("sunserver: on-disk result cache at %s\n", dc.Dir())
+	}
+
+	pool, err := runner.New(runner.Config{
+		Workers: *jobs,
+		Exec:    experiments.Exec,
+		Cache:   cache,
+		Timeout: *timeout,
+		Retries: 2,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sunserver:", err)
+		os.Exit(1)
+	}
+	defer pool.Close()
+	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: *steps}, pool)
+
+	srv := newServer(pool, sweep, *steps)
+	fmt.Printf("sunserver: %d workers, listening on %s\n", *jobs, *addr)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "sunserver:", err)
+		os.Exit(1)
+	}
+}

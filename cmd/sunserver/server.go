@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sunuintah/internal/experiments"
+	"sunuintah/internal/runner"
+)
+
+// runRequest is the POST /run body: a runner.Spec plus the paper's
+// best-of-k repeat protocol for noisy specs.
+type runRequest struct {
+	runner.Spec
+	// Repeats reruns a noisy spec with seeds 1..k and keeps the fastest
+	// (ignored when Noise is 0).
+	Repeats int `json:"repeats,omitempty"`
+}
+
+// apiJob is one accepted request and, eventually, its outcome.
+type apiJob struct {
+	ID        string          `json:"id"`
+	Spec      runner.Spec     `json:"spec"`
+	Repeats   int             `json:"repeats,omitempty"`
+	State     runner.JobState `json:"state"`
+	Submitted time.Time       `json:"submitted"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Result    *runner.Result  `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// server fronts one shared runner pool with a JSON HTTP API: simulation
+// requests, job status, pool metrics and the paper's artifacts all draw
+// from the same workers and content-addressed cache.
+type server struct {
+	pool  *experiments.Pool
+	sweep *experiments.Sweep
+	steps int // default steps for requests that omit them
+	start time.Time
+
+	mu     sync.Mutex
+	jobs   map[string]*apiJob
+	nextID int
+}
+
+func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps int) *server {
+	return &server{
+		pool:  pool,
+		sweep: sweep,
+		steps: defaultSteps,
+		start: time.Now(),
+		jobs:  map[string]*apiJob{},
+	}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /artifacts/{name}", s.handleArtifact)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service": "sunserver: simulated Sunway TaihuLight experiment service",
+		"endpoints": []string{
+			"POST /run", "GET /jobs", "GET /jobs/{id}", "GET /metrics", "GET /artifacts/{name}",
+		},
+		"artifacts": experiments.ArtifactNames(),
+	})
+}
+
+// handleRun accepts a spec, validates it, and returns a job id
+// immediately; the simulation executes on the shared pool.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Steps <= 0 {
+		req.Steps = s.steps
+	}
+	if err := experiments.ValidateSpec(req.Spec); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	repeats := req.Repeats
+	if repeats <= 1 || req.Noise == 0 {
+		repeats = 1
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	j := &apiJob{
+		ID:        fmt.Sprintf("j%d", s.nextID),
+		Spec:      req.Spec,
+		Repeats:   repeats,
+		State:     runner.StateQueued,
+		Submitted: time.Now(),
+	}
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+
+	// Submit every repeat up front, then reduce by min in the background
+	// (the paper's "best result is selected" protocol).
+	jobs := make([]*runner.Job, repeats)
+	for rep := 0; rep < repeats; rep++ {
+		spec := req.Spec
+		if spec.Noise > 0 {
+			spec.Seed = uint64(rep + 1)
+		}
+		jobs[rep] = s.pool.Submit(spec)
+	}
+	s.setState(j.ID, runner.StateRunning)
+	go s.collect(j.ID, jobs)
+
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID, "status": "/jobs/" + j.ID})
+}
+
+func (s *server) setState(id string, st runner.JobState) {
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		j.State = st
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) collect(id string, jobs []*runner.Job) {
+	results := make([]*runner.Result, len(jobs))
+	var firstErr error
+	for i, job := range jobs {
+		res, err := job.Wait(context.Background())
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[i] = res
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	j.Finished = &now
+	if firstErr != nil {
+		j.State = runner.StateFailed
+		j.Error = firstErr.Error()
+		return
+	}
+	j.State = runner.StateDone
+	j.Result = runner.MinResult(results)
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var cp apiJob
+	if ok {
+		cp = *j
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
+}
+
+// handleJobs lists job summaries (without the full results).
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	type summary struct {
+		ID        string          `json:"id"`
+		Spec      string          `json:"spec"`
+		State     runner.JobState `json:"state"`
+		Submitted time.Time       `json:"submitted"`
+	}
+	s.mu.Lock()
+	out := make([]summary, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, summary{ID: j.ID, Spec: j.Spec.String(), State: j.State, Submitted: j.Submitted})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.pool.Metrics()
+	s.mu.Lock()
+	total := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"workers":       s.pool.Workers(),
+		"requests":      total,
+		"pool":          m,
+		"hitRate":       m.HitRate(),
+	})
+}
+
+// handleArtifact renders one of the paper's tables or figures from the
+// shared sweep: the cells it needs execute on the same pool and cache as
+// everything else.
+func (s *server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !experiments.IsArtifact(name) {
+		writeError(w, http.StatusNotFound, "unknown artifact %q", name)
+		return
+	}
+	out, err := experiments.RunArtifact(s.sweep, name, s.steps)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%s: %v", name, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sunuintah/internal/experiments"
+	"sunuintah/internal/runner"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *runner.Pool) {
+	t.Helper()
+	pool, err := runner.New(runner.Config{
+		Workers: 2,
+		Exec:    experiments.Exec,
+		Cache:   runner.NewMemoryCache(0),
+		Timeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: 1}, pool)
+	ts := httptest.NewServer(newServer(pool, sweep, 1).handler())
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+	})
+	return ts, pool
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestRunFunctionalCaseEndToEnd exercises the acceptance path: POST /run
+// with a small functional-mode case, then poll GET /jobs/{id} until the
+// verified result arrives.
+func TestRunFunctionalCaseEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	body := `{"cells":"32x32x64","layout":"2x2x1","cgs":2,"variant":"acc.async","steps":2,"functional":true}`
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /run status = %d", resp.StatusCode)
+	}
+	id := accepted["id"]
+	if id == "" {
+		t.Fatalf("no job id in %v", accepted)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var job apiJob
+	for {
+		if code := getJSON(t, ts.URL+"/jobs/"+id, &job); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s status = %d", id, code)
+		}
+		if job.State == runner.StateDone || job.State == runner.StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 30s", id, job.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if job.State != runner.StateDone {
+		t.Fatalf("job failed: %s", job.Error)
+	}
+	if job.Result == nil || !job.Result.Feasible || job.Result.Sim == nil {
+		t.Fatalf("job result = %+v", job.Result)
+	}
+	if job.Result.Sim.Steps != 2 {
+		t.Errorf("steps = %d, want 2", job.Result.Sim.Steps)
+	}
+	if job.Result.Sim.PerStep <= 0 {
+		t.Errorf("per-step time = %v", job.Result.Sim.PerStep)
+	}
+
+	// The same spec again is a cache hit serving the identical result.
+	resp2, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted2 map[string]string
+	json.NewDecoder(resp2.Body).Decode(&accepted2)
+	resp2.Body.Close()
+	var job2 apiJob
+	for {
+		getJSON(t, ts.URL+"/jobs/"+accepted2["id"], &job2)
+		if job2.State == runner.StateDone || job2.State == runner.StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cached rerun did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job2.State != runner.StateDone || job2.Result.Sim.PerStep != job.Result.Sim.PerStep {
+		t.Fatalf("cached rerun differs: %+v", job2.Result)
+	}
+
+	var metrics map[string]any
+	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", code)
+	}
+	if metrics["hitRate"].(float64) <= 0 {
+		t.Errorf("hit rate = %v, want > 0 after identical resubmission", metrics["hitRate"])
+	}
+}
+
+func TestRunRejectsBadSpecs(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, body := range []string{
+		`{"cgs":1,"variant":"acc.async","steps":1}`,                        // no problem or cells
+		`{"problem":"nope","cgs":1,"variant":"acc.async","steps":1}`,       // unknown problem
+		`{"problem":"16x16x512","cgs":1,"variant":"warp9","steps":1}`,      // unknown variant
+		`{"problem":"16x16x512","cgs":0,"variant":"acc.async","steps":1}`,  // bad CGs
+		`{"problem":"16x16x512","cgs":1,"variant":"acc.async","bogus":true}`, // unknown field
+	} {
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestArtifactEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/artifacts/table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /artifacts/table4 status = %d", resp.StatusCode)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "acc_simd.async") {
+		t.Errorf("table4 output missing variants: %q", out)
+	}
+
+	resp2, err := http.Get(ts.URL + "/artifacts/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown artifact status = %d, want 404", resp2.StatusCode)
+	}
+}

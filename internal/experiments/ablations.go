@@ -1,33 +1,54 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"sunuintah/internal/grid"
+	"sunuintah/internal/runner"
 )
+
+// submitAll hands every spec to the sweep's pool up front (so the cells
+// execute concurrently) and returns the job handles for in-order
+// collection.
+func submitAll(s *Sweep, specs []runner.Spec) []*runner.Job {
+	jobs := make([]*runner.Job, len(specs))
+	for i, spec := range specs {
+		jobs[i] = s.Pool().Submit(spec)
+	}
+	return jobs
+}
 
 // AblationAsyncDMA measures the paper's future-work asynchronous
 // double-buffered DMA (Section IX) on the medium problem: tile transfers
 // overlap tile compute within each CPE.
-func AblationAsyncDMA(steps int) (string, error) {
+func AblationAsyncDMA(s *Sweep, steps int) (string, error) {
 	prob, _ := ProblemByName("32x64x512")
 	v, _ := VariantByName("acc_simd.async")
+	cgCounts := []int{1, 8, 64}
+	var specs []runner.Spec
+	for _, cgs := range cgCounts {
+		specs = append(specs,
+			SpecFor(prob, cgs, v, Options{Steps: steps}, 0),
+			SpecFor(prob, cgs, v, Options{Steps: steps, AsyncDMA: true}, 0))
+	}
+	jobs := submitAll(s, specs)
 	var b strings.Builder
 	fmt.Fprintf(&b, "ABLATION: asynchronous memory<->LDM DMA (double buffering), %s, acc_simd.async\n", prob.Name)
 	fmt.Fprintf(&b, "  %-6s %14s %14s %9s\n", "CGs", "sync DMA (s)", "async DMA (s)", "speedup")
-	for _, cgs := range []int{1, 8, 64} {
-		base, err := RunCase(prob, cgs, v, Options{Steps: steps})
+	for i, cgs := range cgCounts {
+		base, err := jobs[2*i].Wait(context.Background())
 		if err != nil {
 			return "", err
 		}
-		dma, err := RunCase(prob, cgs, v, Options{Steps: steps, AsyncDMA: true})
+		dma, err := jobs[2*i+1].Wait(context.Background())
 		if err != nil {
 			return "", err
 		}
 		fmt.Fprintf(&b, "  %-6d %14.4f %14.4f %8.2fx\n",
-			cgs, float64(base.PerStep), float64(dma.PerStep),
-			float64(base.PerStep)/float64(dma.PerStep))
+			cgs, base.PerStepSeconds(), dma.PerStepSeconds(),
+			base.PerStepSeconds()/dma.PerStepSeconds())
 	}
 	return b.String(), nil
 }
@@ -35,24 +56,32 @@ func AblationAsyncDMA(steps int) (string, error) {
 // AblationTilePacking measures the future-work packed tile transfers
 // (Section IX: "it is also possible to pack the tiles to improve data
 // transfer performance").
-func AblationTilePacking(steps int) (string, error) {
+func AblationTilePacking(s *Sweep, steps int) (string, error) {
 	prob, _ := ProblemByName("32x64x512")
 	v, _ := VariantByName("acc_simd.async")
+	cgCounts := []int{1, 8, 64}
+	var specs []runner.Spec
+	for _, cgs := range cgCounts {
+		specs = append(specs,
+			SpecFor(prob, cgs, v, Options{Steps: steps}, 0),
+			SpecFor(prob, cgs, v, Options{Steps: steps, TilePacking: true}, 0))
+	}
+	jobs := submitAll(s, specs)
 	var b strings.Builder
 	fmt.Fprintf(&b, "ABLATION: packed tile transfers, %s, acc_simd.async\n", prob.Name)
 	fmt.Fprintf(&b, "  %-6s %15s %15s %9s\n", "CGs", "strided (s)", "packed (s)", "speedup")
-	for _, cgs := range []int{1, 8, 64} {
-		base, err := RunCase(prob, cgs, v, Options{Steps: steps})
+	for i, cgs := range cgCounts {
+		base, err := jobs[2*i].Wait(context.Background())
 		if err != nil {
 			return "", err
 		}
-		packed, err := RunCase(prob, cgs, v, Options{Steps: steps, TilePacking: true})
+		packed, err := jobs[2*i+1].Wait(context.Background())
 		if err != nil {
 			return "", err
 		}
 		fmt.Fprintf(&b, "  %-6d %15.4f %15.4f %8.2fx\n",
-			cgs, float64(base.PerStep), float64(packed.PerStep),
-			float64(base.PerStep)/float64(packed.PerStep))
+			cgs, base.PerStepSeconds(), packed.PerStepSeconds(),
+			base.PerStepSeconds()/packed.PerStepSeconds())
 	}
 	return b.String(), nil
 }
@@ -60,19 +89,25 @@ func AblationTilePacking(steps int) (string, error) {
 // AblationCPEGroups measures the future-work CPE grouping: splitting the
 // 64 CPEs into groups that each compute a different patch, enabling task
 // and data parallelism on one CG.
-func AblationCPEGroups(steps int) (string, error) {
+func AblationCPEGroups(s *Sweep, steps int) (string, error) {
 	prob, _ := ProblemByName("32x32x512")
 	v, _ := VariantByName("acc_simd.async")
+	groupCounts := []int{1, 2, 4}
+	var specs []runner.Spec
+	for _, groups := range groupCounts {
+		specs = append(specs, SpecFor(prob, 8, v, Options{Steps: steps, CPEGroups: groups}, 0))
+	}
+	jobs := submitAll(s, specs)
 	var b strings.Builder
 	fmt.Fprintf(&b, "ABLATION: CPE grouping (patches in flight per CG), %s, acc_simd.async, 8 CGs\n", prob.Name)
 	fmt.Fprintf(&b, "  %-8s %14s %9s\n", "groups", "per step (s)", "vs 1")
 	var base float64
-	for _, groups := range []int{1, 2, 4} {
-		res, err := RunCase(prob, 8, v, Options{Steps: steps, CPEGroups: groups})
+	for i, groups := range groupCounts {
+		res, err := jobs[i].Wait(context.Background())
 		if err != nil {
 			return "", err
 		}
-		t := float64(res.PerStep)
+		t := res.PerStepSeconds()
 		if groups == 1 {
 			base = t
 		}
@@ -83,7 +118,7 @@ func AblationCPEGroups(steps int) (string, error) {
 
 // AblationTileSize sweeps the LDM tile shape (Section VI-A: the paper
 // chooses 16x16x8 as close to optimal within the 64 KB LDM).
-func AblationTileSize(steps int) (string, error) {
+func AblationTileSize(s *Sweep, steps int) (string, error) {
 	prob, _ := ProblemByName("32x64x512")
 	v, _ := VariantByName("acc.async")
 	shapes := []grid.IVec{
@@ -93,12 +128,17 @@ func AblationTileSize(steps int) (string, error) {
 		grid.IV(32, 16, 8),
 		grid.IV(32, 32, 8), // exceeds the 64 KB LDM
 	}
+	var specs []runner.Spec
+	for _, ts := range shapes {
+		specs = append(specs, SpecFor(prob, 8, v, Options{Steps: steps, TileSize: ts}, 0))
+	}
+	jobs := submitAll(s, specs)
 	var b strings.Builder
 	fmt.Fprintf(&b, "ABLATION: tile size (64 KiB LDM), %s, acc.async, 8 CGs\n", prob.Name)
 	fmt.Fprintf(&b, "  %-10s %14s %14s %s\n", "tile", "working set", "per step (s)", "note")
-	for _, ts := range shapes {
+	for i, ts := range shapes {
 		ws := grid.WorkingSetBytes(grid.Tile{Box: grid.BoxFromSize(grid.IV(0, 0, 0), ts)}, 1)
-		res, err := RunCase(prob, 8, v, Options{Steps: steps, TileSize: ts})
+		res, err := jobs[i].Wait(context.Background())
 		if err != nil {
 			fmt.Fprintf(&b, "  %-10s %11.1f KiB %14s rejected: %v\n", ts.String(), float64(ws)/1024, "-", err)
 			continue
@@ -107,7 +147,7 @@ func AblationTileSize(steps int) (string, error) {
 		if ts == grid.IV(16, 16, 8) {
 			note = "<- paper's choice"
 		}
-		fmt.Fprintf(&b, "  %-10s %11.1f KiB %14.4f %s\n", ts.String(), float64(ws)/1024, float64(res.PerStep), note)
+		fmt.Fprintf(&b, "  %-10s %11.1f KiB %14.4f %s\n", ts.String(), float64(ws)/1024, res.PerStepSeconds(), note)
 	}
 	return b.String(), nil
 }

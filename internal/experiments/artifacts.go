@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sunuintah/internal/perf"
+)
+
+// Artifact names, in the paper's presentation order.
+var artifactOrder = []string{
+	"table1", "table2", "table3", "table4", "fig5", "table5", "table6",
+	"table7", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"ablation-dma", "ablation-packing", "ablation-groups", "ablation-tiles",
+	"summary",
+}
+
+// artifactFuncs renders each artifact from a sweep. steps parameterises
+// the ablations, which run outside the sweep's fixed options.
+var artifactFuncs = map[string]func(s *Sweep, steps int) (string, error){
+	"table1": func(s *Sweep, _ int) (string, error) {
+		rows, err := TableI(s)
+		if err != nil {
+			return "", err
+		}
+		return FormatTableI(rows), nil
+	},
+	"table2": func(*Sweep, int) (string, error) {
+		return FormatTableII(perf.DefaultParams()), nil
+	},
+	"table3": func(s *Sweep, _ int) (string, error) {
+		rows, err := TableIII(s)
+		if err != nil {
+			return "", err
+		}
+		return FormatTableIII(rows), nil
+	},
+	"table4": func(*Sweep, int) (string, error) {
+		return FormatTableIV(), nil
+	},
+	"table5": func(s *Sweep, _ int) (string, error) {
+		rows, err := TableV(s)
+		if err != nil {
+			return "", err
+		}
+		return FormatTableV(rows), nil
+	},
+	"table6": func(s *Sweep, _ int) (string, error) { return improvementArtifact(s, false) },
+	"table7": func(s *Sweep, _ int) (string, error) { return improvementArtifact(s, true) },
+	"fig5": func(s *Sweep, _ int) (string, error) {
+		series, err := Figure5(s)
+		if err != nil {
+			return "", err
+		}
+		return FormatFigure5(series), nil
+	},
+	"fig6": func(s *Sweep, _ int) (string, error) { return boostArtifact(s, 6, 0) },
+	"fig7": func(s *Sweep, _ int) (string, error) { return boostArtifact(s, 7, 3) },
+	"fig8": func(s *Sweep, _ int) (string, error) { return boostArtifact(s, 8, 6) },
+	"fig9": func(s *Sweep, _ int) (string, error) {
+		series, err := Figure9And10(s)
+		if err != nil {
+			return "", err
+		}
+		return FormatFigure9(series), nil
+	},
+	"fig10": func(s *Sweep, _ int) (string, error) {
+		series, err := Figure9And10(s)
+		if err != nil {
+			return "", err
+		}
+		return FormatFigure10(series), nil
+	},
+	"ablation-dma":     AblationAsyncDMA,
+	"ablation-packing": AblationTilePacking,
+	"ablation-groups":  AblationCPEGroups,
+	"ablation-tiles":   AblationTileSize,
+	"summary":          func(s *Sweep, _ int) (string, error) { return ShapeSummary(s) },
+}
+
+func improvementArtifact(s *Sweep, vectorised bool) (string, error) {
+	t, err := AsyncImprovement(s, vectorised)
+	if err != nil {
+		return "", err
+	}
+	return t.Format() + fmt.Sprintf("average improvement: %.1f%%  best: %.1f%%\n", t.Average(), t.Best()), nil
+}
+
+func boostArtifact(s *Sweep, figNum, probIdx int) (string, error) {
+	fig, err := Boosts(s, Problems[probIdx])
+	if err != nil {
+		return "", err
+	}
+	return fig.Format(figNum), nil
+}
+
+// ArtifactNames lists every artifact in presentation order.
+func ArtifactNames() []string {
+	return append([]string(nil), artifactOrder...)
+}
+
+// IsArtifact reports whether name is a known artifact.
+func IsArtifact(name string) bool {
+	_, ok := artifactFuncs[name]
+	return ok
+}
+
+// RunArtifact renders one named artifact from the sweep.
+func RunArtifact(s *Sweep, name string, steps int) (string, error) {
+	fn, ok := artifactFuncs[name]
+	if !ok {
+		known := ArtifactNames()
+		sort.Strings(known)
+		return "", fmt.Errorf("experiments: unknown artifact %q (known: %v)", name, known)
+	}
+	return fn(s, steps)
+}
+
+// PrefetchEvaluation submits every cell of the full evaluation (the exact
+// union the tables, figures and export need) without waiting, so a
+// multi-artifact run saturates the pool from the start.
+func (s *Sweep) PrefetchEvaluation() {
+	accNames := []string{"acc.sync", "acc.async", "acc_simd.sync", "acc_simd.async"}
+	for _, prob := range Problems {
+		for _, name := range accNames {
+			v, _ := VariantByName(name)
+			s.PrefetchSeries(prob, v)
+		}
+		// Table III verifies the starred minima by attempting the
+		// allocation one CG below each.
+		if prob.MinCGs > 1 {
+			v, _ := VariantByName("acc.async")
+			s.Prefetch(prob, prob.MinCGs/2, v)
+		}
+	}
+	// Figures 6-8 compare against the MPE-only baseline on the small,
+	// medium and large problems.
+	host, _ := VariantByName("host.sync")
+	for _, idx := range []int{0, 3, 6} {
+		s.PrefetchSeries(Problems[idx], host)
+	}
+}

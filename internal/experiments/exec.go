@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sunuintah/internal/burgers"
+	"sunuintah/internal/core"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/perf"
+	"sunuintah/internal/runner"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/sw26010"
+	"sunuintah/internal/taskgraph"
+)
+
+// SpecFor builds the runner.Spec of one experimental cell under the given
+// sweep options and noise seed. The Spec is self-contained: Exec needs
+// nothing else to reproduce the run.
+func SpecFor(prob ProblemSpec, cgs int, v Variant, opt Options, seed uint64) runner.Spec {
+	steps := opt.Steps
+	if steps <= 0 {
+		steps = Steps
+	}
+	spec := runner.Spec{
+		Problem:     prob.Name,
+		CGs:         cgs,
+		Variant:     v.Name,
+		Steps:       steps,
+		AsyncDMA:    opt.AsyncDMA,
+		TilePacking: opt.TilePacking,
+		CPEGroups:   opt.CPEGroups,
+	}
+	if opt.TileSize != (grid.IVec{}) {
+		spec.TileSize = opt.TileSize.String()
+	}
+	if opt.Noise > 0 {
+		spec.Noise = opt.Noise
+		spec.Seed = seed
+	}
+	return spec
+}
+
+// ParseIVec parses an "XxYxZ" size string.
+func ParseIVec(s string) (grid.IVec, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return grid.IVec{}, fmt.Errorf("experiments: want AxBxC, got %q", s)
+	}
+	var v [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return grid.IVec{}, fmt.Errorf("experiments: bad component %q in %q", p, s)
+		}
+		v[i] = n
+	}
+	return grid.IV(v[0], v[1], v[2]), nil
+}
+
+// ValidateSpec checks a spec's names and shape without building the
+// simulation, so services can reject bad requests up front.
+func ValidateSpec(spec runner.Spec) error {
+	if _, err := VariantByName(spec.Variant); err != nil {
+		return err
+	}
+	switch {
+	case spec.Problem != "":
+		if _, err := ProblemByName(spec.Problem); err != nil {
+			return err
+		}
+	case spec.Cells != "":
+		if _, err := ParseIVec(spec.Cells); err != nil {
+			return err
+		}
+	default:
+		return errors.New("experiments: spec needs a problem name or custom cells")
+	}
+	if spec.Layout != "" {
+		if _, err := ParseIVec(spec.Layout); err != nil {
+			return err
+		}
+	}
+	if spec.TileSize != "" {
+		if _, err := ParseIVec(spec.TileSize); err != nil {
+			return err
+		}
+	}
+	if spec.CGs <= 0 {
+		return fmt.Errorf("experiments: spec needs a positive CG count, got %d", spec.CGs)
+	}
+	if spec.Steps <= 0 {
+		return fmt.Errorf("experiments: spec needs positive steps, got %d", spec.Steps)
+	}
+	return nil
+}
+
+// buildSpecCase resolves a Spec into a ready-to-run simulation.
+func buildSpecCase(spec runner.Spec) (*core.Simulation, error) {
+	v, err := VariantByName(spec.Variant)
+	if err != nil {
+		return nil, err
+	}
+	var cells, layout grid.IVec
+	switch {
+	case spec.Problem != "":
+		prob, err := ProblemByName(spec.Problem)
+		if err != nil {
+			return nil, err
+		}
+		layout = PatchCounts
+		if spec.Layout != "" {
+			if layout, err = ParseIVec(spec.Layout); err != nil {
+				return nil, err
+			}
+		}
+		cells = prob.PatchSize.Mul(layout)
+	case spec.Cells != "":
+		if cells, err = ParseIVec(spec.Cells); err != nil {
+			return nil, err
+		}
+		layout = grid.IV(1, 1, 1)
+		if spec.Layout != "" {
+			if layout, err = ParseIVec(spec.Layout); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, errors.New("experiments: spec needs a problem name or custom cells")
+	}
+	if spec.CGs <= 0 {
+		return nil, fmt.Errorf("experiments: spec needs a positive CG count, got %d", spec.CGs)
+	}
+	steps := spec.Steps
+	if steps <= 0 {
+		return nil, fmt.Errorf("experiments: spec needs positive steps, got %d", spec.Steps)
+	}
+
+	u := burgers.NewULabel()
+	dx := 1.0 / float64(cells.X)
+	dy := 1.0 / float64(cells.Y)
+	dz := 1.0 / float64(cells.Z)
+	problem := core.Problem{
+		Tasks:   []*taskgraph.Task{burgers.NewAdvanceTask(u, burgers.FastExpLib, v.SIMD)},
+		Initial: map[*taskgraph.Label]func(x, y, z float64) float64{u: burgers.Initial},
+		Dt:      burgers.StableDt(dx, dy, dz),
+	}
+	cfg := core.Config{
+		Cells:       cells,
+		PatchCounts: layout,
+		NumCGs:      spec.CGs,
+		Scheduler: scheduler.Config{
+			Mode:        v.Mode,
+			SIMD:        v.SIMD,
+			Functional:  spec.Functional,
+			AsyncDMA:    spec.AsyncDMA,
+			TilePacking: spec.TilePacking,
+			CPEGroups:   spec.CPEGroups,
+		},
+	}
+	if spec.TileSize != "" {
+		ts, err := ParseIVec(spec.TileSize)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Scheduler.TileSize = ts
+	}
+	if spec.Noise > 0 {
+		params := perf.DefaultParams()
+		params.NoiseFraction = spec.Noise
+		params.NoiseSeed = spec.Seed
+		cfg.Params = &params
+	}
+	return core.NewSimulation(cfg, problem)
+}
+
+// Exec is the runner.ExecFunc for experimental cells: it resolves the
+// spec, builds the simulation and runs it. Out-of-memory failures (the
+// paper's Table III crashes) become infeasible results so the cache
+// remembers them; every other failure is an error.
+func Exec(ctx context.Context, spec runner.Spec) (*runner.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	run := func() (*core.Result, error) {
+		s, err := buildSpecCase(spec)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(spec.Steps)
+	}
+	res, err := run()
+	if err != nil {
+		var oom *sw26010.ErrOutOfMemory
+		if errors.As(err, &oom) {
+			return &runner.Result{Feasible: false}, nil
+		}
+		return nil, fmt.Errorf("spec %s: %w", spec, err)
+	}
+	return &runner.Result{Feasible: true, Sim: res}, nil
+}
+
+// NewPool builds a runner pool wired to Exec. workers <= 0 means
+// GOMAXPROCS; cache and onEvent may be nil.
+func NewPool(workers int, cache runner.Cache, onEvent func(runner.Event)) *Pool {
+	p, err := runner.New(runner.Config{
+		Workers: workers,
+		Exec:    Exec,
+		Cache:   cache,
+		Retries: 2,
+		OnEvent: onEvent,
+	})
+	if err != nil {
+		panic(err) // unreachable: Exec is always non-nil
+	}
+	return p
+}
+
+// Pool is re-exported so sweep construction sites read naturally.
+type Pool = runner.Pool

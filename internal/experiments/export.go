@@ -61,6 +61,7 @@ func exportImprovement(t *ImprovementTable) *exportImprove {
 // BuildExport runs (or reuses) every artifact in the sweep and assembles
 // the machine-readable bundle.
 func BuildExport(s *Sweep, steps int) (*Export, error) {
+	s.PrefetchEvaluation()
 	e := &Export{Steps: steps}
 	var err error
 	if e.TableI, err = TableI(s); err != nil {

@@ -24,6 +24,12 @@ type Figure5Series struct {
 // accelerated variants over every problem.
 func Figure5(s *Sweep) ([]Figure5Series, error) {
 	names := []string{"acc.sync", "acc.async", "acc_simd.sync", "acc_simd.async"}
+	for _, prob := range Problems {
+		for _, name := range names {
+			v, _ := VariantByName(name)
+			s.PrefetchSeries(prob, v)
+		}
+	}
 	var out []Figure5Series
 	for _, prob := range Problems {
 		for _, name := range names {
@@ -101,6 +107,9 @@ func Boosts(s *Sweep, prob ProblemSpec) (*BoostFigure, error) {
 	acc, _ := VariantByName("acc.async")
 	simd, _ := VariantByName("acc_simd.async")
 	fig := &BoostFigure{Problem: prob.Name}
+	for _, v := range []Variant{host, acc, simd} {
+		s.PrefetchSeries(prob, v)
+	}
 	for _, cgs := range CGCounts {
 		if cgs < prob.MinCGs {
 			continue
@@ -159,6 +168,9 @@ type FlopsSeries struct {
 // efficiency (Figure 10) of the best variant.
 func Figure9And10(s *Sweep) ([]FlopsSeries, error) {
 	v, _ := VariantByName("acc_simd.async")
+	for _, prob := range Problems {
+		s.PrefetchSeries(prob, v)
+	}
 	var out []FlopsSeries
 	for _, prob := range Problems {
 		series, err := s.ScalingSeries(prob, v)

@@ -122,6 +122,10 @@ type Options struct {
 	Noise   float64
 	Repeats int
 
+	// Jobs is the worker count of a Sweep's own runner pool (0 means
+	// GOMAXPROCS). Ignored by the serial RunCase path.
+	Jobs int
+
 	// seed is the per-repeat noise seed set by RunCase.
 	seed uint64
 }

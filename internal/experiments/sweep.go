@@ -1,11 +1,12 @@
 package experiments
 
 import (
-	"errors"
+	"context"
 	"fmt"
+	"sync"
 
 	"sunuintah/internal/core"
-	"sunuintah/internal/sw26010"
+	"sunuintah/internal/runner"
 )
 
 // CaseKey identifies one experimental cell.
@@ -23,44 +24,160 @@ type CaseResult struct {
 	Result   *core.Result
 }
 
-// Sweep lazily runs and memoises experimental cells. It is not safe for
+// Sweep runs and memoises experimental cells on top of a runner pool:
+// independent cells execute concurrently across the pool's workers, and
+// the pool's content-addressed cache makes repeated artifacts (and, with
+// a disk cache, repeated invocations) near-free. Sweep is safe for
 // concurrent use.
 type Sweep struct {
-	opt   Options
-	cache map[CaseKey]*CaseResult
-	// Progress, when non-nil, is called before each fresh run.
+	opt     Options
+	pool    *Pool
+	ownPool bool
+
+	mu   sync.Mutex
+	memo map[CaseKey]*CaseResult
+	jobs map[CaseKey][]*runner.Job // pending submissions, one job per repeat
+	// Progress, when non-nil, is called before each fresh (non-memoised)
+	// run. For richer progress (done/total, hit rate) attach an event
+	// handler to the pool instead.
 	Progress func(key CaseKey)
 }
 
-// NewSweep creates an empty sweep with the given extra options.
+// NewSweep creates a sweep with its own pool: opt.Jobs workers (default
+// GOMAXPROCS) and an in-memory result cache. Use NewSweepWithPool to
+// share a pool (and its cache) across sweeps or with a server.
 func NewSweep(opt Options) *Sweep {
-	return &Sweep{opt: opt, cache: map[CaseKey]*CaseResult{}}
+	s := NewSweepWithPool(opt, NewPool(opt.Jobs, runner.NewMemoryCache(0), nil))
+	s.ownPool = true
+	return s
 }
 
-// Run returns the memoised result of one cell, running it on first use.
-// Out-of-memory failures are recorded as infeasible rather than errors,
-// mirroring the paper's starred Table III rows.
+// NewSweepWithPool creates a sweep executing on an existing pool.
+func NewSweepWithPool(opt Options, pool *Pool) *Sweep {
+	return &Sweep{
+		opt:  opt,
+		pool: pool,
+		memo: map[CaseKey]*CaseResult{},
+		jobs: map[CaseKey][]*runner.Job{},
+	}
+}
+
+// Pool returns the sweep's underlying runner pool.
+func (s *Sweep) Pool() *Pool { return s.pool }
+
+// Close shuts down the sweep's pool if the sweep owns it.
+func (s *Sweep) Close() {
+	if s.ownPool {
+		s.pool.Close()
+	}
+}
+
+// specs expands one cell into its job specs: the paper's best-of-k
+// protocol turns a noisy case into k jobs with distinct seeds, reduced by
+// min at collection time.
+func (s *Sweep) specs(prob ProblemSpec, cgs int, v Variant) []runner.Spec {
+	repeats := s.opt.Repeats
+	if repeats <= 1 || s.opt.Noise == 0 {
+		repeats = 1
+	}
+	out := make([]runner.Spec, repeats)
+	for rep := 0; rep < repeats; rep++ {
+		out[rep] = SpecFor(prob, cgs, v, s.opt, uint64(rep+1))
+	}
+	return out
+}
+
+// submit returns the cell's jobs, submitting them on first use: each
+// cell is handed to the pool exactly once per sweep, whether it is first
+// touched by Prefetch or by Run.
+func (s *Sweep) submit(key CaseKey, prob ProblemSpec, cgs int, v Variant) []*runner.Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, done := s.memo[key]; done {
+		return nil
+	}
+	if jobs, ok := s.jobs[key]; ok {
+		return jobs
+	}
+	specs := s.specs(prob, cgs, v)
+	jobs := make([]*runner.Job, len(specs))
+	for i, spec := range specs {
+		jobs[i] = s.pool.Submit(spec)
+	}
+	s.jobs[key] = jobs
+	return jobs
+}
+
+// Prefetch submits a cell's jobs without waiting for them, so later Run
+// calls collect already-executing work. Memoised cells are skipped; the
+// pool dedups everything else.
+func (s *Sweep) Prefetch(prob ProblemSpec, cgs int, v Variant) {
+	key := CaseKey{prob.Name, cgs, v.Name}
+	s.submit(key, prob, cgs, v)
+}
+
+// PrefetchSeries submits a whole scaling series (every CG count from the
+// problem's minimum upward) without waiting.
+func (s *Sweep) PrefetchSeries(prob ProblemSpec, v Variant) {
+	for _, cgs := range CGCounts {
+		if cgs < prob.MinCGs {
+			continue
+		}
+		s.Prefetch(prob, cgs, v)
+	}
+}
+
+// Run returns the memoised result of one cell, executing it on the pool
+// on first use. Out-of-memory failures are recorded as infeasible rather
+// than errors, mirroring the paper's starred Table III rows.
 func (s *Sweep) Run(prob ProblemSpec, cgs int, v Variant) (*CaseResult, error) {
 	key := CaseKey{prob.Name, cgs, v.Name}
-	if r, ok := s.cache[key]; ok {
+	s.mu.Lock()
+	if r, ok := s.memo[key]; ok {
+		s.mu.Unlock()
 		return r, nil
 	}
-	if s.Progress != nil {
-		s.Progress(key)
+	_, pending := s.jobs[key]
+	progress := s.Progress
+	s.mu.Unlock()
+	if progress != nil && !pending {
+		progress(key)
 	}
-	res, err := RunCase(prob, cgs, v, s.opt)
-	if err != nil {
-		var oom *sw26010.ErrOutOfMemory
-		if errors.As(err, &oom) {
-			r := &CaseResult{Key: key, Feasible: false}
-			s.cache[key] = r
-			return r, nil
+
+	jobs := s.submit(key, prob, cgs, v)
+	if jobs == nil { // memoised by a concurrent Run between the checks
+		s.mu.Lock()
+		r := s.memo[key]
+		s.mu.Unlock()
+		return r, nil
+	}
+	results := make([]*runner.Result, len(jobs))
+	for i, j := range jobs {
+		res, err := j.Wait(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("case %v: %w", key, err)
 		}
-		return nil, fmt.Errorf("case %v: %w", key, err)
+		results[i] = res
 	}
-	r := &CaseResult{Key: key, Feasible: true, Result: res}
-	s.cache[key] = r
+	best := runner.MinResult(results)
+
+	r := &CaseResult{Key: key, Feasible: best.Feasible, Result: best.Sim}
+	s.mu.Lock()
+	if prev, ok := s.memo[key]; ok {
+		r = prev // a concurrent Run won the memoisation race
+	} else {
+		s.memo[key] = r
+		delete(s.jobs, key)
+	}
+	s.mu.Unlock()
 	return r, nil
+}
+
+// RunSpec executes an arbitrary spec on the sweep's pool, bypassing the
+// cell memo (the pool's content-addressed cache still applies). Ablations
+// use it for cells outside the CaseKey space.
+func (s *Sweep) RunSpec(spec runner.Spec) (*runner.Result, error) {
+	return s.pool.Run(context.Background(), spec)
 }
 
 // PerStepSeconds returns the wall time per timestep of a feasible cell.
@@ -71,10 +188,12 @@ func (r *CaseResult) PerStepSeconds() float64 {
 	return float64(r.Result.PerStep)
 }
 
-// ScalingSeries runs a problem with one variant across every CG count from
-// the problem's minimum to 128 and returns the feasible results keyed by
-// CG count.
+// ScalingSeries runs a problem with one variant across every CG count
+// from the problem's minimum to 128 and returns the feasible results
+// keyed by CG count. The whole series is prefetched before collection, so
+// its points execute concurrently.
 func (s *Sweep) ScalingSeries(prob ProblemSpec, v Variant) (map[int]*CaseResult, error) {
+	s.PrefetchSeries(prob, v)
 	out := map[int]*CaseResult{}
 	for _, cgs := range CGCounts {
 		if cgs < prob.MinCGs {

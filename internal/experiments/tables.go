@@ -24,6 +24,9 @@ type TableIRow struct {
 // variant at each problem's minimum CG count.
 func TableI(s *Sweep) ([]TableIRow, error) {
 	v, _ := VariantByName("acc.async")
+	for _, prob := range Problems {
+		s.Prefetch(prob, prob.MinCGs, v)
+	}
 	var rows []TableIRow
 	for _, prob := range Problems {
 		r, err := s.Run(prob, prob.MinCGs, v)
@@ -93,6 +96,12 @@ type TableIIIRow struct {
 // minimum by actually attempting the allocation one CG below it.
 func TableIII(s *Sweep) ([]TableIIIRow, error) {
 	v, _ := VariantByName("acc.async")
+	for _, prob := range Problems {
+		if prob.MinCGs > 1 {
+			s.Prefetch(prob, prob.MinCGs/2, v)
+		}
+		s.Prefetch(prob, prob.MinCGs, v)
+	}
 	var rows []TableIIIRow
 	for _, prob := range Problems {
 		row := TableIIIRow{
@@ -187,6 +196,12 @@ type TableVRow struct {
 // accelerated variant.
 func TableV(s *Sweep) ([]TableVRow, error) {
 	names := []string{"acc.sync", "acc.async", "acc_simd.sync", "acc_simd.async"}
+	for _, prob := range Problems {
+		for _, name := range names {
+			v, _ := VariantByName(name)
+			s.PrefetchSeries(prob, v)
+		}
+	}
 	var rows []TableVRow
 	for _, prob := range Problems {
 		row := TableVRow{Problem: prob.Name}
@@ -251,6 +266,10 @@ func AsyncImprovement(s *Sweep, vectorised bool) (*ImprovementTable, error) {
 	}
 	vs, _ := VariantByName(syncName)
 	va, _ := VariantByName(asyncName)
+	for _, prob := range Problems {
+		s.PrefetchSeries(prob, vs)
+		s.PrefetchSeries(prob, va)
+	}
 	t := &ImprovementTable{Vectorised: vectorised, CGs: CGCounts}
 	for _, prob := range Problems {
 		t.Problems = append(t.Problems, prob.Name)

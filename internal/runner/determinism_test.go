@@ -1,0 +1,170 @@
+package runner_test
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"sunuintah/internal/experiments"
+	"sunuintah/internal/runner"
+)
+
+// exportBytes is the canonical byte form the cache and the JSON export
+// rely on.
+func exportBytes(t *testing.T, r *runner.Result) []byte {
+	t.Helper()
+	r.ExecSeconds = 0 // host wall-clock is the one legitimately varying field
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDeterminismGuard asserts the invariant the content-addressed cache
+// depends on: two runs of the same Spec (same seed, noise=0) produce
+// byte-identical exported results, even when executed concurrently by
+// different workers in different submission orders. Run it under -race.
+func TestDeterminismGuard(t *testing.T) {
+	specs := []runner.Spec{
+		{Problem: "16x16x512", CGs: 1, Variant: "acc.async", Steps: 1},
+		{Problem: "16x16x512", CGs: 2, Variant: "acc_simd.async", Steps: 1},
+		{Problem: "16x32x512", CGs: 4, Variant: "acc.sync", Steps: 1},
+		{Problem: "16x16x512", CGs: 1, Variant: "host.sync", Steps: 1},
+		{Cells: "32x32x64", Layout: "2x2x1", CGs: 2, Variant: "acc.async", Steps: 2, Functional: true},
+		// Noisy runs must also be deterministic given the seed.
+		{Problem: "16x16x512", CGs: 1, Variant: "acc.async", Steps: 1, Noise: 0.3, Seed: 1},
+	}
+
+	// Two pools, no cache: every submission truly executes. The second
+	// pool receives the specs in reverse order so worker/job pairings
+	// differ between rounds.
+	run := func(order []runner.Spec) map[string][]byte {
+		pool, err := runner.New(runner.Config{Workers: 4, Exec: experiments.Exec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		out := make(map[string][]byte, len(order))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, spec := range order {
+			spec := spec
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := pool.Run(context.Background(), spec)
+				if err != nil {
+					t.Errorf("%s: %v", spec, err)
+					return
+				}
+				mu.Lock()
+				out[spec.Hash()] = exportBytes(t, res)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		return out
+	}
+
+	first := run(specs)
+	reversed := make([]runner.Spec, len(specs))
+	for i, s := range specs {
+		reversed[len(specs)-1-i] = s
+	}
+	second := run(reversed)
+
+	if len(first) != len(specs) || len(second) != len(specs) {
+		t.Fatalf("results missing: %d and %d of %d", len(first), len(second), len(specs))
+	}
+	for i, spec := range specs {
+		a, b := first[spec.Hash()], second[spec.Hash()]
+		if string(a) != string(b) {
+			t.Errorf("spec %d (%s): runs differ\nfirst:  %.200s\nsecond: %.200s", i, spec, a, b)
+		}
+	}
+}
+
+// TestDiskCacheServesIdenticalResults runs a spec, reopens the cache in a
+// fresh pool (as a second sunbench invocation would), and checks the
+// cached result is byte-identical to a genuine re-execution.
+func TestDiskCacheServesIdenticalResults(t *testing.T) {
+	dir := t.TempDir()
+	spec := runner.Spec{Problem: "16x16x512", CGs: 2, Variant: "acc.async", Steps: 1}
+
+	cache1, err := runner.NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool1, err := runner.New(runner.Config{Workers: 2, Exec: experiments.Exec, Cache: cache1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := pool1.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool1.Close()
+
+	cache2, err := runner.NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2, err := runner.New(runner.Config{Workers: 2, Exec: experiments.Exec, Cache: cache2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	cached, err := pool2.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := pool2.Metrics(); m.CacheHits != 1 || m.Executed != 0 {
+		t.Errorf("second pool should hit the warm disk cache: %+v", m)
+	}
+	if string(exportBytes(t, fresh)) != string(exportBytes(t, cached)) {
+		t.Error("warm-cache result differs from the original execution")
+	}
+
+	// And a genuine re-execution (no cache) must match both.
+	pool3, err := runner.New(runner.Config{Workers: 1, Exec: experiments.Exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool3.Close()
+	rerun, err := pool3.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(exportBytes(t, rerun)) != string(exportBytes(t, cached)) {
+		t.Error("cached result differs from a fresh execution")
+	}
+}
+
+// TestInfeasibleResultsCache checks the paper's Table III memory crashes
+// are first-class cached outcomes, not errors.
+func TestInfeasibleResultsCache(t *testing.T) {
+	cache := runner.NewMemoryCache(0)
+	pool, err := runner.New(runner.Config{Workers: 1, Exec: experiments.Exec, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// 64x64x512 (4 GB) crashes on one CG (Table III starred row).
+	spec := runner.Spec{Problem: "64x64x512", CGs: 1, Variant: "acc.async", Steps: 1}
+	res, err := pool.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("4 GB problem on one CG should be infeasible")
+	}
+	if _, err := pool.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if m := pool.Metrics(); m.CacheHits != 1 {
+		t.Errorf("infeasible outcome should cache: %+v", m)
+	}
+}

@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// metrics is the pool's internal atomic counter block.
+type metrics struct {
+	submitted int64 // jobs accepted by Submit (after dedup coalescing)
+	coalesced int64 // Submit calls joined to an already-pending job
+	running   int64 // jobs currently executing
+	done      int64 // jobs finished successfully (executed or cache hit)
+	failed    int64 // jobs finished with an error
+	executed  int64 // jobs that actually ran (cache misses)
+	cacheHits int64
+	retries   int64
+	panics    int64
+	execNanos  int64 // host nanoseconds spent executing jobs
+	savedNanos int64 // host nanoseconds avoided by cache hits
+}
+
+// Metrics is a point-in-time snapshot of the pool's counters: the
+// progress/metrics surface for sunbench -v and sunserver /metrics.
+type Metrics struct {
+	Submitted int64 `json:"submitted"`
+	Coalesced int64 `json:"coalesced"`
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Executed  int64 `json:"executed"`
+	CacheHits int64 `json:"cacheHits"`
+	Retries   int64 `json:"retries"`
+	Panics    int64 `json:"panics"`
+	// ExecSeconds is host wall-clock spent actually running jobs;
+	// SavedSeconds is the recorded execution time of every cache hit —
+	// the wall time the cache avoided.
+	ExecSeconds  float64 `json:"execSeconds"`
+	SavedSeconds float64 `json:"savedSeconds"`
+}
+
+func (m *metrics) snapshot() Metrics {
+	s := Metrics{
+		Submitted: atomic.LoadInt64(&m.submitted),
+		Coalesced: atomic.LoadInt64(&m.coalesced),
+		Running:   atomic.LoadInt64(&m.running),
+		Done:      atomic.LoadInt64(&m.done),
+		Failed:    atomic.LoadInt64(&m.failed),
+		Executed:  atomic.LoadInt64(&m.executed),
+		CacheHits: atomic.LoadInt64(&m.cacheHits),
+		Retries:   atomic.LoadInt64(&m.retries),
+		Panics:    atomic.LoadInt64(&m.panics),
+	}
+	s.ExecSeconds = float64(atomic.LoadInt64(&m.execNanos)) / 1e9
+	s.SavedSeconds = float64(atomic.LoadInt64(&m.savedNanos)) / 1e9
+	s.Queued = s.Submitted - s.Done - s.Failed - s.Running
+	if s.Queued < 0 {
+		s.Queued = 0
+	}
+	return s
+}
+
+// HitRate is the fraction of finished jobs served from the cache.
+func (s Metrics) HitRate() float64 {
+	finished := s.Done + s.Failed
+	if finished == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(finished)
+}
+
+// String renders a one-line summary.
+func (s Metrics) String() string {
+	return fmt.Sprintf("jobs %d done / %d failed (%d executed, %d cache hits, %.0f%% hit rate, %d retries), exec %.2fs, saved %.2fs",
+		s.Done, s.Failed, s.Executed, s.CacheHits, s.HitRate()*100, s.Retries, s.ExecSeconds, s.SavedSeconds)
+}

@@ -1,0 +1,373 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExecFunc executes one Spec. Infeasible cases must be reported as a
+// Result with Feasible == false (they cache); errors are never cached.
+// The pool enforces the per-job timeout around the call, so ExecFunc need
+// not watch ctx, though it may to abort early.
+type ExecFunc func(ctx context.Context, spec Spec) (*Result, error)
+
+// EventType classifies pool progress events.
+type EventType int
+
+// Pool event kinds, in rough lifecycle order.
+const (
+	EventQueued EventType = iota
+	EventStarted
+	EventCacheHit
+	EventRetried
+	EventDone
+	EventFailed
+)
+
+// Event is one progress notification. Done/Total/HitRate snapshot the
+// pool at emission time, ready for "[done/total, hit-rate]" progress
+// lines.
+type Event struct {
+	Type    EventType
+	Spec    Spec
+	Done    int64 // jobs finished (success or failure)
+	Total   int64 // jobs submitted so far
+	HitRate float64
+	Err     error // EventRetried / EventFailed
+}
+
+// Config configures a Pool.
+type Config struct {
+	// Workers is the number of concurrent executors; 0 means
+	// runtime.GOMAXPROCS(0). Each simulated case is self-contained, so
+	// runs are embarrassingly parallel.
+	Workers int
+	// Exec runs one spec. Required.
+	Exec ExecFunc
+	// Cache, when non-nil, memoises results by content hash.
+	Cache Cache
+	// Timeout bounds each execution attempt; 0 disables. A timed-out
+	// attempt fails the job but never the process.
+	Timeout time.Duration
+	// Retries is the number of extra attempts for retryable failures:
+	// panics (always) and errors of jobs using the noise model. 0 means
+	// fail on the first error.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt.
+	Backoff time.Duration
+	// OnEvent, when non-nil, receives progress events. It may be called
+	// concurrently from worker goroutines and must be safe for that.
+	OnEvent func(Event)
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("runner: pool closed")
+
+// PanicError converts a crashed run into an ordinary, retryable job
+// error: the panic fails only its job, not the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job panicked: %v", e.Value)
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Job is one submitted Spec. Submitting the same Spec (by content hash)
+// while a job for it is pending returns the existing job, so concurrent
+// callers coalesce onto a single execution.
+type Job struct {
+	Spec Spec
+	Hash string
+
+	state  atomic.Value // JobState
+	done   chan struct{}
+	result *Result
+	err    error
+}
+
+// State reports the job's current lifecycle state.
+func (j *Job) State() JobState { return j.state.Load().(JobState) }
+
+// Done returns a channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is cancelled.
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-j.done:
+		return j.result, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result returns the outcome of a finished job without blocking; it is
+// only valid after Done is closed.
+func (j *Job) Result() (*Result, error) { return j.result, j.err }
+
+// Pool executes jobs concurrently with caching, dedup, panic recovery,
+// timeouts and bounded retry.
+type Pool struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Job
+	inflight map[string]*Job // pending jobs by spec hash
+	closed   bool
+	wg       sync.WaitGroup
+
+	m metrics
+}
+
+// New creates and starts a pool.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Exec == nil {
+		return nil, errors.New("runner: Config.Exec is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{cfg: cfg, inflight: map[string]*Job{}}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p, nil
+}
+
+// Workers reports the pool's concurrency.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// Metrics snapshots the pool's counters.
+func (p *Pool) Metrics() Metrics { return p.m.snapshot() }
+
+// Submit enqueues a spec and returns its job without blocking. A spec
+// already pending (same content hash) returns the pending job. After
+// Close, the returned job is already failed with ErrClosed.
+func (p *Pool) Submit(spec Spec) *Job {
+	hash := spec.Hash()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		j := newJob(spec, hash)
+		j.fail(ErrClosed)
+		return j
+	}
+	if j, ok := p.inflight[hash]; ok {
+		atomic.AddInt64(&p.m.coalesced, 1)
+		p.mu.Unlock()
+		return j
+	}
+	j := newJob(spec, hash)
+	p.inflight[hash] = j
+	p.queue = append(p.queue, j)
+	atomic.AddInt64(&p.m.submitted, 1)
+	p.cond.Signal()
+	p.mu.Unlock()
+	p.emit(EventQueued, spec, nil)
+	return j
+}
+
+// Run submits a spec and waits for its result.
+func (p *Pool) Run(ctx context.Context, spec Spec) (*Result, error) {
+	return p.Submit(spec).Wait(ctx)
+}
+
+// Close drains the queue, waits for running jobs and stops the workers.
+// Subsequent Submit calls fail with ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func newJob(spec Spec, hash string) *Job {
+	j := &Job{Spec: spec, Hash: hash, done: make(chan struct{})}
+	j.state.Store(StateQueued)
+	return j
+}
+
+func (j *Job) fail(err error) {
+	j.err = err
+	j.state.Store(StateFailed)
+	close(j.done)
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		j := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		p.execute(j)
+	}
+}
+
+// execute runs one job to completion: cache lookup, bounded attempts with
+// panic recovery and timeout, then result publication.
+func (p *Pool) execute(j *Job) {
+	if p.cfg.Cache != nil {
+		if r, ok := p.cfg.Cache.Get(j.Hash); ok {
+			atomic.AddInt64(&p.m.cacheHits, 1)
+			atomic.AddInt64(&p.m.savedNanos, int64(r.ExecSeconds*1e9))
+			p.finish(j, r, nil)
+			p.emit(EventCacheHit, j.Spec, nil)
+			p.emit(EventDone, j.Spec, nil)
+			return
+		}
+	}
+
+	j.state.Store(StateRunning)
+	atomic.AddInt64(&p.m.running, 1)
+	p.emit(EventStarted, j.Spec, nil)
+
+	var res *Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = p.attempt(j.Spec)
+		if err == nil || !p.retryable(j.Spec, err) || attempt >= p.cfg.Retries {
+			break
+		}
+		atomic.AddInt64(&p.m.retries, 1)
+		p.emit(EventRetried, j.Spec, err)
+		if p.cfg.Backoff > 0 {
+			time.Sleep(p.cfg.Backoff << uint(attempt))
+		}
+	}
+	atomic.AddInt64(&p.m.running, -1)
+	atomic.AddInt64(&p.m.executed, 1)
+
+	if err != nil {
+		p.finish(j, nil, err)
+		p.emit(EventFailed, j.Spec, err)
+		return
+	}
+	if p.cfg.Cache != nil {
+		p.cfg.Cache.Put(j.Hash, res)
+	}
+	p.finish(j, res, nil)
+	p.emit(EventDone, j.Spec, nil)
+}
+
+// attempt runs the exec function once with panic recovery and the
+// per-attempt timeout. The exec call runs in its own goroutine so a hung
+// run cannot wedge the worker past the deadline (the abandoned goroutine
+// finishes in the background and is discarded).
+func (p *Pool) attempt(spec Spec) (*Result, error) {
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if p.cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.Timeout)
+	}
+	defer cancel()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				atomic.AddInt64(&p.m.panics, 1)
+				ch <- outcome{nil, &PanicError{Value: v, Stack: debug.Stack()}}
+			}
+		}()
+		res, err := p.cfg.Exec(ctx, spec)
+		ch <- outcome{res, err}
+	}()
+
+	select {
+	case out := <-ch:
+		atomic.AddInt64(&p.m.execNanos, int64(time.Since(start)))
+		if out.err == nil && out.res != nil {
+			out.res.ExecSeconds = time.Since(start).Seconds()
+		}
+		return out.res, out.err
+	case <-ctx.Done():
+		atomic.AddInt64(&p.m.execNanos, int64(time.Since(start)))
+		return nil, fmt.Errorf("runner: job %s: %w", spec, ctx.Err())
+	}
+}
+
+// retryable reports whether a failed attempt should be retried: panics
+// always are (the crash may be load-dependent), as are failures of jobs
+// using the noise model; timeouts are not, since the timed-out attempt
+// may still be running.
+func (p *Pool) retryable(spec Spec, err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	return spec.Noise > 0
+}
+
+func (p *Pool) finish(j *Job, res *Result, err error) {
+	p.mu.Lock()
+	delete(p.inflight, j.Hash)
+	p.mu.Unlock()
+	if err != nil {
+		atomic.AddInt64(&p.m.failed, 1)
+		j.fail(err)
+		return
+	}
+	atomic.AddInt64(&p.m.done, 1)
+	j.result = res
+	j.state.Store(StateDone)
+	close(j.done)
+}
+
+func (p *Pool) emit(t EventType, spec Spec, err error) {
+	if p.cfg.OnEvent == nil {
+		return
+	}
+	s := p.m.snapshot()
+	p.cfg.OnEvent(Event{
+		Type:    t,
+		Spec:    spec,
+		Done:    s.Done + s.Failed,
+		Total:   s.Submitted,
+		HitRate: s.HitRate(),
+		Err:     err,
+	})
+}
