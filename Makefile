@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet build test race chaos bench clean
 
-check: vet build test race
+check: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -17,12 +17,20 @@ test:
 
 # Race-check the concurrent subsystems: the runner package in full
 # (including the determinism guard, which exercises real simulations on
-# concurrent workers) and the experiments package's fast tests. The
-# full-sweep experiments tests are minutes-long under the race detector,
-# hence -short there.
+# concurrent workers), the fault plane and the core recovery paths, and
+# the experiments package's fast tests. The full-sweep experiments tests
+# are minutes-long under the race detector, hence -short there.
 race:
 	$(GO) test -race -count=1 ./internal/runner/...
+	$(GO) test -race -count=1 ./internal/faults/...
+	$(GO) test -race -count=1 -run 'Resilient|Reoffload|MPEFallback|MessageFaults|ZeroPlan' ./internal/core/
 	$(GO) test -race -short -count=1 ./internal/experiments/...
+
+# The chaos gate: run the short fault-matrix determinism test (byte-equal
+# artifact across worker counts, >= 95% of runs recovered at the default
+# fault rate).
+chaos:
+	$(GO) test -run TestChaos -count=1 ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

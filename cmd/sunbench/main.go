@@ -9,12 +9,16 @@
 //
 // Usage:
 //
-//	sunbench [-steps N] [-noise f -repeats k] [-jobs N] [-cache dir|off]
-//	         [-json file] [-v] <artifact>...
+//	sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N]
+//	         [-cache dir|off] [-json file] [-v] <artifact>...
 //
 // Artifacts: table1 table2 table3 table4 table5 table6 table7
 // fig5 fig6 fig7 fig8 fig9 fig10 ablation-dma ablation-packing
-// ablation-groups ablation-tiles summary all
+// ablation-groups ablation-tiles chaos summary all
+//
+// -faults injects a deterministic fault plan into every run ("default",
+// "default,scale=2", or "seed=1,drop=0.05,crash=0.5,..."; "off" disables).
+// The chaos artifact runs its own fault matrix and ignores -faults.
 package main
 
 import (
@@ -25,12 +29,13 @@ import (
 	"strings"
 
 	"sunuintah/internal/experiments"
+	"sunuintah/internal/faults"
 	"sunuintah/internal/runner"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-jobs N] [-cache dir|off] [-json file] [-v] <artifact>...")
-	fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles summary all")
+	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-cache dir|off] [-json file] [-v] <artifact>...")
+	fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles chaos summary all")
 }
 
 // reorderArgs moves flag tokens ahead of positionals so invocations like
@@ -58,6 +63,7 @@ func main() {
 	steps := flag.Int("steps", experiments.Steps, "timesteps per run")
 	noise := flag.Float64("noise", 0, "machine-instability jitter fraction (0 disables)")
 	repeats := flag.Int("repeats", 1, "with -noise: repeat each case and keep the best, like the paper")
+	faultsFlag := flag.String("faults", "off", `fault plan: "off", "default", "default,scale=F" or "seed=N,drop=f,crash=f,..."`)
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs")
 	cacheFlag := flag.String("cache", "off", `result cache: "off", or a directory for an on-disk store (e.g. .suncache)`)
 	jsonPath := flag.String("json", "", "also write the full evaluation as structured JSON to this file")
@@ -119,10 +125,16 @@ func main() {
 		}
 	}
 
+	plan, err := faults.Parse(*faultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sunbench:", err)
+		os.Exit(2)
+	}
+
 	pool := experiments.NewPool(*jobs, cache, onEvent)
 	defer pool.Close()
 	sweep := experiments.NewSweepWithPool(
-		experiments.Options{Steps: *steps, Noise: *noise, Repeats: *repeats}, pool)
+		experiments.Options{Steps: *steps, Noise: *noise, Repeats: *repeats, Faults: plan}, pool)
 
 	// A full (or near-full) evaluation saturates the pool from the start;
 	// single artifacts prefetch their own cells.

@@ -12,22 +12,33 @@
 //	GET  /metrics          pool metrics: queued/running/done/failed, hit rate
 //	GET  /artifacts/{name} render a paper table/figure (text)
 //
+// Requests run behind a per-request handler timeout; SIGINT/SIGTERM drains
+// in-flight jobs for -grace before cancelling them. A -faults plan is
+// applied to every spec that does not carry its own, so the whole service
+// can run under deterministic chaos.
+//
 // Example:
 //
 //	sunserver -addr :8177 &
 //	curl -s localhost:8177/run -d '{"cells":"32x32x64","layout":"2x2x1","cgs":2,"variant":"acc.async","steps":2,"functional":true}'
 //	curl -s localhost:8177/jobs/j1
+//	curl -s localhost:8177/run -d '{"cells":"64x64x128","layout":"2x2x2","cgs":2,"variant":"acc.async","steps":4,"faults":{"seed":1,"crash":1,"checkpointEvery":2}}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"sunuintah/internal/experiments"
+	"sunuintah/internal/faults"
 	"sunuintah/internal/runner"
 )
 
@@ -37,7 +48,16 @@ func main() {
 	cacheFlag := flag.String("cache", runner.DefaultCacheDir, `result cache: "off" (memory only) or an on-disk store directory`)
 	steps := flag.Int("steps", experiments.Steps, "default timesteps for requests that omit steps")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 disables)")
+	reqTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-HTTP-request handler timeout")
+	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on SIGINT/SIGTERM")
+	faultsFlag := flag.String("faults", "off", `default fault plan for specs that omit one: "off", "default", "default,scale=F" or "key=value,..."`)
 	flag.Parse()
+
+	plan, err := faults.Parse(*faultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sunserver:", err)
+		os.Exit(2)
+	}
 
 	var cache runner.Cache = runner.NewMemoryCache(0)
 	if *cacheFlag != "off" && *cacheFlag != "" {
@@ -61,13 +81,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sunserver:", err)
 		os.Exit(1)
 	}
-	defer pool.Close()
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: *steps}, pool)
 
-	srv := newServer(pool, sweep, *steps)
+	srv := newServer(pool, sweep, *steps, plan)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           http.TimeoutHandler(srv.handler(), *reqTimeout, "request timed out\n"),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGINT/SIGTERM starts a graceful drain: stop accepting connections,
+	// finish in-flight requests, then give running jobs the grace window
+	// before the pool's base context is cancelled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if plan != nil {
+		fmt.Printf("sunserver: default fault plan %s\n", plan.Canonical())
+	}
 	fmt.Printf("sunserver: %d workers, listening on %s\n", *jobs, *addr)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
-		fmt.Fprintln(os.Stderr, "sunserver:", err)
-		os.Exit(1)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "sunserver:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Println("sunserver: shutting down, draining in-flight work...")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "sunserver: http shutdown:", err)
+		}
+		if err := pool.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "sunserver: drain cut short:", err)
+			os.Exit(1)
+		}
+		fmt.Println("sunserver: drained cleanly")
 	}
 }

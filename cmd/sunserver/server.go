@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sunuintah/internal/experiments"
+	"sunuintah/internal/faults"
 	"sunuintah/internal/runner"
 )
 
@@ -37,23 +38,25 @@ type apiJob struct {
 // requests, job status, pool metrics and the paper's artifacts all draw
 // from the same workers and content-addressed cache.
 type server struct {
-	pool  *experiments.Pool
-	sweep *experiments.Sweep
-	steps int // default steps for requests that omit them
-	start time.Time
+	pool   *experiments.Pool
+	sweep  *experiments.Sweep
+	steps  int          // default steps for requests that omit them
+	faults *faults.Plan // default fault plan for requests that omit one (nil: none)
+	start  time.Time
 
 	mu     sync.Mutex
 	jobs   map[string]*apiJob
 	nextID int
 }
 
-func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps int) *server {
+func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps int, plan *faults.Plan) *server {
 	return &server{
-		pool:  pool,
-		sweep: sweep,
-		steps: defaultSteps,
-		start: time.Now(),
-		jobs:  map[string]*apiJob{},
+		pool:   pool,
+		sweep:  sweep,
+		steps:  defaultSteps,
+		faults: plan,
+		start:  time.Now(),
+		jobs:   map[string]*apiJob{},
 	}
 }
 
@@ -103,6 +106,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Steps <= 0 {
 		req.Steps = s.steps
+	}
+	// The server's default fault plan applies to specs that don't bring
+	// their own; an explicit all-zero plan opts a request out of it.
+	if req.Faults == nil && !s.faults.Zero() {
+		req.Faults = s.faults
 	}
 	if err := experiments.ValidateSpec(req.Spec); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

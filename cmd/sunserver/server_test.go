@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sunuintah/internal/experiments"
+	"sunuintah/internal/faults"
 	"sunuintah/internal/runner"
 )
 
@@ -25,7 +26,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *runner.Pool) {
 		t.Fatal(err)
 	}
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: 1}, pool)
-	ts := httptest.NewServer(newServer(pool, sweep, 1).handler())
+	ts := httptest.NewServer(newServer(pool, sweep, 1, nil).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
@@ -129,13 +130,74 @@ func TestRunFunctionalCaseEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDefaultFaultPlanApplied runs a chaotic case end to end through the
+// HTTP API: the server's -faults plan is attached to specs that omit one,
+// the run goes through checkpoint/restart, and the result reports it.
+func TestDefaultFaultPlanApplied(t *testing.T) {
+	pool, err := runner.New(runner.Config{
+		Workers: 2,
+		Exec:    experiments.Exec,
+		Cache:   runner.NewMemoryCache(0),
+		Timeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: 2}, pool)
+	plan := &faults.Plan{Seed: 1, CrashAtStep: 3, CheckpointEvery: 2}
+	ts := httptest.NewServer(newServer(pool, sweep, 2, plan).handler())
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+	})
+
+	body := `{"cells":"64x64x128","layout":"2x2x2","cgs":2,"variant":"acc.async","steps":4}`
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted map[string]string
+	json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /run status = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var job apiJob
+	for {
+		getJSON(t, ts.URL+"/jobs/"+accepted["id"], &job)
+		if job.State == runner.StateDone || job.State == runner.StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after 30s", job.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if job.State != runner.StateDone {
+		t.Fatalf("chaotic job failed: %s", job.Error)
+	}
+	if job.Spec.Faults == nil || job.Spec.Faults.CrashAtStep != 3 {
+		t.Fatalf("default fault plan not applied to spec: %+v", job.Spec.Faults)
+	}
+	sim := job.Result.Sim
+	if sim == nil || sim.Steps != 4 {
+		t.Fatalf("chaotic run did not complete: %+v", sim)
+	}
+	rec := sim.Faults.Recovery
+	if rec == nil || rec.Crashes != 1 || !rec.Recovered {
+		t.Fatalf("expected one recovered crash, got %+v", rec)
+	}
+}
+
 func TestRunRejectsBadSpecs(t *testing.T) {
 	ts, _ := newTestServer(t)
 	for _, body := range []string{
-		`{"cgs":1,"variant":"acc.async","steps":1}`,                        // no problem or cells
-		`{"problem":"nope","cgs":1,"variant":"acc.async","steps":1}`,       // unknown problem
-		`{"problem":"16x16x512","cgs":1,"variant":"warp9","steps":1}`,      // unknown variant
-		`{"problem":"16x16x512","cgs":0,"variant":"acc.async","steps":1}`,  // bad CGs
+		`{"cgs":1,"variant":"acc.async","steps":1}`,                          // no problem or cells
+		`{"problem":"nope","cgs":1,"variant":"acc.async","steps":1}`,         // unknown problem
+		`{"problem":"16x16x512","cgs":1,"variant":"warp9","steps":1}`,        // unknown variant
+		`{"problem":"16x16x512","cgs":0,"variant":"acc.async","steps":1}`,    // bad CGs
 		`{"problem":"16x16x512","cgs":1,"variant":"acc.async","bogus":true}`, // unknown field
 	} {
 		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))

@@ -270,7 +270,57 @@ func (c *CPE) chargeDMA(bytes int64) {
 // returns the cluster's completion time offset from "now" (launch overhead
 // plus the slowest CPE), which callers in synchronous mode may simply wait
 // for. The group is marked busy until the last increment fires.
+//
+// Under fault injection a stalled gang never completes; Spawn then returns
+// sim.Infinity. Callers that need to recover from stalls should use Launch
+// and the returned Offload handle instead.
 func (g *Group) Spawn(spec KernelSpec, activeCPEs int, functional bool, flag *sim.Counter, body func(c *CPE)) sim.Time {
+	return g.Launch(spec, activeCPEs, functional, flag, body).Done
+}
+
+// Offload is the handle of one in-flight Spawn/Launch: its (virtual)
+// completion offset, the healthy-cost estimate the scheduler derives
+// deadlines from, and the machinery to abort a failed gang so the cluster
+// can be reused.
+type Offload struct {
+	group *Group
+
+	// Done is the cluster completion offset from launch time (launch
+	// overhead plus the slowest CPE), or sim.Infinity when Stalled.
+	Done sim.Time
+	// Estimate is what Done would have been on healthy hardware — the
+	// basis for the scheduler's offload deadline.
+	Estimate sim.Time
+	// Stalled reports an injected gang hang: the completion flag never
+	// reaches the CPE count and the group stays busy until Abort.
+	Stalled bool
+
+	flagEvents []*sim.EventHandle
+	busyEvent  *sim.EventHandle
+	aborted    bool
+}
+
+// Abort cancels the offload's pending completion-flag increments and busy-
+// clear event and frees the cluster for a new launch. Increments that have
+// already fired remain (callers reset the flag before reusing it).
+// Idempotent.
+func (o *Offload) Abort() {
+	if o.aborted {
+		return
+	}
+	o.aborted = true
+	for _, h := range o.flagEvents {
+		h.Cancel()
+	}
+	o.busyEvent.Cancel()
+	o.group.busy = false
+}
+
+// Launch is Spawn returning the full offload handle. When the core group
+// has a fault injector attached, each launch draws a fate: a straggling
+// gang runs its compute a constant factor slower, and a stalled gang hangs
+// — its last CPE never reports completion — until the caller aborts it.
+func (g *Group) Launch(spec KernelSpec, activeCPEs int, functional bool, flag *sim.Counter, body func(c *CPE)) *Offload {
 	if g.busy {
 		panic("athread: overlapping offloads on one CPE cluster")
 	}
@@ -280,8 +330,18 @@ func (g *Group) Spawn(spec KernelSpec, activeCPEs int, functional bool, flag *si
 		activeCPEs = g.cpes
 	}
 	g.cg.Counters.Offloads++
+
+	stall := false
+	factor := sim.Time(1)
+	if g.cg.Faults != nil {
+		s, f := g.cg.Faults.OffloadFate()
+		stall = s
+		factor = sim.Time(f)
+	}
+
 	launch := sim.Time(p.OffloadCost)
-	var last sim.Time
+	off := &Offload{group: g, Stalled: stall}
+	var last, lastHealthy sim.Time
 	for id := 0; id < g.cpes; id++ {
 		cpe := &CPE{ID: id, group: g, spec: spec, active: activeCPEs, functional: functional, firstTile: true}
 		body(cpe)
@@ -290,13 +350,29 @@ func (g *Group) Spawn(spec KernelSpec, activeCPEs int, functional bool, flag *si
 		}
 		// Fold any unclosed overlapped-tile accumulators serially.
 		cpe.elapsed += cpe.tileDMA + cpe.tileCompute
-		finish := launch + cpe.elapsed + sim.Time(p.FaawCost)
+		healthy := launch + cpe.elapsed + sim.Time(p.FaawCost)
+		if healthy > lastHealthy {
+			lastHealthy = healthy
+		}
+		finish := launch + cpe.elapsed*factor + sim.Time(p.FaawCost)
 		if finish > last {
 			last = finish
 		}
+		if stall && id == g.cpes-1 {
+			// The hung CPE never faaw-updates the flag: the offload can
+			// only be cleared by Abort.
+			continue
+		}
 		g.cg.Counters.FaawOps++
-		g.cg.Engine().Schedule(finish, func() { flag.Add(1) })
+		off.flagEvents = append(off.flagEvents,
+			g.cg.Engine().Schedule(finish, func() { flag.Add(1) }))
 	}
-	g.cg.Engine().Schedule(last, func() { g.busy = false })
-	return last
+	off.Estimate = lastHealthy
+	if stall {
+		off.Done = sim.Infinity
+		return off
+	}
+	off.Done = last
+	off.busyEvent = g.cg.Engine().Schedule(last, func() { g.busy = false })
+	return off
 }

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"sunuintah/internal/faults"
 	"sunuintah/internal/field"
 	"sunuintah/internal/grid"
 	"sunuintah/internal/loadbalancer"
@@ -23,6 +24,7 @@ import (
 	"sunuintah/internal/sim"
 	"sunuintah/internal/sw26010"
 	"sunuintah/internal/taskgraph"
+	"sunuintah/internal/trace"
 )
 
 // Config selects the machine and scheduler configuration of a run.
@@ -39,6 +41,10 @@ type Config struct {
 	Params *perf.Params
 	// Balancer distributes patches over ranks (default Block).
 	Balancer loadbalancer.Strategy
+	// Faults, when non-nil and non-zero, injects deterministic faults into
+	// the substrate (see package faults). Crash events only fire under
+	// RunResilient, which also recovers from them.
+	Faults *faults.Plan
 }
 
 // Problem is a user-defined simulation: its task list plus initial
@@ -69,6 +75,15 @@ type Simulation struct {
 	// advanced further.
 	stepsDone int
 	timeDone  float64
+
+	// Fault plane: the injector shared by the whole simulation, the armed
+	// crash point (crashStep is 1-based; 0 means disarmed), and the crash
+	// that tore the run down, if any.
+	inj       *faults.Injector
+	crashRank int
+	crashStep int
+	crashFrac float64
+	crashed   *CrashError
 }
 
 // Result summarises a completed run.
@@ -96,6 +111,9 @@ type Result struct {
 	// PeakMemoryBytes is the largest per-CG field-memory high-water mark
 	// observed so far (cumulative across segments).
 	PeakMemoryBytes int64
+	// Faults reports injected faults and recoveries; nil (and absent from
+	// JSON) on fault-free runs.
+	Faults *FaultReport `json:"Faults,omitempty"`
 }
 
 // NewSimulation validates and assembles a run.
@@ -133,6 +151,15 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 		Cfg: cfg, Prob: prob, Level: level,
 		Machine: machine, Comm: comm,
 		eng: eng, assign: assign,
+	}
+	// Attach the fault plane before the schedulers are built (they capture
+	// their core group's injector at construction).
+	s.inj = faults.NewInjector(cfg.Faults)
+	if s.inj != nil {
+		for i := 0; i < cfg.NumCGs; i++ {
+			machine.CG(i).Faults = s.inj
+		}
+		comm.SetFaults(s.inj, cfg.Scheduler.Trace)
 	}
 	for r := 0; r < cfg.NumCGs; r++ {
 		g, err := taskgraph.Compile(level, prob.Tasks, assign, r)
@@ -236,11 +263,39 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 		stepEnds[r] = make([]sim.Time, nSteps)
 		s.eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Process) {
 			t := s.timeDone
+			// crashEv is an armed whole-CG crash of this rank: it fires a
+			// plan-drawn fraction of a step duration into the crash step
+			// and interrupts the entire engine (the failure takes the job
+			// down, as on the machine). prevDur estimates the step length.
+			var crashEv *sim.EventHandle
+			var prevDur sim.Time
 			for i := 0; i < nSteps; i++ {
 				if s.eng.Stopped() {
 					return
 				}
 				step := firstStep + i
+				if s.crashStep > 0 && r == s.crashRank && step == s.crashStep-1 {
+					s.crashStep = 0 // arm at most once
+					crashStep := step
+					delay := sim.Time(s.crashFrac) * prevDur
+					crashEv = s.eng.Schedule(delay, func() {
+						if s.crashed != nil {
+							return
+						}
+						s.crashed = &CrashError{
+							Rank: r, Step: crashStep + 1,
+							At:      s.eng.Now(),
+							Elapsed: s.eng.Now() - segmentStart,
+						}
+						if s.Cfg.Scheduler.Trace != nil {
+							s.Cfg.Scheduler.Trace.Add(trace.Event{Rank: r, Step: crashStep,
+								Kind: trace.KindFault, Name: "cg-crash",
+								Start: s.eng.Now(), End: s.eng.Now()})
+						}
+						s.eng.Interrupt(s.crashed.Error())
+					})
+				}
+				stepStart := p.Now()
 				if err := rk.ExecuteStep(p, step, t, s.Prob.Dt); err != nil {
 					if firstErr == nil {
 						firstErr = fmt.Errorf("rank %d step %d: %w", r, step, err)
@@ -248,12 +303,19 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 					s.eng.Stop()
 					return
 				}
+				prevDur = p.Now() - stepStart
 				stepEnds[r][i] = p.Now()
 				t += s.Prob.Dt
 			}
+			// The rank outran its armed crash: a CG that finished its work
+			// cannot crash mid-step any more.
+			crashEv.Cancel()
 		})
 	}
 	s.eng.Run()
+	if s.crashed != nil {
+		return nil, s.crashed
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -285,6 +347,7 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 		}
 	}
 	res.BytesOnWire -= bytesBefore
+	res.Faults = s.faultReport()
 	return res, nil
 }
 

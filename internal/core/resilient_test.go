@@ -1,0 +1,255 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sunuintah/internal/faults"
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/scheduler"
+)
+
+// A forced mid-run CG crash must recover through checkpoint/restart and
+// land on exactly the same fields as an uninterrupted run.
+func TestResilientCrashRestartMatchesHealthyRun(t *testing.T) {
+	cells, patches := grid.IV(16, 16, 16), grid.IV(2, 2, 1)
+	const nSteps = 6
+	prob, u := burgersProblem(cells, patches, false)
+	cfg := functionalCfg(cells, patches, 2, scheduler.ModeAsync, false)
+	ref, _ := runAndGather(t, cfg, prob, u, nSteps)
+
+	cfg.Faults = &faults.Plan{Seed: 1, CrashAtStep: 4, CrashRank: 1, CheckpointEvery: 2}
+	res, s, err := runResilient(cfg, prob, nSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Faults.Recovery
+	if rec == nil || rec.Crashes != 1 || rec.Restarts != 1 || !rec.Recovered {
+		t.Fatalf("expected one crash + one restart, got %+v", rec)
+	}
+	if rec.Checkpoints == 0 || rec.LostWork <= 0 {
+		t.Fatalf("recovery bookkeeping wrong: %+v", rec)
+	}
+	if res.Steps != nSteps {
+		t.Fatalf("resilient run completed %d of %d steps", res.Steps, nSteps)
+	}
+	got, err := s.GatherField(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := field.MaxAbsDiff(got, ref, s.Level.Layout.Domain); d != 0 {
+		t.Fatalf("recovered run differs from healthy run by %g", d)
+	}
+}
+
+// A timing-only resilient run recovers via the fast-forward path.
+func TestResilientCrashTimingOnly(t *testing.T) {
+	cells, patches := grid.IV(32, 32, 64), grid.IV(2, 2, 2)
+	const nSteps = 5
+	prob, _ := burgersProblem(cells, patches, false)
+	cfg := Config{Cells: cells, PatchCounts: patches, NumCGs: 2,
+		Scheduler: scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 8)},
+		Faults:    &faults.Plan{Seed: 3, CrashAtStep: 3, CheckpointEvery: 2},
+	}
+	res, err := RunResilient(cfg, prob, nSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Faults.Recovery
+	if rec == nil || rec.Crashes != 1 || !rec.Recovered || res.Steps != nSteps {
+		t.Fatalf("timing-only recovery failed: steps=%d rec=%+v", res.Steps, rec)
+	}
+	if len(res.StepEnds) != nSteps {
+		t.Fatalf("want %d step ends, got %d", nSteps, len(res.StepEnds))
+	}
+	for i := 1; i < len(res.StepEnds); i++ {
+		if res.StepEnds[i] <= res.StepEnds[i-1] {
+			t.Fatalf("step ends not increasing: %v", res.StepEnds)
+		}
+	}
+	if res.WallTime <= res.StepEnds[len(res.StepEnds)-1]-res.StepEnds[0] {
+		// Wall time includes lost work, checkpoint and restart overhead.
+		t.Fatalf("wall time %v does not include recovery overhead", res.WallTime)
+	}
+}
+
+// An injected offload stall must be aborted at its deadline and re-offloaded
+// successfully, with numerics identical to a healthy run.
+func TestReoffloadAfterInjectedStall(t *testing.T) {
+	cells, patches := grid.IV(16, 16, 16), grid.IV(2, 2, 1)
+	const nSteps = 3
+	prob, u := burgersProblem(cells, patches, false)
+	cfg := functionalCfg(cells, patches, 2, scheduler.ModeAsync, false)
+	ref, _ := runAndGather(t, cfg, prob, u, nSteps)
+
+	// A moderate stall rate: some offloads hang, their retries (fresh
+	// draws) mostly succeed.
+	cfg.Faults = &faults.Plan{Seed: 11, Stall: 0.3}
+	s, err := NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(nSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := res.Faults
+	if fr == nil || fr.Injected.OffloadStalls == 0 {
+		t.Fatalf("seed 11 injected no stalls: %+v", fr)
+	}
+	if fr.OffloadTimeouts == 0 || fr.Reoffloads == 0 {
+		t.Fatalf("stalls not recovered by re-offload: %+v", fr)
+	}
+	got, err := s.GatherField(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := field.MaxAbsDiff(got, ref, s.Level.Layout.Domain); d != 0 {
+		t.Fatalf("re-offloaded run differs from healthy run by %g", d)
+	}
+}
+
+// With every offload stalling, gangs go unhealthy and kernels degrade to
+// MPE execution — and the numerics still match the healthy async run.
+func TestMPEFallbackNumericsMatchHealthyRun(t *testing.T) {
+	cells, patches := grid.IV(16, 16, 16), grid.IV(2, 2, 1)
+	const nSteps = 3
+	prob, u := burgersProblem(cells, patches, false)
+	for _, mode := range []scheduler.Mode{scheduler.ModeAsync, scheduler.ModeSync} {
+		cfg := functionalCfg(cells, patches, 2, mode, false)
+		ref, _ := runAndGather(t, cfg, prob, u, nSteps)
+
+		cfg.Faults = &faults.Plan{Seed: 1, Stall: 1, MaxRetries: 1, UnhealthyAfter: 1}
+		s, err := NewSimulation(cfg, prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(nSteps)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		fr := res.Faults
+		if fr == nil || fr.MPEFallbacks == 0 || fr.UnhealthyGangs == 0 {
+			t.Fatalf("%v: expected MPE fallback under total stall, got %+v", mode, fr)
+		}
+		got, err := s.GatherField(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := field.MaxAbsDiff(got, ref, s.Level.Layout.Domain); d != 0 {
+			t.Fatalf("%v: MPE-fallback run differs from healthy run by %g", mode, d)
+		}
+	}
+}
+
+// Message drops, duplicates and delays must be survived by resend and
+// duplicate suppression without corrupting the numerics.
+func TestMessageFaultsRecovered(t *testing.T) {
+	cells, patches := grid.IV(16, 16, 16), grid.IV(2, 2, 2)
+	const nSteps = 4
+	prob, u := burgersProblem(cells, patches, false)
+	cfg := functionalCfg(cells, patches, 4, scheduler.ModeAsync, false)
+	ref, _ := runAndGather(t, cfg, prob, u, nSteps)
+
+	cfg.Faults = &faults.Plan{Seed: 2, Drop: 0.2, Dup: 0.2, Delay: 0.2, Degrade: 0.2}
+	s, err := NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(nSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := res.Faults
+	if fr == nil || fr.Injected.MsgsDropped == 0 || fr.Injected.MsgsDuplicated == 0 {
+		t.Fatalf("seed 2 injected no message faults: %+v", fr)
+	}
+	if fr.Resends < fr.Injected.MsgsDropped {
+		t.Fatalf("dropped %d messages but resent only %d", fr.Injected.MsgsDropped, fr.Resends)
+	}
+	if fr.DupsDiscarded == 0 {
+		t.Fatalf("duplicates injected but none discarded: %+v", fr)
+	}
+	got, err := s.GatherField(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := field.MaxAbsDiff(got, ref, s.Level.Layout.Domain); d != 0 {
+		t.Fatalf("faulty-network run differs from healthy run by %g", d)
+	}
+}
+
+// Identical seed + plan must give byte-identical results, and a different
+// seed a different fault history.
+func TestResilientDeterminism(t *testing.T) {
+	cells, patches := grid.IV(32, 32, 64), grid.IV(2, 2, 2)
+	const nSteps = 4
+	prob, _ := burgersProblem(cells, patches, false)
+	run := func(seed uint64) string {
+		cfg := Config{Cells: cells, PatchCounts: patches, NumCGs: 2,
+			Scheduler: scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 8)},
+			Faults:    faults.Default().Scaled(1)}
+		cfg.Faults.Seed = seed
+		res, err := RunResilient(cfg, prob, nSteps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b, c := run(7), run(7), run(8)
+	if a != b {
+		t.Fatal("identical seed + plan produced different results")
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical fault histories")
+	}
+}
+
+// A run that exhausts MaxRestarts is reported lost, with partial progress.
+func TestResilientGivesUpAfterMaxRestarts(t *testing.T) {
+	cells, patches := grid.IV(32, 32, 32), grid.IV(2, 2, 1)
+	const nSteps = 4
+	prob, _ := burgersProblem(cells, patches, false)
+	cfg := Config{Cells: cells, PatchCounts: patches, NumCGs: 2,
+		Scheduler: scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 8)},
+		// Crash every incarnation (rate 1 redraws a crash point each
+		// restart) and allow no restarts.
+		Faults: &faults.Plan{Seed: 5, Crash: 1, MaxRestarts: 1, CheckpointEvery: 2},
+	}
+	res, err := RunResilient(cfg, prob, nSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Faults.Recovery
+	if rec == nil || rec.Recovered {
+		t.Fatalf("run with certain repeated crashes should be lost: %+v", rec)
+	}
+	if res.Steps >= nSteps {
+		t.Fatalf("lost run reports full completion: %d steps", res.Steps)
+	}
+}
+
+// Fault-free results must not mention the fault plane at all.
+func TestZeroPlanResultHasNoFaultFields(t *testing.T) {
+	cells, patches := grid.IV(32, 32, 32), grid.IV(2, 2, 1)
+	prob, _ := burgersProblem(cells, patches, false)
+	cfg := Config{Cells: cells, PatchCounts: patches, NumCGs: 2,
+		Scheduler: scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 8)}}
+	res, err := RunResilient(cfg, prob, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "Fault") || strings.Contains(string(b), "Recovery") {
+		t.Fatalf("zero-plan result JSON leaks fault fields: %s", b)
+	}
+}

@@ -12,7 +12,7 @@ var artifactOrder = []string{
 	"table1", "table2", "table3", "table4", "fig5", "table5", "table6",
 	"table7", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"ablation-dma", "ablation-packing", "ablation-groups", "ablation-tiles",
-	"summary",
+	"chaos", "summary",
 }
 
 // artifactFuncs renders each artifact from a sweep. steps parameterises
@@ -75,6 +75,7 @@ var artifactFuncs = map[string]func(s *Sweep, steps int) (string, error){
 	"ablation-packing": AblationTilePacking,
 	"ablation-groups":  AblationCPEGroups,
 	"ablation-tiles":   AblationTileSize,
+	"chaos":            Chaos,
 	"summary":          func(s *Sweep, _ int) (string, error) { return ShapeSummary(s) },
 }
 

@@ -41,6 +41,9 @@ func SpecFor(prob ProblemSpec, cgs int, v Variant, opt Options, seed uint64) run
 		spec.Noise = opt.Noise
 		spec.Seed = seed
 	}
+	if !opt.Faults.Zero() {
+		spec.Faults = opt.Faults
+	}
 	return spec
 }
 
@@ -98,45 +101,48 @@ func ValidateSpec(spec runner.Spec) error {
 	return nil
 }
 
-// buildSpecCase resolves a Spec into a ready-to-run simulation.
-func buildSpecCase(spec runner.Spec) (*core.Simulation, error) {
+// specConfig resolves a Spec into the configuration and problem of its
+// simulation.
+func specConfig(spec runner.Spec) (core.Config, core.Problem, error) {
+	fail := func(err error) (core.Config, core.Problem, error) {
+		return core.Config{}, core.Problem{}, err
+	}
 	v, err := VariantByName(spec.Variant)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	var cells, layout grid.IVec
 	switch {
 	case spec.Problem != "":
 		prob, err := ProblemByName(spec.Problem)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		layout = PatchCounts
 		if spec.Layout != "" {
 			if layout, err = ParseIVec(spec.Layout); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		cells = prob.PatchSize.Mul(layout)
 	case spec.Cells != "":
 		if cells, err = ParseIVec(spec.Cells); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		layout = grid.IV(1, 1, 1)
 		if spec.Layout != "" {
 			if layout, err = ParseIVec(spec.Layout); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 	default:
-		return nil, errors.New("experiments: spec needs a problem name or custom cells")
+		return fail(errors.New("experiments: spec needs a problem name or custom cells"))
 	}
 	if spec.CGs <= 0 {
-		return nil, fmt.Errorf("experiments: spec needs a positive CG count, got %d", spec.CGs)
+		return fail(fmt.Errorf("experiments: spec needs a positive CG count, got %d", spec.CGs))
 	}
-	steps := spec.Steps
-	if steps <= 0 {
-		return nil, fmt.Errorf("experiments: spec needs positive steps, got %d", spec.Steps)
+	if spec.Steps <= 0 {
+		return fail(fmt.Errorf("experiments: spec needs positive steps, got %d", spec.Steps))
 	}
 
 	u := burgers.NewULabel()
@@ -164,7 +170,7 @@ func buildSpecCase(spec runner.Spec) (*core.Simulation, error) {
 	if spec.TileSize != "" {
 		ts, err := ParseIVec(spec.TileSize)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		cfg.Scheduler.TileSize = ts
 	}
@@ -173,6 +179,18 @@ func buildSpecCase(spec runner.Spec) (*core.Simulation, error) {
 		params.NoiseFraction = spec.Noise
 		params.NoiseSeed = spec.Seed
 		cfg.Params = &params
+	}
+	if !spec.Faults.Zero() {
+		cfg.Faults = spec.Faults
+	}
+	return cfg, problem, nil
+}
+
+// buildSpecCase resolves a Spec into a ready-to-run simulation.
+func buildSpecCase(spec runner.Spec) (*core.Simulation, error) {
+	cfg, problem, err := specConfig(spec)
+	if err != nil {
+		return nil, err
 	}
 	return core.NewSimulation(cfg, problem)
 }
@@ -186,11 +204,14 @@ func Exec(ctx context.Context, spec runner.Spec) (*runner.Result, error) {
 		return nil, err
 	}
 	run := func() (*core.Result, error) {
-		s, err := buildSpecCase(spec)
+		cfg, problem, err := specConfig(spec)
 		if err != nil {
 			return nil, err
 		}
-		return s.Run(spec.Steps)
+		// Fault-plan specs run resiliently: a CG crash tears the run down
+		// and checkpoint/restart carries it to completion. With no plan
+		// RunResilient is exactly NewSimulation + Run.
+		return core.RunResilient(cfg, problem, spec.Steps)
 	}
 	res, err := run()
 	if err != nil {

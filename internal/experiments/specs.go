@@ -16,6 +16,7 @@ import (
 
 	"sunuintah/internal/burgers"
 	"sunuintah/internal/core"
+	"sunuintah/internal/faults"
 	"sunuintah/internal/grid"
 	"sunuintah/internal/perf"
 	"sunuintah/internal/scheduler"
@@ -126,12 +127,19 @@ type Options struct {
 	// GOMAXPROCS). Ignored by the serial RunCase path.
 	Jobs int
 
+	// Faults injects deterministic chaos into every case: a non-zero plan
+	// routes runs through core.RunResilient (checkpoint/restart under CG
+	// crashes) and participates in the runner's content hash. Nil or
+	// all-zero runs fault-free.
+	Faults *faults.Plan
+
 	// seed is the per-repeat noise seed set by RunCase.
 	seed uint64
 }
 
-// NewCase assembles a timing-only simulation for one experimental cell.
-func NewCase(prob ProblemSpec, cgs int, v Variant, opt Options) (*core.Simulation, error) {
+// caseConfig assembles the configuration and problem of one experimental
+// cell, shared by the serial path (NewCase/RunCase) and resilient runs.
+func caseConfig(prob ProblemSpec, cgs int, v Variant, opt Options) (core.Config, core.Problem) {
 	u := burgers.NewULabel()
 	dx := 1.0 / float64(prob.GridSize.X)
 	dy := 1.0 / float64(prob.GridSize.Y)
@@ -160,6 +168,15 @@ func NewCase(prob ProblemSpec, cgs int, v Variant, opt Options) (*core.Simulatio
 		params.NoiseSeed = opt.seed
 		cfg.Params = &params
 	}
+	if !opt.Faults.Zero() {
+		cfg.Faults = opt.Faults
+	}
+	return cfg, problem
+}
+
+// NewCase assembles a timing-only simulation for one experimental cell.
+func NewCase(prob ProblemSpec, cgs int, v Variant, opt Options) (*core.Simulation, error) {
+	cfg, problem := caseConfig(prob, cgs, v, opt)
 	return core.NewSimulation(cfg, problem)
 }
 
@@ -179,11 +196,8 @@ func RunCase(prob ProblemSpec, cgs int, v Variant, opt Options) (*core.Result, e
 	var best *core.Result
 	for rep := 0; rep < repeats; rep++ {
 		opt.seed = uint64(rep + 1)
-		s, err := NewCase(prob, cgs, v, opt)
-		if err != nil {
-			return nil, err
-		}
-		res, err := s.Run(n)
+		cfg, problem := caseConfig(prob, cgs, v, opt)
+		res, err := core.RunResilient(cfg, problem, n)
 		if err != nil {
 			return nil, err
 		}

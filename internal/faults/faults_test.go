@@ -1,0 +1,214 @@
+package faults
+
+import (
+	"testing"
+)
+
+// Identical seed + plan must reproduce the exact draw sequence.
+func TestStreamsDeterministic(t *testing.T) {
+	plan := Default()
+	a := NewInjector(plan)
+	b := NewInjector(plan)
+	for i := 0; i < 2000; i++ {
+		ad, adup, adel, adeg := a.MsgFate()
+		bd, bdup, bdel, bdeg := b.MsgFate()
+		if ad != bd || adup != bdup || adel != bdel || adeg != bdeg {
+			t.Fatalf("MsgFate diverged at draw %d", i)
+		}
+		as, af := a.OffloadFate()
+		bs, bf := b.OffloadFate()
+		if as != bs || af != bf {
+			t.Fatalf("OffloadFate diverged at draw %d", i)
+		}
+	}
+	if a.Counts != b.Counts {
+		t.Fatalf("counts diverged: %+v vs %+v", a.Counts, b.Counts)
+	}
+	if a.Counts.MsgsDropped == 0 || a.Counts.OffloadStalls == 0 {
+		t.Fatalf("default plan injected nothing over 2000 draws: %+v", a.Counts)
+	}
+}
+
+// Streams are independent: extra draws in one category must not shift
+// another category's sequence.
+func TestStreamsIndependent(t *testing.T) {
+	plan := Default()
+	a := NewInjector(plan)
+	b := NewInjector(plan)
+	for i := 0; i < 100; i++ {
+		a.MsgFate() // perturb only the message stream on a
+	}
+	for i := 0; i < 50; i++ {
+		as, af := a.OffloadFate()
+		bs, bf := b.OffloadFate()
+		if as != bs || af != bf {
+			t.Fatalf("offload stream shifted by message draws at %d", i)
+		}
+	}
+}
+
+// Different seeds must produce different fault histories.
+func TestSeedMatters(t *testing.T) {
+	p1 := Default()
+	p2 := Default()
+	p2.Seed = 2
+	a, b := NewInjector(p1), NewInjector(p2)
+	same := true
+	for i := 0; i < 500; i++ {
+		ad, _, _, _ := a.MsgFate()
+		bd, _, _, _ := b.MsgFate()
+		if ad != bd {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 500-draw drop history")
+	}
+}
+
+func TestZeroAndNilPlans(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Zero() {
+		t.Fatal("nil plan must be Zero")
+	}
+	if NewInjector(nilPlan) != nil {
+		t.Fatal("nil plan must yield nil injector")
+	}
+	if NewInjector(&Plan{Seed: 42}) != nil {
+		t.Fatal("seed-only plan injects nothing and must yield nil injector")
+	}
+	if NewInjector(&Plan{Drop: 0.1}) == nil {
+		t.Fatal("nonzero plan must yield an injector")
+	}
+	if NewInjector(&Plan{CrashAtStep: 3}) == nil {
+		t.Fatal("forced-crash plan must yield an injector")
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	n := (&Plan{Drop: 0.1}).Normalized()
+	if n.DelayFactor != 4 || n.DegradeFactor != 3 || n.StraggleFactor != 3 {
+		t.Fatalf("factor defaults wrong: %+v", n)
+	}
+	if n.MaxRestarts != 4 || n.CheckpointEvery != 2 || n.DeadlineFactor != 4 ||
+		n.MaxRetries != 2 || n.UnhealthyAfter != 3 {
+		t.Fatalf("policy defaults wrong: %+v", n)
+	}
+	if n.CheckpointCost != 2e-3 || n.RestartCost != 20e-3 {
+		t.Fatalf("cost defaults wrong: %+v", n)
+	}
+}
+
+// Canonical must be stable and must not distinguish explicit defaults from
+// implied ones.
+func TestCanonical(t *testing.T) {
+	a := &Plan{Drop: 0.1}
+	b := &Plan{Drop: 0.1, DelayFactor: 4, MaxRetries: 2}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("explicit default changed canonical form:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	c := &Plan{Drop: 0.1, Seed: 9}
+	if a.Canonical() == c.Canonical() {
+		t.Fatal("seed not reflected in canonical form")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Default()
+	h := p.Scaled(0.5)
+	if h.Drop != p.Drop/2 || h.Crash != p.Crash/2 {
+		t.Fatalf("Scaled(0.5) wrong: %+v", h)
+	}
+	if !p.Scaled(0).Zero() {
+		t.Fatal("Scaled(0) must be a zero plan")
+	}
+	if big := p.Scaled(1000); big.Drop != 1 || big.Crash != 1 {
+		t.Fatalf("Scaled must clamp rates to 1: %+v", big)
+	}
+	if p.Scaled(2).MaxRestarts != p.MaxRestarts {
+		t.Fatal("Scaled must not touch recovery policy")
+	}
+}
+
+func TestParse(t *testing.T) {
+	if p, err := Parse(""); err != nil || p != nil {
+		t.Fatalf("empty spec: %v %v", p, err)
+	}
+	if p, err := Parse("off"); err != nil || p != nil {
+		t.Fatalf("off spec: %v %v", p, err)
+	}
+	p, err := Parse("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *p != *Default() {
+		t.Fatalf("default preset mismatch: %+v", p)
+	}
+	p, err = Parse("default,seed=7,scale=0.5,crash-at=3,crash-rank=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.Drop != Default().Drop*0.5 || p.CrashAtStep != 3 || p.CrashRank != 1 {
+		t.Fatalf("composite spec mismatch: %+v", p)
+	}
+	p, err = Parse("drop=0.25,stall=0.1,max-retries=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Drop != 0.25 || p.Stall != 0.1 || p.MaxRetries != 5 {
+		t.Fatalf("key=value spec mismatch: %+v", p)
+	}
+	// A spec that scales everything to zero is a nil plan.
+	if p, err := Parse("default,scale=0"); err != nil || p != nil {
+		t.Fatalf("scaled-to-zero spec should be nil: %v %v", p, err)
+	}
+	for _, bad := range []string{"nope", "drop=x", "scale=-1", "frob=1", "seed=-2"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMsgFateConsumesFixedDraws(t *testing.T) {
+	// Two plans with very different rates but the same seed must keep the
+	// crash stream aligned after arbitrary MsgFate draws (fixed
+	// consumption per call).
+	hi := &Plan{Seed: 5, Drop: 0.9, Dup: 0.9, Delay: 0.9, Degrade: 0.9, Crash: 0.5}
+	lo := &Plan{Seed: 5, Drop: 0.001, Crash: 0.5}
+	a, b := NewInjector(hi), NewInjector(lo)
+	for i := 0; i < 64; i++ {
+		a.MsgFate()
+		b.MsgFate()
+	}
+	ar, as, af, aok := a.CrashPoint(10, 4)
+	br, bs, bf, bok := b.CrashPoint(10, 4)
+	if ar != br || as != bs || af != bf || aok != bok {
+		t.Fatal("crash stream perturbed by message-fate outcomes")
+	}
+}
+
+func TestCrashPoint(t *testing.T) {
+	inj := NewInjector(&Plan{Seed: 3, CrashAtStep: 4, CrashRank: 2})
+	r, s, _, ok := inj.CrashPoint(10, 4)
+	if !ok || r != 2 || s != 4 {
+		t.Fatalf("forced crash point wrong: rank=%d step=%d ok=%v", r, s, ok)
+	}
+	// Forced rank clamps to the communicator size.
+	inj = NewInjector(&Plan{CrashAtStep: 4, CrashRank: 99})
+	if r, _, _, _ := inj.CrashPoint(10, 2); r != 1 {
+		t.Fatalf("crash rank not clamped: %d", r)
+	}
+	// Certain crash: always ok, in range.
+	inj = NewInjector(&Plan{Seed: 8, Crash: 1})
+	for i := 0; i < 100; i++ {
+		r, s, f, ok := inj.CrashPoint(10, 4)
+		if !ok || r < 0 || r >= 4 || s < 1 || s > 10 || f < 0 || f >= 1 {
+			t.Fatalf("crash draw out of range: rank=%d step=%d frac=%g ok=%v", r, s, f, ok)
+		}
+	}
+	// Impossible crash: never ok.
+	inj = NewInjector(&Plan{Seed: 8, Crash: 0, Drop: 0.1})
+	if _, _, _, ok := inj.CrashPoint(10, 4); ok {
+		t.Fatal("crash drawn with zero crash rate")
+	}
+}

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"math"
 
+	"sunuintah/internal/faults"
 	"sunuintah/internal/perf"
 	"sunuintah/internal/sim"
+	"sunuintah/internal/trace"
 )
 
 // Comm is a communicator spanning size ranks (one per core group).
@@ -32,6 +34,23 @@ type Comm struct {
 	eng    *sim.Engine
 	params perf.Params
 	ranks  []*Rank
+
+	// Fault plane. A nil injector leaves every legacy path untouched.
+	inj *faults.Injector
+	rec *trace.Recorder
+	// nextSeq numbers transmissions for duplicate suppression at receivers.
+	nextSeq int64
+}
+
+// SetFaults attaches a fault injector (and an optional trace recorder for
+// fault/recovery markers) to the communicator. With a non-nil injector,
+// sends draw a per-transmission fate — drop, duplicate, delay, degrade —
+// and dropped messages are re-sent by the owning rank's Test/Wait
+// progression, mirroring how real non-blocking MPI only progresses under
+// host attention.
+func (c *Comm) SetFaults(inj *faults.Injector, rec *trace.Recorder) {
+	c.inj = inj
+	c.rec = rec
 }
 
 // NewComm builds a communicator with the given number of ranks.
@@ -75,6 +94,11 @@ type Rank struct {
 	MsgsSent      int64
 	MsgsReceived  int64
 	TestCalls     int64
+
+	// Fault-plane state and stats (used only with an injector attached).
+	seen          map[int64]bool // transmission seqs already delivered
+	Resends       int64          // retransmissions of dropped messages
+	DupsDiscarded int64          // duplicate deliveries suppressed
 }
 
 // RankID returns this endpoint's rank number.
@@ -85,6 +109,9 @@ type message struct {
 	bytes     int64
 	payload   []float64
 	arrivesAt sim.Time
+	// seq identifies the logical transmission for duplicate suppression;
+	// 0 when no injector is attached.
+	seq int64
 }
 
 // Request is the handle of a non-blocking operation.
@@ -98,6 +125,20 @@ type Request struct {
 	matched bool
 	doneAt  sim.Time
 	sig     *sim.Signal
+
+	// Fault-plane state for dropped sends awaiting retransmission.
+	pending    *sendState       // non-nil while the last transmission was lost
+	retryEvent *sim.EventHandle // autonomous backstop resend
+	retryAfter sim.Time         // earliest Test/Wait-driven resend time
+}
+
+// sendState is everything needed to retransmit a dropped send.
+type sendState struct {
+	dst, tag int
+	payload  []float64
+	bytes    int64
+	seq      int64
+	attempt  int
 }
 
 // Payload returns the received data (nil for sends, timing-only transfers,
@@ -124,17 +165,113 @@ func (r *Rank) Isend(p *sim.Process, dst, tag int, payload []float64, bytes int6
 	wire := sim.Time(r.comm.params.MessageTimeBetween(r.rank, dst, bytes))
 	req := &Request{
 		isSend: true, src: dst, tag: tag, bytes: bytes,
-		matched: true, doneAt: now + wire,
 		sig: sim.NewSignal(r.comm.eng, fmt.Sprintf("send %d->%d tag %d", r.rank, dst, tag)),
 	}
-	r.comm.eng.Schedule(wire, req.sig.Fire)
 	r.BytesSent += bytes
 	r.MsgsSent++
 
+	if r.comm.inj != nil {
+		r.comm.nextSeq++
+		r.transmit(req, &sendState{dst: dst, tag: tag, payload: payload,
+			bytes: bytes, seq: r.comm.nextSeq, attempt: 1})
+		return req
+	}
+
+	req.matched = true
+	req.doneAt = now + wire
+	r.comm.eng.Schedule(wire, req.sig.Fire)
 	m := &message{src: r.rank, tag: tag, bytes: bytes, payload: payload, arrivesAt: now + wire}
 	dstRank := r.comm.Rank(dst)
 	r.comm.eng.Schedule(wire, func() { dstRank.deliver(m) })
 	return req
+}
+
+// maxSendAttempts bounds retransmission: the fate draw on the final attempt
+// is forced to deliver, so a send can be delayed arbitrarily but never lost
+// forever (the substrate models transient faults, not partitions).
+const maxSendAttempts = 6
+
+// transmit performs one on-wire attempt of a send under fault injection.
+func (r *Rank) transmit(req *Request, st *sendState) {
+	c := r.comm
+	now := c.eng.Now()
+	wire := sim.Time(c.params.MessageTimeBetween(r.rank, st.dst, st.bytes))
+	drop, dup, delay, degrade := c.inj.MsgFate()
+	if st.attempt >= maxSendAttempts {
+		drop = false
+	}
+	if delay {
+		wire *= sim.Time(c.inj.Plan().DelayFactor)
+		c.traceFault(r.rank, "msg-delay", st)
+	}
+	if degrade {
+		wire *= sim.Time(c.inj.Plan().DegradeFactor)
+		c.traceFault(r.rank, "msg-degrade", st)
+	}
+
+	if drop {
+		// Lost on the wire: the send stays incomplete, and retransmission
+		// is driven by the sender's Test/Wait progression (with an
+		// autonomous backstop so a rank blocked elsewhere still recovers).
+		c.traceFault(r.rank, "msg-drop", st)
+		req.pending = st
+		req.retryAfter = now + 2*wire
+		req.retryEvent = c.eng.Schedule(4*wire, func() { r.resend(req) })
+		return
+	}
+
+	req.matched = true
+	req.doneAt = now + wire
+	c.eng.Schedule(wire, req.sig.Fire)
+	m := &message{src: r.rank, tag: st.tag, bytes: st.bytes, payload: st.payload,
+		arrivesAt: now + wire, seq: st.seq}
+	dstRank := c.Rank(st.dst)
+	c.eng.Schedule(wire, func() { dstRank.deliver(m) })
+	if dup {
+		// A duplicate of the same transmission lands a little later; the
+		// receiver suppresses it by sequence number.
+		c.traceFault(r.rank, "msg-dup", st)
+		d := *m
+		d.arrivesAt = now + wire*3/2
+		c.eng.Schedule(wire*3/2, func() { dstRank.deliver(&d) })
+	}
+}
+
+// resend retransmits a dropped send. Idempotent: once the request has a
+// successful transmission in flight it does nothing, so the Test-driven and
+// backstop paths can race harmlessly.
+func (r *Rank) resend(req *Request) {
+	if req.matched || req.pending == nil {
+		return
+	}
+	st := req.pending
+	req.pending = nil
+	req.retryEvent = nil
+	st.attempt++
+	r.Resends++
+	r.comm.traceRecovery(r.rank, "msg-resend", st)
+	r.transmit(req, st)
+}
+
+// traceFault and traceRecovery emit zero-duration fault-plane markers.
+func (c *Comm) traceFault(rank int, name string, st *sendState) {
+	if c.rec == nil {
+		return
+	}
+	now := c.eng.Now()
+	c.rec.Add(trace.Event{Rank: rank, Step: -1, Kind: trace.KindFault,
+		Name:  fmt.Sprintf("%s dst=%d tag=%d try=%d", name, st.dst, st.tag, st.attempt),
+		Start: now, End: now})
+}
+
+func (c *Comm) traceRecovery(rank int, name string, st *sendState) {
+	if c.rec == nil {
+		return
+	}
+	now := c.eng.Now()
+	c.rec.Add(trace.Event{Rank: rank, Step: -1, Kind: trace.KindRecovery,
+		Name:  fmt.Sprintf("%s dst=%d tag=%d try=%d", name, st.dst, st.tag, st.attempt),
+		Start: now, End: now})
 }
 
 // Irecv posts a non-blocking receive for a message from src with the given
@@ -161,6 +298,17 @@ func (r *Rank) Irecv(p *sim.Process, src, tag int) *Request {
 
 // deliver matches an arriving message against posted receives.
 func (r *Rank) deliver(m *message) {
+	if r.comm.inj != nil {
+		// Suppress duplicate deliveries of the same logical transmission.
+		if r.seen[m.seq] {
+			r.DupsDiscarded++
+			return
+		}
+		if r.seen == nil {
+			r.seen = map[int64]bool{}
+		}
+		r.seen[m.seq] = true
+	}
 	for i, req := range r.recvs {
 		if req.src == m.src && req.tag == m.tag {
 			r.recvs = append(r.recvs[:i], r.recvs[i+1:]...)
@@ -192,6 +340,14 @@ func (r *Rank) complete(req *Request, m *message) {
 func (r *Rank) Test(p *sim.Process, req *Request) bool {
 	p.Sleep(sim.Time(r.comm.params.MPITestCost))
 	r.TestCalls++
+	if r.comm.inj != nil && req.isSend && req.pending != nil &&
+		r.comm.eng.Now() >= req.retryAfter {
+		// Host attention progresses the library: a send whose transmission
+		// was lost is retried here, ahead of the autonomous backstop.
+		if req.retryEvent.Cancel() {
+			r.resend(req)
+		}
+	}
 	return req.matched && req.doneAt <= r.comm.eng.Now()
 }
 
@@ -215,6 +371,14 @@ func (r *Rank) Wait(p *sim.Process, req *Request) {
 	p.Sleep(sim.Time(r.comm.params.MPITestCost))
 	if req.matched && req.doneAt <= r.comm.eng.Now() {
 		return
+	}
+	if r.comm.inj != nil && req.isSend && req.pending != nil {
+		// A blocking wait keeps the library progressing: pull the resend
+		// forward to the earliest retry time instead of the late backstop.
+		if req.retryEvent.Cancel() {
+			delay := req.retryAfter - r.comm.eng.Now()
+			r.comm.eng.Schedule(delay, func() { r.resend(req) })
+		}
 	}
 	req.sig.Wait(p)
 }

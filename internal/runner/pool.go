@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,6 +130,11 @@ func (j *Job) Result() (*Result, error) { return j.result, j.err }
 type Pool struct {
 	cfg Config
 
+	// baseCtx parents every attempt's context; baseCancel aborts in-flight
+	// work when a Shutdown deadline expires.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    []*Job
@@ -148,6 +154,7 @@ func New(cfg Config) (*Pool, error) {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{cfg: cfg, inflight: map[string]*Job{}}
+	p.baseCtx, p.baseCancel = context.WithCancel(context.Background())
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -207,6 +214,34 @@ func (p *Pool) Close() {
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
+	p.baseCancel()
+}
+
+// Shutdown drains the pool gracefully: Submit is refused immediately,
+// queued and running jobs get until ctx's deadline to finish, and if the
+// deadline passes first the pool's base context is cancelled — aborting
+// in-flight attempts cooperatively — before waiting for the workers to
+// return. It reports ctx.Err() when the drain was cut short.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		p.baseCancel()
+		return nil
+	case <-ctx.Done():
+		p.baseCancel()
+		<-idle
+		return ctx.Err()
+	}
 }
 
 func newJob(spec Spec, hash string) *Job {
@@ -267,7 +302,10 @@ func (p *Pool) execute(j *Job) {
 		atomic.AddInt64(&p.m.retries, 1)
 		p.emit(EventRetried, j.Spec, err)
 		if p.cfg.Backoff > 0 {
-			time.Sleep(p.cfg.Backoff << uint(attempt))
+			select {
+			case <-time.After(backoffDelay(p.cfg.Backoff, j.Hash, attempt)):
+			case <-p.baseCtx.Done():
+			}
 		}
 	}
 	atomic.AddInt64(&p.m.running, -1)
@@ -290,7 +328,7 @@ func (p *Pool) execute(j *Job) {
 // run cannot wedge the worker past the deadline (the abandoned goroutine
 // finishes in the background and is discarded).
 func (p *Pool) attempt(spec Spec) (*Result, error) {
-	ctx := context.Background()
+	ctx := p.baseCtx
 	cancel := context.CancelFunc(func() {})
 	if p.cfg.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, p.cfg.Timeout)
@@ -327,12 +365,35 @@ func (p *Pool) attempt(spec Spec) (*Result, error) {
 	}
 }
 
+// backoffDelay derives the pause before the next retry of a job from the
+// job's content hash: exponential doubling per attempt with a jitter
+// factor in [0.5, 1.5) drawn by splitmix64 from the hash and attempt
+// number. The jitter desynchronises retries of distinct jobs without any
+// wall-clock or global-rand dependence, so a given job's retry schedule is
+// reproducible across runs and processes.
+func backoffDelay(base time.Duration, hash string, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if len(hash) < 16 {
+		return d
+	}
+	seed, err := strconv.ParseUint(hash[:16], 16, 64)
+	if err != nil {
+		return d
+	}
+	z := seed ^ uint64(attempt+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>11) / float64(1<<53)
+	return time.Duration(float64(d) * (0.5 + frac))
+}
+
 // retryable reports whether a failed attempt should be retried: panics
 // always are (the crash may be load-dependent), as are failures of jobs
 // using the noise model; timeouts are not, since the timed-out attempt
 // may still be running.
 func (p *Pool) retryable(spec Spec, err error) bool {
-	if errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return false
 	}
 	var pe *PanicError

@@ -14,6 +14,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+
+	"sunuintah/internal/faults"
 )
 
 // specHashVersion salts every content hash. Bump it whenever the meaning
@@ -54,14 +56,23 @@ type Spec struct {
 	TilePacking bool   `json:"tilePacking,omitempty"`
 	CPEGroups   int    `json:"cpeGroups,omitempty"`
 	TileSize    string `json:"tileSize,omitempty"`
+
+	// Faults is the deterministic fault-injection plan; nil (or all-zero)
+	// runs the case fault-free and hashes identically to a spec without
+	// the field, so pre-existing cache entries stay valid.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // canonical renders the spec as a stable, unambiguous key string. Every
 // field participates; field order is fixed.
 func (s Spec) canonical() string {
-	return fmt.Sprintf("%s|problem=%s|cells=%s|layout=%s|cgs=%d|variant=%s|steps=%d|noise=%g|seed=%d|functional=%t|asyncdma=%t|packing=%t|cpegroups=%d|tilesize=%s",
+	key := fmt.Sprintf("%s|problem=%s|cells=%s|layout=%s|cgs=%d|variant=%s|steps=%d|noise=%g|seed=%d|functional=%t|asyncdma=%t|packing=%t|cpegroups=%d|tilesize=%s",
 		specHashVersion, s.Problem, s.Cells, s.Layout, s.CGs, s.Variant, s.Steps,
 		s.Noise, s.Seed, s.Functional, s.AsyncDMA, s.TilePacking, s.CPEGroups, s.TileSize)
+	if !s.Faults.Zero() {
+		key += "|faults=" + s.Faults.Canonical()
+	}
+	return key
 }
 
 // Hash is the canonical content hash of the spec: the cache key and the
@@ -80,6 +91,9 @@ func (s Spec) String() string {
 	out := fmt.Sprintf("%s/%s@%dCG", name, s.Variant, s.CGs)
 	if s.Noise > 0 {
 		out += fmt.Sprintf(" seed=%d", s.Seed)
+	}
+	if !s.Faults.Zero() {
+		out += " +faults"
 	}
 	return out
 }

@@ -25,6 +25,16 @@ type slot struct {
 	group *athread.Group
 	flag  *sim.Counter
 	obj   *taskgraph.Object
+
+	// Resilience state (meaningful only under fault injection).
+	off         *athread.Offload  // handle of the in-flight offload
+	deadline    sim.Time          // absolute abort time for the in-flight offload
+	estimate    sim.Time          // healthy completion estimate of the last launch
+	attempts    int               // launches of the current object so far
+	pending     *taskgraph.Object // aborted object awaiting its backoff retry
+	retryAt     sim.Time          // absolute time of the next retry
+	consecFails int               // consecutive timed-out offloads on this gang
+	unhealthy   bool              // gang taken out of rotation; kernels go to the MPE
 }
 
 // initSlots builds the offload lanes; called from New.
@@ -42,14 +52,27 @@ func (s *Rank) initSlots() {
 	}
 }
 
-// freeSlot returns an idle offload lane, or nil.
+// freeSlot returns an idle offload lane, or nil. Lanes holding an aborted
+// object awaiting retry, and gangs marked unhealthy, are not free.
 func (s *Rank) freeSlot() *slot {
 	for _, sl := range s.slots {
-		if sl.obj == nil && !sl.group.Busy() {
+		if sl.obj == nil && !sl.group.Busy() && sl.pending == nil && !sl.unhealthy {
 			return sl
 		}
 	}
 	return nil
+}
+
+// allUnhealthy reports whether every offload lane's gang has been marked
+// unhealthy — the point where the scheduler degrades to MPE-only kernel
+// execution for the rest of the run.
+func (s *Rank) allUnhealthy() bool {
+	for _, sl := range s.slots {
+		if !sl.unhealthy {
+			return false
+		}
+	}
+	return true
 }
 
 // ioVar couples a dependency with its (possibly nil) main-memory field.
@@ -155,7 +178,7 @@ func (s *Rank) offload(p *sim.Process, step int, t, dt float64, obj *taskgraph.O
 	sl.flag.Reset()
 	var tileErr error
 	start := p.Now()
-	dur := sl.group.Spawn(spec, active, s.cfg.Functional, sl.flag, func(c *athread.CPE) {
+	off := sl.group.Launch(spec, active, s.cfg.Functional, sl.flag, func(c *athread.CPE) {
 		tiles := assign[c.ID]
 		if len(tiles) == 0 {
 			return
@@ -177,8 +200,19 @@ func (s *Rank) offload(p *sim.Process, step int, t, dt float64, obj *taskgraph.O
 	if tileErr != nil {
 		return tileErr
 	}
+	// A stalled gang never completes; account its healthy estimate so the
+	// trace and the load balancer never see Infinity.
+	dur := off.Done
+	if off.Stalled {
+		dur = off.Estimate
+	}
 	obj.State = taskgraph.StateRunning
 	sl.obj = obj
+	sl.off = off
+	if s.inj != nil {
+		sl.estimate = off.Estimate
+		sl.deadline = start + off.Estimate*sim.Time(s.inj.Plan().DeadlineFactor)
+	}
 	s.patchCost[patch.ID] += dur
 	s.Stats.Offloads++
 	name := task.Name

@@ -1,0 +1,164 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"sunuintah/internal/sim"
+	"sunuintah/internal/taskgraph"
+	"sunuintah/internal/trace"
+)
+
+// This file is the scheduler's recovery layer under fault injection: every
+// offload carries a deadline derived from its healthy-cost estimate; a
+// deadline miss (an injected stall, or a straggler beyond the deadline
+// factor) aborts the gang and retries with exponential backoff; gangs that
+// keep failing are marked unhealthy and their kernels degrade to MPE
+// execution, so the rank always makes progress. All entry points are gated
+// on s.inj != nil — fault-free runs never reach this code.
+
+// mark emits a zero-duration fault-plane trace marker.
+func (s *Rank) mark(step int, kind trace.Kind, name string, at sim.Time) {
+	s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step, Kind: kind,
+		Name: name, Start: at, End: at})
+}
+
+// handleOffloadTimeout aborts a slot's overdue offload and either schedules
+// a backed-off retry or degrades the task to the MPE.
+func (s *Rank) handleOffloadTimeout(p *sim.Process, step int, t, dt float64, sl *slot, completed *int) error {
+	now := p.Now()
+	obj := sl.obj
+	fs := s.faultStats()
+	fs.OffloadTimeouts++
+	sl.off.Abort()
+	sl.off = nil
+	sl.obj = nil
+	sl.flag.Reset()
+	sl.attempts++
+	sl.consecFails++
+	s.mark(step, trace.KindFault, fmt.Sprintf("offload-timeout %s try=%d", obj.Task.Name, sl.attempts), now)
+
+	plan := s.inj.Plan()
+	if !sl.unhealthy && sl.consecFails >= plan.UnhealthyAfter {
+		// The gang failed too many offloads in a row: take it out of
+		// rotation for the rest of the run.
+		sl.unhealthy = true
+		fs.UnhealthyGangs++
+		s.mark(step, trace.KindFault, "gang-unhealthy", now)
+	}
+	if sl.unhealthy || sl.attempts > plan.MaxRetries {
+		sl.attempts = 0
+		return s.fallbackToMPE(p, step, t, dt, obj, completed)
+	}
+	// Exponential backoff from half the healthy estimate.
+	backoff := sl.estimate / 2 * sim.Time(int64(1)<<uint(sl.attempts-1))
+	sl.pending = obj
+	sl.retryAt = now + backoff
+	return nil
+}
+
+// retryPending relaunches a slot's aborted object once its backoff expires.
+func (s *Rank) retryPending(p *sim.Process, step int, t, dt float64, sl *slot) error {
+	obj := sl.pending
+	sl.pending = nil
+	fs := s.faultStats()
+	fs.Reoffloads++
+	s.mark(step, trace.KindRecovery, fmt.Sprintf("re-offload %s try=%d", obj.Task.Name, sl.attempts+1), p.Now())
+	return s.offload(p, step, t, dt, obj, sl)
+}
+
+// fallbackToMPE executes a kernel object on the MPE — graceful degradation
+// when a gang is unhealthy or an offload has exhausted its retries. The
+// MPE path recomputes the task from the same warehouse inputs, so the
+// numerics match the offloaded kernel exactly.
+func (s *Rank) fallbackToMPE(p *sim.Process, step int, t, dt float64, obj *taskgraph.Object, completed *int) error {
+	fs := s.faultStats()
+	fs.MPEFallbacks++
+	s.mark(step, trace.KindRecovery, fmt.Sprintf("mpe-fallback %s", obj.Task.Name), p.Now())
+	if err := s.runOnMPE(p, step, t, dt, obj); err != nil {
+		return err
+	}
+	s.completeObject(obj, completed)
+	return nil
+}
+
+// drainToMPE runs every prepared and ready kernel object on the MPE: the
+// degraded mode once all gangs are unhealthy. Reports whether it executed
+// anything.
+func (s *Rank) drainToMPE(p *sim.Process, step int, t, dt float64, completed *int) (bool, error) {
+	progressed := false
+	for {
+		var obj *taskgraph.Object
+		if len(s.prepared) > 0 {
+			obj = s.prepared[0]
+			s.prepared = s.prepared[1:]
+		} else {
+			obj = s.nextReady(true)
+			if obj == nil {
+				return progressed, nil
+			}
+			if err := s.processMPEPart(p, step, t, obj); err != nil {
+				return progressed, err
+			}
+		}
+		if err := s.fallbackToMPE(p, step, t, dt, obj, completed); err != nil {
+			return progressed, err
+		}
+		progressed = true
+	}
+}
+
+// syncOffloadWait blocks on a sync-mode offload's completion flag with the
+// fault deadline armed: on a timeout the gang is aborted and the kernel is
+// retried (after backoff, still blocking) or degraded to the MPE. Used in
+// place of the plain flag spin when an injector is attached.
+func (s *Rank) syncOffloadWait(p *sim.Process, step int, t, dt float64, sl *slot, completed *int) error {
+	eng := s.cg.Engine()
+	n := int64(sl.group.NumCPEs())
+	for {
+		if sl.flag.Value() >= n {
+			s.completeObject(sl.obj, completed)
+			s.clearSlot(sl)
+			return nil
+		}
+		wake := sim.NewSignal(eng, fmt.Sprintf("rank%d.syncwait", s.mpi.RankID()))
+		sl.flag.OnReach(n, wake.Fire)
+		var dl *sim.EventHandle
+		if sl.deadline > p.Now() {
+			dl = eng.Schedule(sl.deadline-p.Now(), wake.Fire)
+		} else {
+			dl = eng.Schedule(0, wake.Fire)
+		}
+		t0 := p.Now()
+		wake.Wait(p)
+		s.Stats.KernelWaitTime += p.Now() - t0
+		dl.Cancel()
+		if sl.flag.Value() >= n {
+			s.completeObject(sl.obj, completed)
+			s.clearSlot(sl)
+			return nil
+		}
+		// Deadline hit: abort and either retry (blocking through the
+		// backoff, as the synchronous scheduler cannot do anything else)
+		// or fall back to the MPE.
+		if err := s.handleOffloadTimeout(p, step, t, dt, sl, completed); err != nil {
+			return err
+		}
+		if sl.pending == nil {
+			return nil // degraded to the MPE inside handleOffloadTimeout
+		}
+		if wait := sl.retryAt - p.Now(); wait > 0 {
+			s.charge(p, wait, &s.Stats.IdleTime, trace.KindIdle, step, "retry backoff")
+		}
+		if err := s.retryPending(p, step, t, dt, sl); err != nil {
+			return err
+		}
+	}
+}
+
+// clearSlot resets a slot's per-offload state after completion.
+func (s *Rank) clearSlot(sl *slot) {
+	sl.obj = nil
+	sl.off = nil
+	sl.attempts = 0
+	sl.consecFails = 0
+}

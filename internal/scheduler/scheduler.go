@@ -21,6 +21,7 @@ import (
 
 	"sunuintah/internal/athread"
 	"sunuintah/internal/dw"
+	"sunuintah/internal/faults"
 	"sunuintah/internal/grid"
 	"sunuintah/internal/mpisim"
 	"sunuintah/internal/perf"
@@ -119,6 +120,35 @@ type Stats struct {
 	CommTime       sim.Time // posting and testing MPI requests
 	IdleTime       sim.Time // waiting with nothing to do
 	StepsRun       int
+
+	// Faults counts the rank's recovery actions under fault injection;
+	// nil (and absent from JSON) on fault-free runs.
+	Faults *FaultStats `json:"Faults,omitempty"`
+}
+
+// FaultStats counts a rank's scheduler-level fault recoveries.
+type FaultStats struct {
+	OffloadTimeouts int64 // offloads aborted at their deadline
+	Reoffloads      int64 // aborted offloads relaunched on the CPEs
+	MPEFallbacks    int64 // kernels degraded to MPE execution
+	UnhealthyGangs  int64 // CPE gangs marked unhealthy (kept off rotation)
+}
+
+// Add accumulates other into f.
+func (f *FaultStats) Add(other FaultStats) {
+	f.OffloadTimeouts += other.OffloadTimeouts
+	f.Reoffloads += other.Reoffloads
+	f.MPEFallbacks += other.MPEFallbacks
+	f.UnhealthyGangs += other.UnhealthyGangs
+}
+
+// faultStats lazily allocates the fault counters (only faulty runs carry
+// them, keeping fault-free JSON unchanged).
+func (s *Rank) faultStats() *FaultStats {
+	if s.Stats.Faults == nil {
+		s.Stats.Faults = &FaultStats{}
+	}
+	return s.Stats.Faults
 }
 
 // Rank is one MPI rank's scheduler instance: the MPE-side state machine
@@ -134,6 +164,10 @@ type Rank struct {
 
 	flag     *sim.Counter
 	maxGhost map[*taskgraph.Label]int
+
+	// inj mirrors cg.Faults; nil on fault-free runs (every resilience path
+	// is gated on it, so the fault-free schedule is untouched).
+	inj *faults.Injector
 
 	// Per-step communication state.
 	recvs []*pendingRecv
@@ -192,6 +226,7 @@ func New(cfg Config, graph *taskgraph.Graph, cg *sw26010.CoreGroup, mpi *mpisim.
 		DWs:    dw.NewPair(mode, cg),
 		flag:   sim.NewCounter(cg.Engine(), fmt.Sprintf("rank%d.flag", mpi.RankID())),
 	}
+	s.inj = cg.Faults
 	s.patchCost = map[int]sim.Time{}
 	s.maxGhost = map[*taskgraph.Label]int{}
 	for _, t := range graph.Tasks {

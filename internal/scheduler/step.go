@@ -80,8 +80,25 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 	for {
 		progressed := false
 
-		// Step 3b: completion-flag checks on every CPE slot.
+		// Step 3b: completion-flag checks on every CPE slot. Under fault
+		// injection this is also where overdue offloads are aborted and
+		// backed-off retries are relaunched.
 		for _, sl := range s.slots {
+			if sl.pending != nil {
+				if sl.unhealthy {
+					obj := sl.pending
+					sl.pending = nil
+					if err := s.fallbackToMPE(p, step, t, dt, obj, &completed); err != nil {
+						return err
+					}
+					progressed = true
+				} else if p.Now() >= sl.retryAt {
+					if err := s.retryPending(p, step, t, dt, sl); err != nil {
+						return err
+					}
+					progressed = true
+				}
+			}
 			if sl.obj == nil {
 				continue
 			}
@@ -89,9 +106,24 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 				trace.KindComm, step, "poll flag")
 			if sl.flag.Value() >= int64(sl.group.NumCPEs()) {
 				s.completeObject(sl.obj, &completed)
-				sl.obj = nil
+				s.clearSlot(sl)
+				progressed = true
+			} else if s.inj != nil && p.Now() >= sl.deadline {
+				if err := s.handleOffloadTimeout(p, step, t, dt, sl, &completed); err != nil {
+					return err
+				}
 				progressed = true
 			}
+		}
+
+		// Graceful degradation: with every gang unhealthy no slot will ever
+		// be free again, so kernels execute on the MPE instead.
+		if s.inj != nil && s.cfg.Mode != ModeMPEOnly && s.allUnhealthy() {
+			did, err := s.drainToMPE(p, step, t, dt, &completed)
+			if err != nil {
+				return err
+			}
+			progressed = progressed || did
 		}
 
 		// Offload ready kernels into free slots (or run them on the MPE).
@@ -125,16 +157,24 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 					return err
 				}
 				if s.cfg.Mode == ModeSync {
-					// Spin until the completion flag is set: no overlap of
-					// computation with other work (Section V-C).
-					t0 := p.Now()
-					sl.flag.WaitFor(p, int64(sl.group.NumCPEs()))
-					s.Stats.KernelWaitTime += p.Now() - t0
-					s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step,
-						Kind: trace.KindKernel, Name: "spin " + obj.Task.Name,
-						Start: t0, End: p.Now()})
-					s.completeObject(sl.obj, &completed)
-					sl.obj = nil
+					if s.inj != nil {
+						// Blocking wait with the fault deadline armed, so a
+						// stalled gang is aborted and recovered.
+						if err := s.syncOffloadWait(p, step, t, dt, sl, &completed); err != nil {
+							return err
+						}
+					} else {
+						// Spin until the completion flag is set: no overlap
+						// of computation with other work (Section V-C).
+						t0 := p.Now()
+						sl.flag.WaitFor(p, int64(sl.group.NumCPEs()))
+						s.Stats.KernelWaitTime += p.Now() - t0
+						s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step,
+							Kind: trace.KindKernel, Name: "spin " + obj.Task.Name,
+							Start: t0, End: p.Now()})
+						s.completeObject(sl.obj, &completed)
+						sl.obj = nil
+					}
 				}
 			}
 			progressed = true
@@ -464,9 +504,26 @@ func (s *Rank) waitForEvent(p *sim.Process, step int) {
 	eng := s.cg.Engine()
 	wake := sim.NewSignal(eng, fmt.Sprintf("rank%d.wake", s.mpi.RankID()))
 	armed := false
+	// Cancellable timer wake-ups (offload deadlines, retry backoffs) so
+	// stale timers don't linger once the rank is awake again.
+	var timers []*sim.EventHandle
 	for _, sl := range s.slots {
 		if sl.obj != nil {
 			sl.flag.OnReach(int64(sl.group.NumCPEs()), wake.Fire)
+			armed = true
+			if s.inj != nil {
+				// A stalled gang never fires the flag: the deadline is the
+				// guaranteed wake-up that lets the scheduler recover.
+				timers = append(timers, eng.Schedule(sl.deadline-p.Now(), wake.Fire))
+			}
+		}
+		if s.inj != nil && sl.pending != nil {
+			if sl.unhealthy {
+				// Handled immediately on the next loop pass.
+				timers = append(timers, eng.Schedule(0, wake.Fire))
+			} else {
+				timers = append(timers, eng.Schedule(sl.retryAt-p.Now(), wake.Fire))
+			}
 			armed = true
 		}
 	}
@@ -487,6 +544,9 @@ func (s *Rank) waitForEvent(p *sim.Process, step int) {
 	}
 	t0 := p.Now()
 	wake.Wait(p)
+	for _, h := range timers {
+		h.Cancel()
+	}
 	s.Stats.IdleTime += p.Now() - t0
 	s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step,
 		Kind: trace.KindIdle, Name: "wait", Start: t0, End: p.Now()})

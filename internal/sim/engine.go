@@ -83,6 +83,8 @@ type Engine struct {
 	nextPID int
 	// active counts live (spawned, not yet finished) processes.
 	active int
+	// interrupted records the reason passed to Interrupt, if any.
+	interrupted string
 }
 
 // NewEngine returns an empty simulation at time zero.
@@ -159,6 +161,21 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
+
+// Interrupt stops the run loop like Stop, additionally recording a reason —
+// used by the fault plane to model a hard failure (e.g. a core-group crash)
+// that tears the whole simulation down mid-run. Parked process goroutines
+// are abandoned, exactly as with Stop. Only the first reason is kept.
+func (e *Engine) Interrupt(reason string) {
+	if e.interrupted == "" {
+		e.interrupted = reason
+	}
+	e.stopped = true
+}
+
+// Interrupted returns the reason passed to Interrupt, or "" if the engine
+// was not interrupted.
+func (e *Engine) Interrupted() string { return e.interrupted }
 
 // PendingEvents returns the number of live calendar entries (cancelled
 // events still in the heap are not counted).

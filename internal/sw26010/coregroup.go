@@ -3,6 +3,7 @@ package sw26010
 import (
 	"fmt"
 
+	"sunuintah/internal/faults"
 	"sunuintah/internal/perf"
 	"sunuintah/internal/sim"
 )
@@ -14,6 +15,11 @@ type CoreGroup struct {
 	ID       int
 	Params   perf.Params
 	Counters Counters
+
+	// Faults, when non-nil, injects CPE-side failures (stalled gangs and
+	// stragglers) into offloads launched on this core group. All core
+	// groups of a simulation share one injector.
+	Faults *faults.Injector
 
 	eng        *sim.Engine
 	allocBytes int64

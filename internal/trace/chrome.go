@@ -22,10 +22,14 @@ type chromeEvent struct {
 // laneOf maps an interval kind to a per-rank display lane: the MPE thread
 // (bookkeeping, communication, host kernels) versus the CPE cluster.
 func laneOf(k Kind) int {
-	if k == KindKernel {
+	switch k {
+	case KindKernel:
 		return 1 // CPE cluster lane
+	case KindFault, KindRecovery:
+		return 2 // fault-plane lane
+	default:
+		return 0 // MPE lane
 	}
-	return 0 // MPE lane
 }
 
 // WriteChromeTrace serialises the recorder in the Chrome trace-event JSON

@@ -23,6 +23,11 @@ const (
 	KindComm    Kind = "comm"    // MPI posting and testing
 	KindReduce  Kind = "reduce"  // reductions
 	KindIdle    Kind = "idle"    // scheduler polling with nothing to do
+
+	// Fault-plane markers (zero-duration unless noted): injected faults and
+	// the scheduler's recovery actions.
+	KindFault    Kind = "fault"    // injected fault (drop, dup, stall, crash, ...)
+	KindRecovery Kind = "recovery" // recovery action (resend, re-offload, MPE fallback)
 )
 
 // Event is one traced interval.
