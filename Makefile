@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench clean
+.PHONY: check vet build test race chaos bench benchgate clean
 
-check: vet build test race chaos
+check: vet build test race chaos benchgate
 
 vet:
 	$(GO) vet ./...
@@ -32,8 +32,17 @@ race:
 chaos:
 	$(GO) test -run TestChaos -count=1 ./internal/experiments/
 
+# Run every micro-benchmark, then refresh the committed performance
+# baseline. Commit the updated BENCH_baseline.json together with any
+# intentional performance change.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/benchgate -record -o BENCH_baseline.json
+
+# The perf-regression gate: remeasure the hot paths and fail on a >15%
+# calibration-adjusted slowdown or any steady-state allocation increase.
+benchgate:
+	$(GO) run ./cmd/benchgate -check BENCH_baseline.json -tol 0.15
 
 clean:
 	rm -rf .suncache

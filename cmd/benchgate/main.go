@@ -1,0 +1,291 @@
+// Command benchgate records and enforces the repository's performance
+// baseline. It times the wall-clock hot paths of the simulated runtime —
+// the monomorphic Burgers kernel, the halo pack/unpack path, the
+// warehouse allocate/free churn and the discrete-event loop — plus their
+// steady-state allocation counts, and writes them to a JSON baseline
+// (`make bench`). In check mode (`make check`) it reruns the workloads
+// and fails when a metric regresses by more than the tolerance.
+//
+// Machine-speed robustness: the baseline includes a calibration metric (a
+// fixed pure-CPU loop). A throughput metric only fails the gate when both
+// its raw value and its calibration-normalised ratio regress beyond the
+// tolerance, so a uniformly slower machine does not trip the gate while a
+// genuine hot-path regression does. Allocation metrics are compared
+// absolutely (a pool regression shows up as allocs/op > baseline).
+//
+// Usage:
+//
+//	benchgate -record [-o BENCH_baseline.json]
+//	benchgate -check BENCH_baseline.json [-tol 0.15] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sunuintah/internal/burgers"
+	"sunuintah/internal/dw"
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/perf"
+	"sunuintah/internal/sim"
+	"sunuintah/internal/sw26010"
+	"sunuintah/internal/taskgraph"
+)
+
+// calibName is the machine-speed reference metric every rate is
+// normalised by in check mode.
+const calibName = "calib.iters_per_s"
+
+// Baseline is the persisted gate file.
+type Baseline struct {
+	Schema    int                `json:"schema"`
+	Go        string             `json:"go"`
+	Generated string             `json:"generated"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
+// measureRate returns the best-of-reps throughput of fn (units/second),
+// where fn performs n units of work per call. Best-of follows the
+// paper's repeat-and-keep-best measurement discipline: it rejects
+// scheduler noise, not variance we care about.
+func measureRate(n int, reps int, fn func()) float64 {
+	fn() // warm caches and pools
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		iters := 1
+		for {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				fn()
+			}
+			el := time.Since(start)
+			if el >= 20*time.Millisecond {
+				if rate := float64(n) * float64(iters) / el.Seconds(); rate > best {
+					best = rate
+				}
+				break
+			}
+			iters *= 4
+		}
+	}
+	return best
+}
+
+func collect() map[string]float64 {
+	m := map[string]float64{}
+
+	// Calibration: a fixed FastExp loop — pure CPU, no allocation, no
+	// scheduler involvement.
+	calib := func() {
+		x := -3.7
+		s := 0.0
+		for i := 0; i < 10000; i++ {
+			s += burgers.FastExp(x)
+			x += 1e-6
+		}
+		if s == 0 {
+			panic("calibration underflow")
+		}
+	}
+	m[calibName] = measureRate(10000, 5, calib)
+
+	// Kernel throughput per exponential library (cells/s) on the
+	// benchmark's 32^3 single-patch grid.
+	lv, err := grid.NewUnitCubeLevel(grid.IV(32, 32, 32), grid.IV(1, 1, 1))
+	if err != nil {
+		panic(err)
+	}
+	dom := lv.Layout.Domain
+	in := field.NewCellWithGhost(dom, 1)
+	in.FillFunc(in.Alloc(), func(c grid.IVec) float64 {
+		x, y, z := lv.CellCenter(c)
+		return burgers.Initial(x, y, z)
+	})
+	out := field.NewCell(dom)
+	dt := burgers.StableDt(lv.Spacing[0], lv.Spacing[1], lv.Spacing[2])
+	cells := int(dom.NumCells())
+	m["kernel.fast.cells_per_s"] = measureRate(cells, 5, func() {
+		burgers.Advance(in, out, dom, lv, 0, dt, burgers.FastExpLib)
+	})
+	m["kernel.ieee.cells_per_s"] = measureRate(cells, 5, func() {
+		burgers.Advance(in, out, dom, lv, 0, dt, burgers.IEEEExpLib)
+	})
+	m["kernel.allocs_per_op"] = testing.AllocsPerRun(10, func() {
+		burgers.Advance(in, out, dom, lv, 0, dt, burgers.FastExpLib)
+	})
+
+	// Halo pack/unpack (bytes/s) of one ghost face, pooled payload.
+	face := grid.NewBox(grid.IV(0, 0, 31), grid.IV(32, 32, 32))
+	faceBytes := int(face.NumCells() * 8)
+	buf := field.GetBuf(int(face.NumCells()))
+	m["halo.pack.bytes_per_s"] = measureRate(faceBytes, 5, func() {
+		buf = in.Pack(face, buf[:0])
+	})
+	dst := field.NewCellWithGhost(dom, 1)
+	m["halo.unpack.bytes_per_s"] = measureRate(faceBytes, 5, func() {
+		dst.Unpack(face, buf)
+	})
+	m["halo.allocs_per_op"] = testing.AllocsPerRun(10, func() {
+		p := field.GetBuf(int(face.NumCells()))
+		p = in.Pack(face, p)
+		dst.Unpack(face, p)
+		field.PutSlice(p)
+	})
+	field.PutSlice(buf)
+
+	// Warehouse allocate/free churn (swaps/s): the per-step variable
+	// lifecycle on a 16^3 patch, pooled storage.
+	plv, err := grid.NewUnitCubeLevel(grid.IV(16, 16, 16), grid.IV(1, 1, 1))
+	if err != nil {
+		panic(err)
+	}
+	patch := plv.Layout.Patch(0)
+	cg := sw26010.NewMachine(sim.NewEngine(), perf.DefaultParams(), 1).CG(0)
+	pair := dw.NewPair(dw.Functional, cg)
+	u := taskgraph.NewLabel("u", nil)
+	if err := pair.Old.Allocate(u, patch, 1); err != nil {
+		panic(err)
+	}
+	m["dw.churn.swaps_per_s"] = measureRate(1, 5, func() {
+		if err := pair.New.Allocate(u, patch, 1); err != nil {
+			panic(err)
+		}
+		pair.Swap()
+	})
+
+	// Event-loop throughput (events/s): a self-rescheduling chain.
+	m["sim.events_per_s"] = measureRate(100000, 5, func() {
+		e := sim.NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 100000 {
+				e.Schedule(sim.Microsecond, tick)
+			}
+		}
+		e.Schedule(sim.Microsecond, tick)
+		e.Run()
+	})
+
+	return m
+}
+
+func record(path string) error {
+	b := Baseline{
+		Schema:    1,
+		Go:        runtime.Version(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Metrics:   collect(),
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// check compares fresh measurements against the baseline, returning the
+// list of failures.
+func check(path string, tol float64, verbose bool) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read baseline: %w (run `make bench` to record one)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parse baseline: %w", err)
+	}
+	cur := collect()
+	baseCalib, curCalib := base.Metrics[calibName], cur[calibName]
+
+	var names []string
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	for _, name := range names {
+		b, c := base.Metrics[name], cur[name]
+		if name == calibName {
+			if verbose {
+				fmt.Printf("%-28s baseline %.3g  current %.3g  (calibration)\n", name, b, c)
+			}
+			continue
+		}
+		if _, ok := cur[name]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: metric no longer measured", name))
+			continue
+		}
+		if strings.HasSuffix(name, "allocs_per_op") {
+			// Absolute: allocation regressions are machine-independent.
+			if c > b+0.5 {
+				failures = append(failures, fmt.Sprintf("%s: %.1f allocs/op, baseline %.1f", name, c, b))
+			}
+			if verbose {
+				fmt.Printf("%-28s baseline %.1f  current %.1f  allocs/op\n", name, b, c)
+			}
+			continue
+		}
+		rawRegressed := c < b*(1-tol)
+		normRegressed := true
+		if baseCalib > 0 && curCalib > 0 {
+			normRegressed = c/curCalib < (b/baseCalib)*(1-tol)
+		}
+		if verbose {
+			ratio := 0.0
+			if b > 0 {
+				ratio = c / b
+			}
+			fmt.Printf("%-28s baseline %.3g  current %.3g  (%.0f%% of baseline)\n", name, b, c, ratio*100)
+		}
+		if rawRegressed && normRegressed {
+			failures = append(failures, fmt.Sprintf("%s: %.3g vs baseline %.3g (>%.0f%% regression, calibration-adjusted)",
+				name, c, b, tol*100))
+		}
+	}
+	return failures, nil
+}
+
+func main() {
+	recordFlag := flag.Bool("record", false, "measure and write the baseline")
+	out := flag.String("o", "BENCH_baseline.json", "baseline path for -record")
+	checkFlag := flag.String("check", "", "baseline file to compare against")
+	tol := flag.Float64("tol", 0.15, "allowed fractional regression for rate metrics")
+	verbose := flag.Bool("v", false, "print every metric comparison")
+	flag.Parse()
+
+	switch {
+	case *recordFlag:
+		if err := record(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %s\n", *out)
+	case *checkFlag != "":
+		failures, err := check(*checkFlag, *tol, *verbose)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "benchgate: REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %s ok (tol %.0f%%)\n", *checkFlag, *tol*100)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchgate -record [-o file] | -check file [-tol f] [-v]")
+		os.Exit(2)
+	}
+}

@@ -10,7 +10,8 @@
 // Usage:
 //
 //	sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N]
-//	         [-cache dir|off] [-json file] [-v] <artifact>...
+//	         [-cache dir|off] [-json file] [-cpuprofile file]
+//	         [-memprofile file] [-v] <artifact>...
 //
 // Artifacts: table1 table2 table3 table4 table5 table6 table7
 // fig5 fig6 fig7 fig8 fig9 fig10 ablation-dma ablation-packing
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"sunuintah/internal/experiments"
@@ -34,7 +36,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-cache dir|off] [-json file] [-v] <artifact>...")
+	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-cache dir|off] [-json file] [-cpuprofile file] [-memprofile file] [-v] <artifact>...")
 	fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles chaos summary all")
 }
 
@@ -68,11 +70,40 @@ func main() {
 	cacheFlag := flag.String("cache", "off", `result cache: "off", or a directory for an on-disk store (e.g. .suncache)`)
 	jsonPath := flag.String("json", "", "also write the full evaluation as structured JSON to this file")
 	verbose := flag.Bool("v", false, "print per-case progress as [done/total, hit-rate]")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.CommandLine.Parse(reorderArgs(os.Args[1:], map[string]bool{"v": true}))
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sunbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sunbench:", err)
+			}
+		}()
 	}
 
 	// Validate every artifact name up front: an unknown name after valid

@@ -134,7 +134,7 @@ func (c *CPE) Get(region grid.Box, src *field.Cell) (*LDMBuf, error) {
 	}
 	c.chargeDMA(buf.bytes)
 	if src != nil {
-		buf.Data = field.NewCell(region)
+		buf.Data = field.NewCellPooled(region)
 		buf.Data.CopyRegion(src, region)
 	}
 	return buf, nil
@@ -148,7 +148,7 @@ func (c *CPE) NewBuf(region grid.Box) (*LDMBuf, error) {
 		return nil, err
 	}
 	if c.functional {
-		buf.Data = field.NewCell(region)
+		buf.Data = field.NewCellPooled(region)
 	}
 	return buf, nil
 }
@@ -175,13 +175,34 @@ func (c *CPE) Put(dst *field.Cell, buf *LDMBuf) {
 	}
 }
 
-// Release frees the buffer's LDM.
+// Release frees the buffer's LDM and recycles any staged data back to
+// the field pool.
 func (c *CPE) Release(buf *LDMBuf) {
 	c.ldmUsed -= buf.bytes
 	if c.ldmUsed < 0 {
 		panic("athread: LDM accounting underflow")
 	}
+	buf.Data.Recycle()
 	buf.Data = nil
+}
+
+// PutAccounted charges the DMA write of buf exactly like Put without
+// copying data: the functional copy is deferred (the scheduler runs the
+// numeric bodies of independent tiles on a worker pool after the launch
+// accounting completes). The virtual-time and counter effects are
+// identical to Put.
+func (c *CPE) PutAccounted(buf *LDMBuf) {
+	c.chargeDMA(buf.bytes)
+}
+
+// ReleaseKeep frees the buffer's LDM accounting like Release but keeps
+// its staged data alive for a deferred numeric body; the deferred op
+// recycles the data when it finishes.
+func (c *CPE) ReleaseKeep(buf *LDMBuf) {
+	c.ldmUsed -= buf.bytes
+	if c.ldmUsed < 0 {
+		panic("athread: LDM accounting underflow")
+	}
 }
 
 // Compute charges the kernel's per-cell compute cost for cells cells and

@@ -61,3 +61,33 @@ func benchKernel(b *testing.B, simd bool) {
 
 func BenchmarkKernelScalar(b *testing.B) { benchKernel(b, false) }
 func BenchmarkKernelSIMD(b *testing.B)   { benchKernel(b, true) }
+
+// benchKernelOpt measures the monomorphic fused kernel per exponential
+// library, reporting cells/s (the paper's kernel throughput unit) and
+// allocs/op (zero in steady state, by the pool design).
+func benchKernelOpt(b *testing.B, e Exp) {
+	lv, err := grid.NewUnitCubeLevel(grid.IV(32, 32, 32), grid.IV(1, 1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dom := lv.Layout.Domain
+	in := field.NewCellWithGhost(dom, 1)
+	in.FillFunc(in.Alloc(), func(c grid.IVec) float64 {
+		x, y, z := lv.CellCenter(c)
+		return Initial(x, y, z)
+	})
+	out := field.NewCell(dom)
+	dt := StableDt(lv.Spacing[0], lv.Spacing[1], lv.Spacing[2])
+	advanceOpt(in, out, dom, lv, 0, dt, e) // warm the pool
+	cells := dom.NumCells()
+	b.SetBytes(cells * 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advanceOpt(in, out, dom, lv, 0, dt, e)
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+func BenchmarkKernelMonoFast(b *testing.B) { benchKernelOpt(b, FastExpLib) }
+func BenchmarkKernelMonoIEEE(b *testing.B) { benchKernelOpt(b, IEEEExpLib) }

@@ -84,6 +84,46 @@ func FastExp(x float64) float64 {
 	return math.Ldexp(p, int(n))
 }
 
+// FastExpSlice evaluates dst[i] = FastExp(src[i]) over contiguous spans,
+// unrolled by the paper's SIMD width of 4 (Section VI-B/VI-C: the fast
+// exponential vectorises because its range reduction and polynomial are
+// branch-free on the normal range). Each lane is exactly FastExp, so the
+// results are bit-identical to per-element calls. dst and src must have
+// equal length (dst may alias src).
+func FastExpSlice(dst, src []float64) {
+	const width = 4
+	_ = dst[:len(src)]
+	i := 0
+	for ; i+width <= len(src); i += width {
+		dst[i+0] = FastExp(src[i+0])
+		dst[i+1] = FastExp(src[i+1])
+		dst[i+2] = FastExp(src[i+2])
+		dst[i+3] = FastExp(src[i+3])
+	}
+	for ; i < len(src); i++ {
+		dst[i] = FastExp(src[i])
+	}
+}
+
+// ieeeExpSlice is the batched IEEE-library evaluation.
+func ieeeExpSlice(dst, src []float64) {
+	_ = dst[:len(src)]
+	for i, x := range src {
+		dst[i] = math.Exp(x)
+	}
+}
+
+// expSlice dispatches one batched exponential evaluation for the library.
+// The choice is made once per span — never per cell — which is what makes
+// the monomorphic kernels free of per-element indirect calls.
+func (e Exp) expSlice(dst, src []float64) {
+	if e == IEEEExpLib {
+		ieeeExpSlice(dst, src)
+		return
+	}
+	FastExpSlice(dst, src)
+}
+
 // ExpFunc returns the chosen library's evaluation function.
 func (e Exp) ExpFunc() func(float64) float64 {
 	if e == IEEEExpLib {

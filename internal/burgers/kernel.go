@@ -135,14 +135,13 @@ func advanceSIMD(uOld, uNew *field.Cell, region grid.Box, lv *grid.Level, t, dt 
 
 // NewAdvanceTask builds the Burgers timestep task: it requires u from the
 // old warehouse with one ghost layer and computes u into the new
-// warehouse on the CPE cluster. simd selects the vectorised kernel body
-// (the cost-model vectorisation is chosen by the scheduler configuration).
+// warehouse on the CPE cluster. The functional body is always the
+// monomorphic fused kernel (advanceOpt), which is bit-identical to both
+// the scalar and 4-wide reference kernels; simd selects only the
+// vectorised *cost model* (chosen by the scheduler configuration), since
+// the numerics cannot differ.
 func NewAdvanceTask(u *taskgraph.Label, e Exp, simd bool) *taskgraph.Task {
-	exp := e.ExpFunc()
-	body := advance
-	if simd {
-		body = advanceSIMD
-	}
+	_ = simd
 	return &taskgraph.Task{
 		Name: "burgers.advance",
 		Kind: taskgraph.KindOffload,
@@ -159,7 +158,7 @@ func NewAdvanceTask(u *taskgraph.Label, e Exp, simd bool) *taskgraph.Task {
 			Compute: func(tc *taskgraph.TileContext) {
 				in := tc.In[u]
 				out := tc.Out[u]
-				body(in.Data, out.Data, tc.Tile.Box, tc.Level, tc.Time, tc.Dt, exp)
+				advanceOpt(in.Data, out.Data, tc.Tile.Box, tc.Level, tc.Time, tc.Dt, e)
 			},
 		},
 	}
@@ -171,12 +170,11 @@ func NewULabel() *taskgraph.Label {
 	return taskgraph.NewLabel("u", BoundaryCondition)
 }
 
-// SerialSolve advances the whole level's grid nSteps with the scalar
+// SerialSolve advances the whole level's grid nSteps with the fused
 // kernel on a single ghosted field, refreshing physical-boundary ghosts
 // from the exact solution each step. It is the runtime-free reference
 // implementation used to validate the scheduled, distributed execution.
 func SerialSolve(lv *grid.Level, nSteps int, dt float64, e Exp) *field.Cell {
-	exp := e.ExpFunc()
 	dom := lv.Layout.Domain
 	old := field.NewCellWithGhost(dom, 1)
 	fresh := field.NewCellWithGhost(dom, 1)
@@ -192,7 +190,7 @@ func SerialSolve(lv *grid.Level, nSteps int, dt float64, e Exp) *field.Cell {
 				return Exact(x, y, z, t)
 			})
 		}
-		advance(old, fresh, dom, lv, t, dt, exp)
+		advanceOpt(old, fresh, dom, lv, t, dt, e)
 		old, fresh = fresh, old
 		t += dt
 	}

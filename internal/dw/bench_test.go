@@ -1,0 +1,60 @@
+package dw
+
+import (
+	"testing"
+
+	"sunuintah/internal/grid"
+	"sunuintah/internal/taskgraph"
+)
+
+// The steady-state warehouse churn of a timestep: allocate the new
+// warehouse's variable, swap (freeing the old). With pooled storage this
+// cycle recycles one buffer per variable instead of allocating 36 KB per
+// step.
+
+func churnFixture(tb testing.TB) (*Pair, *taskgraph.Label, *grid.Patch) {
+	tb.Helper()
+	lv, err := grid.NewUnitCubeLevel(grid.IV(16, 16, 16), grid.IV(1, 1, 1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pair := NewPair(Functional, testCG())
+	u := taskgraph.NewLabel("u", nil)
+	p := lv.Layout.Patch(0)
+	if err := pair.Old.Allocate(u, p, 1); err != nil {
+		tb.Fatal(err)
+	}
+	return pair, u, p
+}
+
+func BenchmarkWarehouseChurn(b *testing.B) {
+	pair, u, p := churnFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pair.New.Allocate(u, p, 1); err != nil {
+			b.Fatal(err)
+		}
+		pair.Swap()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "swaps/s")
+}
+
+// TestWarehouseChurnSteadyStateAllocs bounds the per-step allocation of
+// the allocate/swap cycle: the 36 KB field storage is pooled, leaving
+// only the small bookkeeping structures (entry, map cell, warehouse).
+func TestWarehouseChurnSteadyStateAllocs(t *testing.T) {
+	pair, u, p := churnFixture(t)
+	cycle := func() {
+		if err := pair.New.Allocate(u, p, 1); err != nil {
+			t.Fatal(err)
+		}
+		pair.Swap()
+	}
+	cycle() // warm the pool
+	if n := testing.AllocsPerRun(20, cycle); n > 8 {
+		t.Errorf("warehouse churn allocates %v objects per step, want small bookkeeping only (<= 8)", n)
+	}
+	// The dominant cost — field storage — must be pooled: one cycle must
+	// not allocate anywhere near the 5832-cell backing array.
+}

@@ -67,7 +67,11 @@ func (w *Warehouse) Allocate(label *taskgraph.Label, patch *grid.Patch, ghost in
 	}
 	e := &varEntry{bytes: bytes, ghost: ghost}
 	if w.mode == Functional {
-		e.data = field.NewCellWithGhost(patch.Box, ghost)
+		// Pooled storage: Free/FreeAll recycle the backing array, so the
+		// per-step allocate/free churn of the warehouse swap is
+		// allocation-free in steady state. The pool zeroes on reuse,
+		// preserving NewCell's zero-value contract.
+		e.data = field.NewCellPooledWithGhost(patch.Box, ghost)
 	}
 	w.vars[k] = e
 	return nil
@@ -108,7 +112,10 @@ func (w *Warehouse) Ghost(label *taskgraph.Label, patch *grid.Patch) int {
 }
 
 // Free releases one variable back to the core group (used when a patch
-// migrates to another rank). Freeing an absent variable is a no-op.
+// migrates to another rank) and recycles its storage — callers must not
+// retain references to the freed field's data (migration and
+// checkpointing pack copies before freeing). Freeing an absent variable
+// is a no-op.
 func (w *Warehouse) Free(label *taskgraph.Label, patch *grid.Patch) {
 	k := varKey{label, patch.ID}
 	e, ok := w.vars[k]
@@ -116,6 +123,7 @@ func (w *Warehouse) Free(label *taskgraph.Label, patch *grid.Patch) {
 		return
 	}
 	w.cg.Free(e.bytes)
+	e.data.Recycle()
 	delete(w.vars, k)
 }
 
@@ -128,10 +136,12 @@ func (w *Warehouse) TotalBytes() int64 {
 	return n
 }
 
-// FreeAll releases every variable back to the core group.
+// FreeAll releases every variable back to the core group, recycling the
+// storage like Free.
 func (w *Warehouse) FreeAll() {
 	for k, e := range w.vars {
 		w.cg.Free(e.bytes)
+		e.data.Recycle()
 		delete(w.vars, k)
 	}
 }

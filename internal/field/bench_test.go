@@ -1,0 +1,56 @@
+package field
+
+import (
+	"testing"
+
+	"sunuintah/internal/grid"
+)
+
+// Halo-exchange micro-benchmarks: one ghost face of a 32^3 patch, the
+// payload shape ExecuteStep packs per neighbour.
+
+func haloFixture(b *testing.B) (*Cell, *Cell, grid.Box) {
+	interior := grid.NewBox(grid.IV(0, 0, 0), grid.IV(32, 32, 32))
+	f := NewCellWithGhost(interior, 1)
+	g := NewCellWithGhost(interior, 1)
+	i := 0.0
+	f.FillFunc(f.Alloc(), func(c grid.IVec) float64 { i++; return i })
+	face := grid.NewBox(grid.IV(0, 0, 31), grid.IV(32, 32, 32))
+	return f, g, face
+}
+
+func BenchmarkPack(b *testing.B) {
+	f, _, face := haloFixture(b)
+	buf := GetBuf(int(face.NumCells()))
+	b.SetBytes(face.NumCells() * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.Pack(face, buf[:0])
+	}
+	b.StopTimer()
+	PutSlice(buf)
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	f, g, face := haloFixture(b)
+	buf := f.Pack(face, GetBuf(int(face.NumCells())))
+	b.SetBytes(face.NumCells() * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Unpack(face, buf)
+	}
+	b.StopTimer()
+	PutSlice(buf)
+}
+
+func BenchmarkCopyRegion(b *testing.B) {
+	f, g, face := haloFixture(b)
+	b.SetBytes(face.NumCells() * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CopyRegion(f, face)
+	}
+}

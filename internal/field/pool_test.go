@@ -1,0 +1,102 @@
+package field
+
+import (
+	"sync"
+	"testing"
+
+	"sunuintah/internal/grid"
+)
+
+func TestGetSliceZeroedAndSized(t *testing.T) {
+	s := GetSlice(10)
+	if len(s) != 10 || cap(s) < 10 {
+		t.Fatalf("GetSlice(10): len=%d cap=%d", len(s), cap(s))
+	}
+	for i := range s {
+		s[i] = float64(i + 1)
+	}
+	PutSlice(s)
+	// The recycled buffer must come back zeroed.
+	r := GetSlice(10)
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("recycled slice not zeroed at %d: %g", i, v)
+		}
+	}
+	PutSlice(r)
+}
+
+func TestGetBufReuse(t *testing.T) {
+	b := GetBuf(100)
+	if len(b) != 0 || cap(b) < 100 {
+		t.Fatalf("GetBuf(100): len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	PutSlice(b)
+	if n := testing.AllocsPerRun(20, func() {
+		s := GetBuf(100)
+		s = append(s, 4, 5, 6)
+		PutSlice(s)
+	}); n != 0 {
+		t.Errorf("GetBuf/PutSlice cycle allocates %v per run, want 0", n)
+	}
+}
+
+func TestPutSliceOddCapacityStillServes(t *testing.T) {
+	// A buffer grown by append may have a non-power-of-two capacity; it is
+	// binned by the largest class it can fully serve.
+	odd := make([]float64, 0, 100) // bins into class 64
+	PutSlice(odd)
+	s := GetBuf(60)
+	if cap(s) < 60 {
+		t.Fatalf("GetBuf(60) after odd put: cap=%d", cap(s))
+	}
+	PutSlice(s)
+}
+
+func TestClassFor(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1024: 1024, 1025: 2048}
+	for n, want := range cases {
+		if got := classFor(n); got != want {
+			t.Errorf("classFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCellRecycleRoundTrip(t *testing.T) {
+	box := grid.NewBox(grid.IV(0, 0, 0), grid.IV(4, 4, 4))
+	f := NewCellPooled(box)
+	f.Fill(box, 7)
+	f.Recycle()
+	f.Recycle() // double recycle is a no-op
+	var nilCell *Cell
+	nilCell.Recycle() // nil recycle is a no-op
+
+	g := NewCellPooled(box)
+	if v := g.At(grid.IV(1, 2, 3)); v != 0 {
+		t.Fatalf("pooled cell not zeroed: %g", v)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		c := NewCellPooledWithGhost(box, 1)
+		c.Recycle()
+	}); n > 1 { // the Cell header itself may allocate; the data must not
+		t.Errorf("pooled cell cycle allocates %v per run, want <= 1", n)
+	}
+	g.Recycle()
+}
+
+func TestPoolConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := GetSlice(1 + i%512)
+				s[0] = 1
+				PutSlice(s)
+			}
+		}()
+	}
+	wg.Wait()
+}

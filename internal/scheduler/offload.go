@@ -177,6 +177,13 @@ func (s *Rank) offload(p *sim.Process, step int, t, dt float64, obj *taskgraph.O
 
 	sl.flag.Reset()
 	var tileErr error
+	// deferred collects the tiles' numeric bodies when parallel host
+	// execution is on: the launch body stages data and charges virtual
+	// time serially (deterministic accounting), while the pure per-tile
+	// numerics — disjoint output regions, no shared state — run on the
+	// worker pool below before the offload call returns, so downstream
+	// tasks always observe completed outputs.
+	var deferred []func()
 	start := p.Now()
 	off := sl.group.Launch(spec, active, s.cfg.Functional, sl.flag, func(c *athread.CPE) {
 		tiles := assign[c.ID]
@@ -191,7 +198,7 @@ func (s *Rank) offload(p *sim.Process, step int, t, dt float64, obj *taskgraph.O
 			if tileErr != nil {
 				return
 			}
-			if err := s.runTile(c, obj, tile, step, t, dt, ins, outs); err != nil {
+			if err := s.runTile(c, obj, tile, step, t, dt, ins, outs, &deferred); err != nil {
 				tileErr = err
 				return
 			}
@@ -200,6 +207,7 @@ func (s *Rank) offload(p *sim.Process, step int, t, dt float64, obj *taskgraph.O
 	if tileErr != nil {
 		return tileErr
 	}
+	runOps(s.cfg.Workers, deferred)
 	// A stalled gang never completes; account its healthy estimate so the
 	// trace and the load balancer never see Infinity.
 	dur := off.Done
@@ -231,9 +239,14 @@ func tilingUniform(patch *grid.Patch, tileSize grid.IVec) bool {
 	return s.X%tileSize.X == 0 && s.Y%tileSize.Y == 0 && s.Z%tileSize.Z == 0
 }
 
-// runTile performs one tile's get/compute/put round trip on a CPE.
+// runTile performs one tile's get/compute/put round trip on a CPE. When
+// deferred is non-nil and the host worker pool is enabled, the tile's
+// numeric body (kernel + output write-back + buffer recycling) is
+// appended to deferred instead of running inline; all virtual-time and
+// counter accounting still happens here, serially and in the exact order
+// of the inline path.
 func (s *Rank) runTile(c *athread.CPE, obj *taskgraph.Object, tile grid.Tile,
-	step int, t, dt float64, ins, outs []ioVar) error {
+	step int, t, dt float64, ins, outs []ioVar, deferred *[]func()) error {
 	var bufs []*athread.LDMBuf
 	release := func() {
 		for _, b := range bufs {
@@ -265,8 +278,49 @@ func (s *Rank) runTile(c *athread.CPE, obj *taskgraph.Object, tile grid.Tile,
 		outBufs = append(outBufs, buf)
 		outMap[ov.dep.Label] = &taskgraph.LDMData{Region: tile.Box, Data: buf.Data}
 	}
-	if s.cfg.Functional && obj.Task.Kernel.Compute != nil {
-		obj.Task.Kernel.Compute(&taskgraph.TileContext{
+	compute := obj.Task.Kernel.Compute
+	if deferred != nil && s.cfg.Functional && s.cfg.Workers > 1 && compute != nil {
+		tc := &taskgraph.TileContext{
+			Patch: obj.Patch, Tile: tile,
+			In: inMap, Out: outMap,
+			Step: step, Time: t, Dt: dt,
+			Level: s.graph.Level,
+		}
+		c.Compute(tile.Box.NumCells())
+		for i := range outs {
+			c.PutAccounted(outBufs[i])
+		}
+		for _, b := range bufs {
+			c.ReleaseKeep(b)
+		}
+		for _, b := range outBufs {
+			c.ReleaseKeep(b)
+		}
+		c.EndTile()
+		tileBox := tile.Box
+		outFields := make([]*field.Cell, len(outs))
+		for i, ov := range outs {
+			outFields[i] = ov.f
+		}
+		stagedIn, stagedOut := bufs, outBufs
+		*deferred = append(*deferred, func() {
+			compute(tc)
+			for i, f := range outFields {
+				f.CopyRegion(stagedOut[i].Data, tileBox)
+			}
+			for _, b := range stagedIn {
+				b.Data.Recycle()
+				b.Data = nil
+			}
+			for _, b := range stagedOut {
+				b.Data.Recycle()
+				b.Data = nil
+			}
+		})
+		return nil
+	}
+	if s.cfg.Functional && compute != nil {
+		compute(&taskgraph.TileContext{
 			Patch: obj.Patch, Tile: tile,
 			In: inMap, Out: outMap,
 			Step: step, Time: t, Dt: dt,

@@ -18,6 +18,7 @@ package scheduler
 
 import (
 	"fmt"
+	"runtime"
 
 	"sunuintah/internal/athread"
 	"sunuintah/internal/dw"
@@ -81,6 +82,14 @@ type Config struct {
 	// last intra-step consumer completes (Uintah's data-warehouse variable
 	// scrubbing), lowering the memory high-water mark for task chains.
 	Scrub bool
+	// Workers bounds the host worker pool that executes the numeric
+	// bodies of independent tiles in functional mode — the software
+	// analogue of the CPE gangs computing tiles in parallel. 0 means
+	// GOMAXPROCS; 1 runs the bodies inline (serial). Results are
+	// byte-identical for every value: tile outputs are disjoint and no
+	// cross-tile combining happens on the pool, so this is a wall-clock
+	// knob only (it never enters the runner's spec hash).
+	Workers int
 	// InOrder forces strict task-declaration x patch-ID execution order,
 	// disabling the out-of-order selection Uintah normally allows ("in
 	// ordered or possibly out of order fashion" — Section II). Useful as a
@@ -211,6 +220,9 @@ func New(cfg Config, graph *taskgraph.Graph, cg *sw26010.CoreGroup, mpi *mpisim.
 	}
 	if cfg.CPEGroups < 1 {
 		cfg.CPEGroups = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	mode := dw.TimingOnly
 	if cfg.Functional {

@@ -61,7 +61,11 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 	for _, e := range g.Sends {
 		var payload []float64
 		if s.cfg.Functional {
+			// The payload buffer is pooled: the receiver recycles it after
+			// unpacking (unpackRecv), so steady-state halo exchange
+			// allocates nothing.
 			f := s.DWs.Old.Get(e.Label, e.Src)
+			payload = field.GetBuf(int(e.Bytes / 8))
 			for _, r := range e.Regions {
 				payload = f.Pack(r, payload)
 			}
@@ -380,7 +384,8 @@ func (s *Rank) unpackRecv(p *sim.Process, step int, r *pendingRecv) {
 	e := r.edge
 	if s.cfg.Functional {
 		f := s.DWs.Old.Get(e.Label, e.Dst)
-		buf := r.req.Payload()
+		payload := r.req.Payload()
+		buf := payload
 		for _, region := range e.Regions {
 			buf = f.Unpack(region, buf)
 		}
@@ -388,6 +393,12 @@ func (s *Rank) unpackRecv(p *sim.Process, step int, r *pendingRecv) {
 			panic(fmt.Sprintf("scheduler: recv payload for %s %v->%v has %d values left over",
 				e.Label.Name(), e.Src, e.Dst, len(buf)))
 		}
+		// The payload came from the sender's pool draw and is fully
+		// consumed: recycle it. Duplicate deliveries under fault injection
+		// are suppressed by sequence number before their payload is read,
+		// and resends stop once the receive has matched, so nothing reads
+		// this buffer again.
+		field.PutSlice(payload)
 	}
 	s.charge(p, sim.Time(s.params.LocalCopyTime(e.Bytes)), &s.Stats.MPEWorkTime,
 		trace.KindMPEWork, step, "unpack "+e.Label.Name())

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -36,38 +35,102 @@ type event struct {
 	at  Time
 	seq uint64 // tie-breaker: schedule order
 	fn  func()
-	// index in heap, maintained by heap.Interface; -1 when popped/cancelled.
+	// index in the queue, maintained by the heap operations; -1 when
+	// popped (used by Cancel to detect already-fired events).
 	index     int
 	cancelled bool
 }
 
-type eventQueue []*event
+// eventQueue is a typed, slice-backed 4-ary min-heap on (at, seq). It
+// replaces container/heap, whose any-typed Push/Pop box every event and
+// make an indirect interface call per sift comparison — this queue is
+// the hottest structure of the simulation (every DMA, message and poll
+// goes through it). The 4-ary layout halves the tree depth, trading
+// slightly more comparisons per level for far fewer cache misses.
+// Cancellation stays lazy: cancelled events keep their slot and are
+// skipped on pop, preserving the FIFO tie-break (seq) semantics exactly.
+type eventQueue struct {
+	evs []*event
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders a before b by time, then by schedule order.
+func (q *eventQueue) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// Len returns the number of queued events (including cancelled ones
+// still awaiting their lazy removal).
+func (q *eventQueue) Len() int { return len(q.evs) }
+
+// push inserts ev, maintaining the heap order.
+func (q *eventQueue) push(ev *event) {
+	ev.index = len(q.evs)
+	q.evs = append(q.evs, ev)
+	q.siftUp(ev.index)
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() *event {
+	ev := q.evs[0]
+	n := len(q.evs) - 1
+	last := q.evs[n]
+	q.evs[n] = nil
+	q.evs = q.evs[:n]
+	if n > 0 {
+		q.evs[0] = last
+		last.index = 0
+		q.siftDown(0)
+	}
 	ev.index = -1
-	*q = old[:n-1]
 	return ev
+}
+
+func (q *eventQueue) siftUp(i int) {
+	ev := q.evs[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := q.evs[parent]
+		if !q.less(ev, p) {
+			break
+		}
+		q.evs[i] = p
+		p.index = i
+		i = parent
+	}
+	q.evs[i] = ev
+	ev.index = i
+}
+
+func (q *eventQueue) siftDown(i int) {
+	ev := q.evs[i]
+	n := len(q.evs)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(q.evs[c], q.evs[min]) {
+				min = c
+			}
+		}
+		if !q.less(q.evs[min], ev) {
+			break
+		}
+		q.evs[i] = q.evs[min]
+		q.evs[i].index = i
+		i = min
+	}
+	q.evs[i] = ev
+	ev.index = i
 }
 
 // Engine is a discrete-event simulation kernel.
@@ -104,7 +167,7 @@ func (e *Engine) Schedule(delay Time, fn func()) *EventHandle {
 	}
 	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return &EventHandle{ev: ev}
 }
 
@@ -131,13 +194,13 @@ func (e *Engine) Run() Time {
 // called, or the next event would fire strictly after the deadline. Events
 // exactly at the deadline are executed.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for !e.stopped && len(e.queue) > 0 {
-		next := e.queue[0]
+	for !e.stopped && e.queue.Len() > 0 {
+		next := e.queue.evs[0]
 		if next.at > deadline {
 			e.now = deadline
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		e.queue.pop()
 		if next.cancelled {
 			continue
 		}
@@ -181,7 +244,7 @@ func (e *Engine) Interrupted() string { return e.interrupted }
 // events still in the heap are not counted).
 func (e *Engine) PendingEvents() int {
 	n := 0
-	for _, ev := range e.queue {
+	for _, ev := range e.queue.evs {
 		if !ev.cancelled {
 			n++
 		}

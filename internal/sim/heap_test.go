@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventQueueOrdering drives the 4-ary heap with a large pseudo-random
+// schedule (including many time ties) and checks the pop order against a
+// stable sort on (at, seq) — the engine's FIFO tie-break contract.
+func TestEventQueueOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q eventQueue
+	const n = 5000
+	evs := make([]*event, 0, n)
+	for i := 0; i < n; i++ {
+		// Coarse times force frequent ties so the seq tie-break is
+		// exercised heavily.
+		ev := &event{at: Time(rng.Intn(50)), seq: uint64(i)}
+		evs = append(evs, ev)
+		q.push(ev)
+	}
+	want := append([]*event(nil), evs...)
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].seq < want[j].seq
+	})
+	for i := 0; i < n; i++ {
+		got := q.pop()
+		if got != want[i] {
+			t.Fatalf("pop %d: got (at=%v seq=%d), want (at=%v seq=%d)",
+				i, got.at, got.seq, want[i].at, want[i].seq)
+		}
+		if got.index != -1 {
+			t.Fatalf("popped event keeps index %d", got.index)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after draining: %d", q.Len())
+	}
+}
+
+// TestEventQueueInterleavedPushPop mixes pushes and pops, verifying the
+// heap invariant holds under churn (the engine's steady state).
+func TestEventQueueInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	var seq uint64
+	lastAt := Time(-1)
+	for round := 0; round < 200; round++ {
+		for i := 0; i < rng.Intn(20); i++ {
+			q.push(&event{at: lastAt + Time(rng.Intn(10)) + 1, seq: seq})
+			seq++
+		}
+		for i := 0; i < rng.Intn(15) && q.Len() > 0; i++ {
+			ev := q.pop()
+			if ev.at < lastAt {
+				t.Fatalf("pop went backwards: %v after %v", ev.at, lastAt)
+			}
+			lastAt = ev.at
+		}
+	}
+}
+
+// TestCancelledEventsSkippedAndCancelSemantics checks the engine-level
+// cancel path against the new queue: cancelled events do not fire, Cancel
+// on fired/cancelled events reports false, and FIFO order among the
+// survivors is preserved.
+func TestCancelledEventsSkippedAndCancelSemantics(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var handles []*EventHandle
+	for i := 0; i < 100; i++ {
+		i := i
+		handles = append(handles, e.Schedule(Time(i%10), func() { fired = append(fired, i) }))
+	}
+	for i, h := range handles {
+		if i%3 == 0 {
+			if !h.Cancel() {
+				t.Fatalf("cancel of live event %d reported dead", i)
+			}
+			if h.Cancel() {
+				t.Fatalf("double cancel of %d reported live", i)
+			}
+		}
+	}
+	e.Run()
+	seenAt := map[int]int{}
+	prevAt := -1
+	for _, i := range fired {
+		if i%3 == 0 {
+			t.Fatalf("cancelled event %d fired", i)
+		}
+		at := i % 10
+		if at < prevAt {
+			t.Fatalf("events fired out of time order: %d after %d", at, prevAt)
+		}
+		if at == prevAt && seenAt[at] > i {
+			t.Fatalf("FIFO tie-break violated at time %d", at)
+		}
+		prevAt = at
+		seenAt[at] = i
+	}
+	if len(fired) != 66 {
+		t.Fatalf("fired %d events, want 66", len(fired))
+	}
+	for _, h := range handles {
+		if h.Cancel() {
+			t.Fatal("cancel after run reported a live event")
+		}
+	}
+}
+
+// BenchmarkEventLoop measures raw scheduler throughput: a self-
+// rescheduling event chain, the engine's hot path (push + pop + dispatch
+// per event).
+func BenchmarkEventLoop(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Schedule(Microsecond, tick)
+	e.Run()
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEventQueueChurn measures the queue under a deep calendar:
+// push/pop against 4096 resident events.
+func BenchmarkEventQueueChurn(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var q eventQueue
+	var seq uint64
+	for i := 0; i < 4096; i++ {
+		q.push(&event{at: Time(rng.Float64()), seq: seq})
+		seq++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.pop()
+		ev.at += Time(rng.Float64())
+		q.push(ev)
+	}
+}
