@@ -8,6 +8,8 @@ check: vet build test race chaos benchgate
 
 vet:
 	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$fmt_out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -15,15 +17,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent subsystems: the runner package in full
-# (including the determinism guard, which exercises real simulations on
-# concurrent workers), the fault plane and the core recovery paths, and
-# the experiments package's fast tests. The full-sweep experiments tests
-# are minutes-long under the race detector, hence -short there.
+# Race-check the concurrent subsystems: the sharded engine and the MPI
+# model it drives (the packages with real cross-goroutine traffic), the
+# runner package in full (including the determinism guard, which
+# exercises real simulations on concurrent workers), the fault plane and
+# the core recovery/sharding paths, and the experiments package's fast
+# tests. The full-sweep experiments tests are minutes-long under the
+# race detector, hence -short there.
 race:
+	$(GO) test -race -count=1 ./internal/sim/... ./internal/mpisim/...
 	$(GO) test -race -count=1 ./internal/runner/...
 	$(GO) test -race -count=1 ./internal/faults/...
-	$(GO) test -race -count=1 -run 'Resilient|Reoffload|MPEFallback|MessageFaults|ZeroPlan' ./internal/core/
+	$(GO) test -race -count=1 -run 'Resilient|Reoffload|MPEFallback|MessageFaults|ZeroPlan|Sharded|Shards|Coalesced' ./internal/core/
 	$(GO) test -race -short -count=1 ./internal/experiments/...
 
 # The chaos gate: run the short fault-matrix determinism test (byte-equal
@@ -36,7 +41,7 @@ chaos:
 # baseline. Commit the updated BENCH_baseline.json together with any
 # intentional performance change.
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 	$(GO) run ./cmd/benchgate -record -o BENCH_baseline.json
 
 # The perf-regression gate: remeasure the hot paths and fail on a >15%

@@ -12,9 +12,12 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"sunuintah/internal/experiments"
+	"sunuintah/internal/runner"
 )
 
 // benchSteps keeps each regenerated artifact fast enough for a benchmark
@@ -139,6 +142,45 @@ func BenchmarkFig9FloatingPointPerformance(b *testing.B) {
 				last := fs.Points[len(fs.Points)-1]
 				b.ReportMetric(last.Gflops, "gflops-128cg")
 			}
+		}
+	}
+}
+
+// BenchmarkTimestepEndToEnd times one whole simulated case — build,
+// schedule, communicate, run benchSteps timesteps — at several rank
+// counts, on the serial engine and on the sharded conservative engine.
+// The serial/sharded pairs share a spec, so their s/step metrics expose
+// the parallel engine's wall-clock speedup directly (results are
+// bit-identical by construction; TestExecShardDeterminism enforces it).
+func BenchmarkTimestepEndToEnd(b *testing.B) {
+	for _, ranks := range []int{4, 16, 32} {
+		for _, shards := range []int{0, 4} {
+			engine := "serial"
+			if shards > 0 {
+				engine = fmt.Sprintf("shards%d", shards)
+			}
+			b.Run(fmt.Sprintf("ranks%d/%s", ranks, engine), func(b *testing.B) {
+				layouts := map[int]string{4: "2x2x1", 16: "4x2x2", 32: "4x4x2"}
+				spec := runner.Spec{
+					Cells:   "64x64x128",
+					Layout:  layouts[ranks],
+					CGs:     ranks,
+					Variant: "acc_simd.async",
+					Steps:   benchSteps,
+					Shards:  shards,
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := experiments.Exec(context.Background(), spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Feasible {
+						b.Fatal("benchmark case infeasible")
+					}
+					b.ReportMetric(float64(res.Sim.PerStep), "simulated-s/step")
+				}
+			})
 		}
 	}
 }

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,9 +33,11 @@ import (
 
 	"sunuintah/internal/burgers"
 	"sunuintah/internal/dw"
+	"sunuintah/internal/experiments"
 	"sunuintah/internal/field"
 	"sunuintah/internal/grid"
 	"sunuintah/internal/perf"
+	"sunuintah/internal/runner"
 	"sunuintah/internal/sim"
 	"sunuintah/internal/sw26010"
 	"sunuintah/internal/taskgraph"
@@ -160,6 +163,27 @@ func collect() map[string]float64 {
 		}
 		pair.Swap()
 	})
+
+	// End-to-end timestep throughput (steps/s) of a 32-rank case, on the
+	// serial engine and on the sharded conservative engine. The pair
+	// gates the parallel engine: a scheduling or barrier regression shows
+	// up in e2e.shards4 even when the micro-metrics above hold steady.
+	const e2eSteps = 2
+	e2e := func(shards int) func() {
+		spec := runner.Spec{Cells: "64x64x128", Layout: "4x4x2", CGs: 32,
+			Variant: "acc_simd.async", Steps: e2eSteps, Shards: shards}
+		return func() {
+			res, err := experiments.Exec(context.Background(), spec)
+			if err != nil {
+				panic(err)
+			}
+			if !res.Feasible {
+				panic("benchgate: e2e case infeasible")
+			}
+		}
+	}
+	m["e2e.serial.steps_per_s"] = measureRate(e2eSteps, 3, e2e(0))
+	m["e2e.shards4.steps_per_s"] = measureRate(e2eSteps, 3, e2e(4))
 
 	// Event-loop throughput (events/s): a self-rescheduling chain.
 	m["sim.events_per_s"] = measureRate(100000, 5, func() {

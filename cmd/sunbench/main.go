@@ -5,12 +5,15 @@
 //
 // Independent cases execute concurrently on -jobs workers, and results
 // are memoised by content hash; with -cache DIR the memo persists on
-// disk, so a second invocation skips every completed case.
+// disk, so a second invocation skips every completed case. -shards N
+// additionally parallelises each case internally on the conservative
+// sharded engine; results stay bit-identical, so both knobs compose
+// freely with the cache.
 //
 // Usage:
 //
 //	sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N]
-//	         [-cache dir|off] [-json file] [-cpuprofile file]
+//	         [-shards N] [-cache dir|off] [-json file] [-cpuprofile file]
 //	         [-memprofile file] [-v] <artifact>...
 //
 // Artifacts: table1 table2 table3 table4 table5 table6 table7
@@ -36,7 +39,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-cache dir|off] [-json file] [-cpuprofile file] [-memprofile file] [-v] <artifact>...")
+	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-shards N] [-cache dir|off] [-json file] [-cpuprofile file] [-memprofile file] [-v] <artifact>...")
 	fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles chaos summary all")
 }
 
@@ -67,6 +70,7 @@ func main() {
 	repeats := flag.Int("repeats", 1, "with -noise: repeat each case and keep the best, like the paper")
 	faultsFlag := flag.String("faults", "off", `fault plan: "off", "default", "default,scale=F" or "seed=N,drop=f,crash=f,..."`)
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs")
+	shards := flag.Int("shards", 0, "engine shards per simulation (0 = serial engine; results are bit-identical)")
 	cacheFlag := flag.String("cache", "off", `result cache: "off", or a directory for an on-disk store (e.g. .suncache)`)
 	jsonPath := flag.String("json", "", "also write the full evaluation as structured JSON to this file")
 	verbose := flag.Bool("v", false, "print per-case progress as [done/total, hit-rate]")
@@ -76,6 +80,10 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "sunbench: -shards must be >= 0 (0 = serial engine), got %d\n", *shards)
 		os.Exit(2)
 	}
 
@@ -165,7 +173,7 @@ func main() {
 	pool := experiments.NewPool(*jobs, cache, onEvent)
 	defer pool.Close()
 	sweep := experiments.NewSweepWithPool(
-		experiments.Options{Steps: *steps, Noise: *noise, Repeats: *repeats, Faults: plan}, pool)
+		experiments.Options{Steps: *steps, Noise: *noise, Repeats: *repeats, Faults: plan, Shards: *shards}, pool)
 
 	// A full (or near-full) evaluation saturates the pool from the start;
 	// single artifacts prefetch their own cells.

@@ -47,6 +47,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs")
 	cacheFlag := flag.String("cache", runner.DefaultCacheDir, `result cache: "off" (memory only) or an on-disk store directory`)
 	steps := flag.Int("steps", experiments.Steps, "default timesteps for requests that omit steps")
+	shards := flag.Int("shards", 0, "default engine shards for requests that omit them (0 = serial engine)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 disables)")
 	reqTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-HTTP-request handler timeout")
 	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on SIGINT/SIGTERM")
@@ -56,6 +57,10 @@ func main() {
 	plan, err := faults.Parse(*faultsFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sunserver:", err)
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "sunserver: -shards must be >= 0 (0 = serial engine), got %d\n", *shards)
 		os.Exit(2)
 	}
 
@@ -81,9 +86,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sunserver:", err)
 		os.Exit(1)
 	}
-	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: *steps}, pool)
+	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: *steps, Shards: *shards}, pool)
 
-	srv := newServer(pool, sweep, *steps, plan)
+	srv := newServer(pool, sweep, *steps, *shards, plan)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           http.TimeoutHandler(srv.handler(), *reqTimeout, "request timed out\n"),

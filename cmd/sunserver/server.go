@@ -41,6 +41,7 @@ type server struct {
 	pool   *experiments.Pool
 	sweep  *experiments.Sweep
 	steps  int          // default steps for requests that omit them
+	shards int          // default engine shards for requests that omit them
 	faults *faults.Plan // default fault plan for requests that omit one (nil: none)
 	start  time.Time
 
@@ -49,11 +50,12 @@ type server struct {
 	nextID int
 }
 
-func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps int, plan *faults.Plan) *server {
+func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps, defaultShards int, plan *faults.Plan) *server {
 	return &server{
 		pool:   pool,
 		sweep:  sweep,
 		steps:  defaultSteps,
+		shards: defaultShards,
 		faults: plan,
 		start:  time.Now(),
 		jobs:   map[string]*apiJob{},
@@ -106,6 +108,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Steps <= 0 {
 		req.Steps = s.steps
+	}
+	// Shards only changes wall-clock speed (results are bit-identical), so
+	// the server default fills in requests that don't choose; negative
+	// values are rejected below by ValidateSpec.
+	if req.Shards == 0 {
+		req.Shards = s.shards
 	}
 	// The server's default fault plan applies to specs that don't bring
 	// their own; an explicit all-zero plan opts a request out of it.

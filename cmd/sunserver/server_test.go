@@ -26,7 +26,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *runner.Pool) {
 		t.Fatal(err)
 	}
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: 1}, pool)
-	ts := httptest.NewServer(newServer(pool, sweep, 1, nil).handler())
+	ts := httptest.NewServer(newServer(pool, sweep, 1, 0, nil).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
@@ -145,7 +145,7 @@ func TestDefaultFaultPlanApplied(t *testing.T) {
 	}
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: 2}, pool)
 	plan := &faults.Plan{Seed: 1, CrashAtStep: 3, CheckpointEvery: 2}
-	ts := httptest.NewServer(newServer(pool, sweep, 2, plan).handler())
+	ts := httptest.NewServer(newServer(pool, sweep, 2, 0, plan).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()

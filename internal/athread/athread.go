@@ -355,7 +355,7 @@ func (g *Group) Launch(spec KernelSpec, activeCPEs int, functional bool, flag *s
 	stall := false
 	factor := sim.Time(1)
 	if g.cg.Faults != nil {
-		s, f := g.cg.Faults.OffloadFate()
+		s, f := g.cg.Faults.OffloadFate(g.cg.ID)
 		stall = s
 		factor = sim.Time(f)
 	}

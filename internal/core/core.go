@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sunuintah/internal/faults"
 	"sunuintah/internal/field"
@@ -35,6 +36,13 @@ type Config struct {
 	PatchCounts grid.IVec
 	// NumCGs is the number of core groups (MPI ranks).
 	NumCGs int
+	// Shards partitions the ranks into that many host-parallel engine
+	// shards advanced by a conservative lookahead coordinator; 0 (or 1)
+	// runs the classic serial engine. Results are bit-identical for every
+	// value — sharding is purely a wall-clock knob, clamped to NumCGs.
+	// Plans that can crash a core group force serial execution (a crash is
+	// an immediate global teardown, incompatible with lookahead).
+	Shards int
 	// Scheduler picks the variant (mode, SIMD, tile size, extensions).
 	Scheduler scheduler.Config
 	// Params is the machine model; zero value means perf.DefaultParams.
@@ -68,7 +76,15 @@ type Simulation struct {
 	Comm    *mpisim.Comm
 	Ranks   []*scheduler.Rank
 
+	// eng is the serial engine, or shard 0's engine under sharding;
+	// engs[r] is the engine that owns rank r (all aliases of eng when
+	// serial) and shards is the coordinator (nil when serial).
 	eng    *sim.Engine
+	engs   []*sim.Engine
+	shards *sim.ShardSet
+	// runMu guards the error/crash fields written by concurrently
+	// executing shard goroutines.
+	runMu  sync.Mutex
 	assign []int
 	// stepsDone and timeDone track progress across multiple Run calls, so
 	// a simulation can be advanced, rebalanced or checkpointed, and
@@ -121,6 +137,9 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 	if cfg.NumCGs <= 0 {
 		return nil, fmt.Errorf("core: NumCGs must be positive, got %d", cfg.NumCGs)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("core: Shards must be >= 0 (0 = serial engine), got %d", cfg.Shards)
+	}
 	if prob.Dt <= 0 {
 		return nil, fmt.Errorf("core: Problem.Dt must be positive, got %v", prob.Dt)
 	}
@@ -143,14 +162,40 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 		return nil, err
 	}
 
-	eng := sim.NewEngine()
-	machine := sw26010.NewMachine(eng, params, cfg.NumCGs)
-	comm := mpisim.NewComm(eng, params, cfg.NumCGs)
+	// Resolve the effective shard count: never more shards than ranks, and
+	// crash-capable plans run serial — a CG crash tears the whole run down
+	// at one instant, a zero-lookahead global channel no window can cover.
+	nShards := cfg.Shards
+	if nShards > cfg.NumCGs {
+		nShards = cfg.NumCGs
+	}
+	if cfg.Faults != nil && (cfg.Faults.Crash > 0 || cfg.Faults.CrashAtStep > 0) {
+		nShards = 1
+	}
+
+	engs := make([]*sim.Engine, cfg.NumCGs)
+	var shards *sim.ShardSet
+	if nShards > 1 {
+		shards = sim.NewShardSet(nShards, shardLookahead(params, cfg.NumCGs, nShards))
+		for r := range engs {
+			engs[r] = shards.Engine(r * nShards / cfg.NumCGs)
+		}
+	} else {
+		eng := sim.NewEngine()
+		for r := range engs {
+			engs[r] = eng
+		}
+	}
+	machine := sw26010.NewMachineWithEngines(engs, params)
+	comm := mpisim.NewComm(engs[0], params, cfg.NumCGs)
+	if shards != nil {
+		comm.Shard(shards, engs)
+	}
 
 	s := &Simulation{
 		Cfg: cfg, Prob: prob, Level: level,
 		Machine: machine, Comm: comm,
-		eng: eng, assign: assign,
+		eng: engs[0], engs: engs, shards: shards, assign: assign,
 	}
 	// Attach the fault plane before the schedulers are built (they capture
 	// their core group's injector at construction).
@@ -176,6 +221,57 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// shardLookahead is the conservative window width for a contiguous
+// partition of nCGs ranks into nShards: the minimum virtual latency of any
+// zero-byte message between ranks in different shards. No cross-shard
+// interaction — delivery, duplicate, collective completion — can take
+// effect sooner, which is what lets each shard run that far ahead alone.
+func shardLookahead(params perf.Params, nCGs, nShards int) sim.Time {
+	min := sim.Infinity
+	for a := 0; a < nCGs; a++ {
+		for b := 0; b < nCGs; b++ {
+			if a == b || a*nShards/nCGs == b*nShards/nCGs {
+				continue
+			}
+			if w := sim.Time(params.MessageTimeBetween(a, b, 0)); w < min {
+				min = w
+			}
+		}
+	}
+	return min
+}
+
+// now returns the current virtual time (the global maximum under
+// sharding; segments start and end with every shard aligned).
+func (s *Simulation) now() sim.Time {
+	if s.shards != nil {
+		return s.shards.Now()
+	}
+	return s.eng.Now()
+}
+
+// drive runs the engine(s) until the spawned work completes. Under
+// sharding the shards' clocks are re-aligned afterwards so the next
+// segment starts every rank at the same instant, as the serial engine
+// does.
+func (s *Simulation) drive() {
+	if s.shards != nil {
+		s.shards.Run()
+		s.shards.AlignNow()
+		return
+	}
+	s.eng.Run()
+}
+
+// stopFrom stops the run from inside p's executing event: p's own engine
+// immediately, the sibling shards at the next window barrier.
+func (s *Simulation) stopFrom(p *sim.Process) {
+	p.Engine().Stop()
+	if s.shards != nil {
+		s.shards.RequestStop()
+	}
 }
 
 // checkCarryForward enforces the supported warehouse discipline: every
@@ -250,7 +346,7 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 		return nil, fmt.Errorf("core: nSteps must be positive")
 	}
 	firstStep := s.stepsDone
-	segmentStart := s.eng.Now()
+	segmentStart := s.now()
 	countersBefore := s.Machine.TotalCounters()
 	var bytesBefore int64
 	for r := range s.Ranks {
@@ -261,16 +357,18 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 	for r, rk := range s.Ranks {
 		r, rk := r, rk
 		stepEnds[r] = make([]sim.Time, nSteps)
-		s.eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Process) {
+		s.engs[r].Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Process) {
 			t := s.timeDone
 			// crashEv is an armed whole-CG crash of this rank: it fires a
 			// plan-drawn fraction of a step duration into the crash step
 			// and interrupts the entire engine (the failure takes the job
 			// down, as on the machine). prevDur estimates the step length.
+			// Crash-capable plans force serial execution (NewSimulation),
+			// so p's engine is the engine here.
 			var crashEv *sim.EventHandle
 			var prevDur sim.Time
 			for i := 0; i < nSteps; i++ {
-				if s.eng.Stopped() {
+				if p.Engine().Stopped() {
 					return
 				}
 				step := firstStep + i
@@ -297,10 +395,12 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 				}
 				stepStart := p.Now()
 				if err := rk.ExecuteStep(p, step, t, s.Prob.Dt); err != nil {
+					s.runMu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("rank %d step %d: %w", r, step, err)
 					}
-					s.eng.Stop()
+					s.runMu.Unlock()
+					s.stopFrom(p)
 					return
 				}
 				prevDur = p.Now() - stepStart
@@ -312,7 +412,7 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 			crashEv.Cancel()
 		})
 	}
-	s.eng.Run()
+	s.drive()
 	if s.crashed != nil {
 		return nil, s.crashed
 	}

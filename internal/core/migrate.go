@@ -61,15 +61,17 @@ func (s *Simulation) Rebalance(newAssign []int) error {
 	// collide with timestep ghost tags.
 	tagOf := func(m move) int { return -(1 + m.patchID*len(labels) + m.labelIdx) }
 	var firstErr error
-	fail := func(err error) {
+	fail := func(p *sim.Process, err error) {
+		s.runMu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
-		s.eng.Stop()
+		s.runMu.Unlock()
+		s.stopFrom(p)
 	}
 	for r, rk := range s.Ranks {
 		r, rk := r, rk
-		s.eng.Spawn(fmt.Sprintf("migrate%d", r), func(p *sim.Process) {
+		s.engs[r].Spawn(fmt.Sprintf("migrate%d", r), func(p *sim.Process) {
 			params := rk.CoreGroup().Params
 			type pendingIn struct {
 				m   move
@@ -102,7 +104,7 @@ func (s *Simulation) Rebalance(newAssign []int) error {
 				patch := layout.Patch(in.m.patchID)
 				label := labels[in.m.labelIdx]
 				if err := rk.DWs.Old.Allocate(label, patch, rk.MaxGhost(label)); err != nil {
-					fail(fmt.Errorf("core: migrating patch %d to rank %d: %w", in.m.patchID, r, err))
+					fail(p, fmt.Errorf("core: migrating patch %d to rank %d: %w", in.m.patchID, r, err))
 					return
 				}
 				bytes := patch.NumCells() * 8
@@ -110,7 +112,7 @@ func (s *Simulation) Rebalance(newAssign []int) error {
 				if s.Cfg.Scheduler.Functional {
 					rest := rk.DWs.Old.Get(label, patch).Unpack(patch.Box, in.req.Payload())
 					if len(rest) != 0 {
-						fail(fmt.Errorf("core: migration payload mismatch for patch %d", in.m.patchID))
+						fail(p, fmt.Errorf("core: migration payload mismatch for patch %d", in.m.patchID))
 						return
 					}
 				}
@@ -123,7 +125,7 @@ func (s *Simulation) Rebalance(newAssign []int) error {
 			}
 		})
 	}
-	s.eng.Run()
+	s.drive()
 	if firstErr != nil {
 		return firstErr
 	}

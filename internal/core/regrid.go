@@ -86,15 +86,17 @@ func (s *Simulation) Regrid(newPatchCounts grid.IVec) error {
 
 	tagOf := func(i int) int { return -(1 + i) }
 	var firstErr error
-	fail := func(err error) {
+	fail := func(p *sim.Process, err error) {
+		s.runMu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
-		s.eng.Stop()
+		s.runMu.Unlock()
+		s.stopFrom(p)
 	}
 	for r, rk := range s.Ranks {
 		r, rk := r, rk
-		s.eng.Spawn(fmt.Sprintf("regrid%d", r), func(p *sim.Process) {
+		s.engs[r].Spawn(fmt.Sprintf("regrid%d", r), func(p *sim.Process) {
 			params := rk.CoreGroup().Params
 			// Allocate the new-layout variables this rank will own.
 			for _, np := range newLevel.Layout.Patches() {
@@ -153,14 +155,14 @@ func (s *Simulation) Regrid(newPatchCounts grid.IVec) error {
 					h := newFields[r][varKey{in.pc.labelIdx, in.pc.newPatch.ID}]
 					rest := h.data.Unpack(in.pc.region, in.req.Payload())
 					if len(rest) != 0 {
-						fail(fmt.Errorf("core: regrid payload mismatch for new patch %d", in.pc.newPatch.ID))
+						fail(p, fmt.Errorf("core: regrid payload mismatch for new patch %d", in.pc.newPatch.ID))
 						return
 					}
 				}
 			}
 		})
 	}
-	s.eng.Run()
+	s.drive()
 	if firstErr != nil {
 		return firstErr
 	}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sunuintah/internal/faults"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/scheduler"
+)
+
+// shardRun executes one case and returns its Result serialised to JSON
+// plus the packed final field (nil in timing-only mode). Byte-equality of
+// these artifacts is the sharded engine's contract: shards change only
+// wall-clock speed, never the simulated outcome.
+func shardRun(t *testing.T, cfg Config, nSteps int) ([]byte, []float64) {
+	t.Helper()
+	prob, u := burgersProblem(cfg.Cells, cfg.PatchCounts, cfg.Scheduler.SIMD)
+	s, err := NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(nSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Scheduler.Functional {
+		return blob, nil
+	}
+	f, err := s.GatherField(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, f.Pack(s.Level.Layout.Domain, nil)
+}
+
+// TestShardedBitIdentical is the tentpole determinism guarantee: for every
+// shard count the parallel engine produces byte-identical results — the
+// Result JSON (timings, counters, stats) and, in functional mode, every
+// field value — to the serial engine.
+func TestShardedBitIdentical(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	const nSteps = 3
+
+	base := func(mode scheduler.Mode, functional bool, cgs int) Config {
+		return Config{
+			Cells:       cells,
+			PatchCounts: patches,
+			NumCGs:      cgs,
+			Scheduler: scheduler.Config{
+				Mode:       mode,
+				TileSize:   grid.IV(8, 8, 4),
+				Functional: functional,
+			},
+		}
+	}
+	noCrash := &faults.Plan{Seed: 7, Drop: 0.1, Dup: 0.1, Delay: 0.1, Straggle: 0.1}
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"functional-async-8cg", base(scheduler.ModeAsync, true, 8)},
+		{"functional-sync-4cg", base(scheduler.ModeSync, true, 4)},
+		{"timing-async-8cg", base(scheduler.ModeAsync, false, 8)},
+		{"faulted-async-8cg", func() Config {
+			c := base(scheduler.ModeAsync, true, 8)
+			c.Faults = noCrash
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			refJSON, refField := shardRun(t, tc.cfg, nSteps)
+			for _, shards := range []int{1, 2, 4} {
+				cfg := tc.cfg
+				cfg.Shards = shards
+				gotJSON, gotField := shardRun(t, cfg, nSteps)
+				if string(gotJSON) != string(refJSON) {
+					t.Fatalf("shards=%d: result JSON differs from serial engine\nserial:  %s\nsharded: %s",
+						shards, refJSON, gotJSON)
+				}
+				if len(gotField) != len(refField) {
+					t.Fatalf("shards=%d: field length %d != %d", shards, len(gotField), len(refField))
+				}
+				for i := range gotField {
+					if gotField[i] != refField[i] {
+						t.Fatalf("shards=%d: field[%d] = %g != %g (must be bit-identical)",
+							shards, i, gotField[i], refField[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedCrashPlanForcesSerial checks the crash-capable fallback: a
+// plan that can tear a run down runs on the serial engine regardless of
+// the shard request (a crash is a zero-lookahead global event), and the
+// resilient result is byte-identical either way.
+func TestShardedCrashPlanForcesSerial(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	prob, _ := burgersProblem(cells, patches, false)
+	cfg := Config{
+		Cells:       cells,
+		PatchCounts: patches,
+		NumCGs:      4,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 4), Functional: true},
+		Faults:      &faults.Plan{Seed: 3, CrashAtStep: 2, CheckpointEvery: 2},
+	}
+
+	s, err := NewSimulation(func() Config { c := cfg; c.Shards = 4; return c }(), prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.shards != nil {
+		t.Fatal("crash-capable plan must force the serial engine")
+	}
+
+	serial, err := RunResilient(cfg, prob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	sharded, err := RunResilient(cfg, prob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(sharded)
+	if string(a) != string(b) {
+		t.Fatalf("crash-plan results differ:\nserial:  %s\nsharded: %s", a, b)
+	}
+}
+
+// TestNegativeShardsRejected: the validation satellite — a negative shard
+// count is a configuration error with a clear message, not a panic deep
+// in the engine.
+func TestNegativeShardsRejected(t *testing.T) {
+	cells := grid.IV(8, 8, 8)
+	prob, _ := burgersProblem(cells, grid.IV(1, 1, 1), false)
+	cfg := Config{
+		Cells:       cells,
+		PatchCounts: grid.IV(1, 1, 1),
+		NumCGs:      1,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeSync, Functional: false},
+		Shards:      -2,
+	}
+	if _, err := NewSimulation(cfg, prob); err == nil {
+		t.Fatal("want error for Shards = -2, got nil")
+	}
+}
+
+// TestShardsClampedToRanks: asking for more shards than ranks silently
+// clamps (one rank per shard is the finest useful partition).
+func TestShardsClampedToRanks(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	prob, _ := burgersProblem(cells, patches, false)
+	cfg := Config{
+		Cells:       cells,
+		PatchCounts: patches,
+		NumCGs:      2,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 4), Functional: false},
+		Shards:      16,
+	}
+	s, err := NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.shards == nil || s.shards.NumShards() != 2 {
+		t.Fatalf("want 2 shards for 2 ranks, got %v", s.shards)
+	}
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalescedPollingReducesEvents: the polling-coalescing satellite.
+// Batching a rank's same-instant completion polls into one event must
+// shrink the event count on the sync scheduler while leaving the Result
+// byte-identical.
+func TestCoalescedPollingReducesEvents(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	const nSteps = 3
+
+	run := func(coalesce bool) ([]byte, uint64) {
+		prob, _ := burgersProblem(cells, patches, false)
+		cfg := Config{
+			Cells:       cells,
+			PatchCounts: patches,
+			NumCGs:      8,
+			Scheduler:   scheduler.Config{Mode: scheduler.ModeSync, TileSize: grid.IV(8, 8, 4), Functional: false},
+		}
+		s, err := NewSimulation(cfg, prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Comm.SetTestCoalescing(coalesce)
+		res, err := s.Run(nSteps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob, s.eng.EventsExecuted()
+	}
+
+	onJSON, onEvents := run(true)
+	offJSON, offEvents := run(false)
+	if string(onJSON) != string(offJSON) {
+		t.Fatalf("coalescing changed the result:\non:  %s\noff: %s", onJSON, offJSON)
+	}
+	if onEvents >= offEvents {
+		t.Fatalf("coalescing did not reduce events: %d (on) >= %d (off)", onEvents, offEvents)
+	}
+	t.Logf("events: %d coalesced vs %d uncoalesced (%.1f%% fewer)",
+		onEvents, offEvents, 100*(1-float64(onEvents)/float64(offEvents)))
+}

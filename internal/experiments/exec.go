@@ -44,6 +44,7 @@ func SpecFor(prob ProblemSpec, cgs int, v Variant, opt Options, seed uint64) run
 	if !opt.Faults.Zero() {
 		spec.Faults = opt.Faults
 	}
+	spec.Shards = opt.Shards
 	return spec
 }
 
@@ -97,6 +98,9 @@ func ValidateSpec(spec runner.Spec) error {
 	}
 	if spec.Steps <= 0 {
 		return fmt.Errorf("experiments: spec needs positive steps, got %d", spec.Steps)
+	}
+	if spec.Shards < 0 {
+		return fmt.Errorf("experiments: spec shards must be >= 0 (0 = serial engine), got %d", spec.Shards)
 	}
 	return nil
 }
@@ -183,6 +187,7 @@ func specConfig(spec runner.Spec) (core.Config, core.Problem, error) {
 	if !spec.Faults.Zero() {
 		cfg.Faults = spec.Faults
 	}
+	cfg.Shards = spec.Shards
 	return cfg, problem, nil
 }
 

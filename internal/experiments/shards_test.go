@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"sunuintah/internal/faults"
+	"sunuintah/internal/runner"
+)
+
+// execJSON runs a spec uncached through Exec and returns the serialised
+// result. Exec (not a pool) on purpose: the content cache deliberately
+// ignores Shards, so cached runs would alias across shard counts and the
+// comparison would be vacuous.
+func execJSON(t *testing.T, spec runner.Spec) []byte {
+	t.Helper()
+	res, err := Exec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestExecShardDeterminism sweeps a small case matrix — including a
+// faulted run — across shard counts and asserts byte-identical run
+// artifacts and identical simulated end times. `make race` reruns this
+// under the race detector.
+func TestExecShardDeterminism(t *testing.T) {
+	specs := []runner.Spec{
+		{Cells: "16x16x32", Layout: "2x2x2", CGs: 8, Variant: "acc.async", Steps: 3, Functional: true},
+		{Cells: "16x16x32", Layout: "2x2x2", CGs: 8, Variant: "acc_simd.sync", Steps: 3},
+		{Cells: "16x16x32", Layout: "2x2x2", CGs: 8, Variant: "acc.async", Steps: 3,
+			Faults: &faults.Plan{Seed: 5, Drop: 0.1, Dup: 0.1, Stall: 0.05}},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			ref := execJSON(t, spec)
+			var refRes runner.Result
+			if err := json.Unmarshal(ref, &refRes); err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				s := spec
+				s.Shards = shards
+				if s.Hash() != spec.Hash() {
+					t.Fatalf("shards=%d changed the content hash: the cache key must ignore wall-clock knobs", shards)
+				}
+				got := execJSON(t, s)
+				if string(got) != string(ref) {
+					t.Fatalf("shards=%d: result differs from serial engine\nserial:  %s\nsharded: %s",
+						shards, ref, got)
+				}
+				var gotRes runner.Result
+				if err := json.Unmarshal(got, &gotRes); err != nil {
+					t.Fatal(err)
+				}
+				if gotRes.Sim != nil && refRes.Sim != nil &&
+					gotRes.Sim.StepEnds[len(gotRes.Sim.StepEnds)-1] != refRes.Sim.StepEnds[len(refRes.Sim.StepEnds)-1] {
+					t.Fatalf("shards=%d: simulated end time differs", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestValidateSpecRejectsNegativeShards: bad shard counts fail validation
+// with a clear message (sunserver rejects such requests up front).
+func TestValidateSpecRejectsNegativeShards(t *testing.T) {
+	spec := runner.Spec{Cells: "16x16x32", Layout: "2x2x2", CGs: 2, Variant: "acc.async", Steps: 1, Shards: -1}
+	if err := ValidateSpec(spec); err == nil {
+		t.Fatal("want error for shards = -1, got nil")
+	}
+}

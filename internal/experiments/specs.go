@@ -127,6 +127,12 @@ type Options struct {
 	// GOMAXPROCS). Ignored by the serial RunCase path.
 	Jobs int
 
+	// Shards runs each case on the conservative parallel engine with this
+	// many shards (0 or 1 = serial engine). Like Jobs, it only changes
+	// wall-clock speed: results are bit-identical for every shard count,
+	// so it never participates in the result-cache key.
+	Shards int
+
 	// Faults injects deterministic chaos into every case: a non-zero plan
 	// routes runs through core.RunResilient (checkpoint/restart under CG
 	// crashes) and participates in the runner's content hash. Nil or
@@ -171,6 +177,7 @@ func caseConfig(prob ProblemSpec, cgs int, v Variant, opt Options) (core.Config,
 	if !opt.Faults.Zero() {
 		cfg.Faults = opt.Faults
 	}
+	cfg.Shards = opt.Shards
 	return cfg, problem
 }
 

@@ -5,11 +5,12 @@
 // straggling CPE gangs under athread; whole-core-group crashes — and an
 // Injector turns the plan into reproducible per-event draws.
 //
-// Determinism is the contract: every draw comes from a per-category
-// splitmix64 stream derived from the plan's seed, and the discrete-event
-// engine serialises all draw sites, so an identical seed and plan yields an
-// identical fault history (and therefore byte-identical results) regardless
-// of how many worker goroutines execute sibling runs.
+// Determinism is the contract: every draw comes from a per-category,
+// per-rank splitmix64 stream derived from the plan's seed, so an identical
+// seed and plan yields an identical fault history (and therefore
+// byte-identical results) regardless of how many worker goroutines execute
+// sibling runs — and, because each rank owns its streams, regardless of how
+// the sharded engine interleaves ranks across host cores.
 package faults
 
 import (
@@ -17,6 +18,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Plan declares what to inject. The zero value injects nothing; rates are
@@ -291,12 +294,22 @@ const (
 	numStreams
 )
 
-// Injector performs the seeded draws for one simulation. It is not safe
-// for concurrent use; the discrete-event engine serialises all callers
-// within a run, and each run owns its injector.
+// Injector performs the seeded draws for one simulation. The message and
+// offload categories keep one stream per rank, created on first use: a
+// rank's draw sequence depends only on its own fault sites, in their
+// engine-serialised order, never on how other ranks' draws interleave.
+// That makes the injector safe for the sharded engine, where different
+// ranks draw concurrently from different host threads — stream creation is
+// mutex-guarded and tallies are atomic; the draws themselves are only ever
+// made by the owning rank. The crash stream stays global (a crash point is
+// drawn once per run, outside engine execution).
 type Injector struct {
-	plan   Plan
-	states [numStreams]uint64
+	plan       Plan
+	crashState uint64
+
+	mu        sync.Mutex
+	msgStates map[int]*uint64
+	offStates map[int]*uint64
 
 	// Counts tallies injected faults as they are drawn.
 	Counts Counts
@@ -309,11 +322,35 @@ func NewInjector(p *Plan) *Injector {
 	if p.Zero() {
 		return nil
 	}
-	inj := &Injector{plan: p.Normalized()}
-	for i := range inj.states {
-		inj.states[i] = mix64(inj.plan.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15))
+	inj := &Injector{
+		plan:      p.Normalized(),
+		msgStates: make(map[int]*uint64),
+		offStates: make(map[int]*uint64),
 	}
+	inj.crashState = streamSeed(inj.plan.Seed, streamCrash, 0)
 	return inj
+}
+
+// streamSeed derives the initial splitmix64 state for one (category, rank)
+// stream. Rank 0's streams coincide with the historical per-category ones.
+func streamSeed(seed uint64, stream, rank int) uint64 {
+	return mix64(seed ^ (uint64(stream+1) * 0x9e3779b97f4a7c15) ^
+		(uint64(rank) * 0x94d049bb133111eb))
+}
+
+// state returns rank's stream state for the category, creating it on first
+// use. Only the map access is locked: the returned pointer is mutated by
+// the owning rank alone, which the engine serialises.
+func (i *Injector) state(m map[int]*uint64, stream, rank int) *uint64 {
+	i.mu.Lock()
+	st, ok := m[rank]
+	if !ok {
+		s := streamSeed(i.plan.Seed, stream, rank)
+		st = &s
+		m[rank] = st
+	}
+	i.mu.Unlock()
+	return st
 }
 
 // Plan returns the injector's normalized plan.
@@ -326,49 +363,53 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// next draws a uniform float64 in [0,1) from the given stream.
-func (i *Injector) next(stream int) float64 {
-	i.states[stream] += 0x9e3779b97f4a7c15
-	return float64(mix64(i.states[stream])>>11) / float64(1<<53)
+// next draws a uniform float64 in [0,1) from the stream at st.
+func next(st *uint64) float64 {
+	*st += 0x9e3779b97f4a7c15
+	return float64(mix64(*st)>>11) / float64(1<<53)
 }
 
-// MsgFate draws the fate of one message transmission. Exactly four
-// uniforms are consumed per call regardless of outcome, so the stream
-// position is independent of earlier results. When drop is true the other
-// flags are false (a lost message cannot also be delivered).
-func (i *Injector) MsgFate() (drop, dup, delay, degrade bool) {
-	drop = i.next(streamMsg) < i.plan.Drop
-	dup = i.next(streamMsg) < i.plan.Dup
-	delay = i.next(streamMsg) < i.plan.Delay
-	degrade = i.next(streamMsg) < i.plan.Degrade
+// MsgFate draws the fate of one message transmission sent by rank. Exactly
+// four uniforms are consumed from the rank's message stream per call
+// regardless of outcome, so the stream position is independent of earlier
+// results. When drop is true the other flags are false (a lost message
+// cannot also be delivered).
+func (i *Injector) MsgFate(rank int) (drop, dup, delay, degrade bool) {
+	st := i.state(i.msgStates, streamMsg, rank)
+	drop = next(st) < i.plan.Drop
+	dup = next(st) < i.plan.Dup
+	delay = next(st) < i.plan.Delay
+	degrade = next(st) < i.plan.Degrade
 	if drop {
-		i.Counts.MsgsDropped++
+		atomic.AddInt64(&i.Counts.MsgsDropped, 1)
 		return true, false, false, false
 	}
 	if dup {
-		i.Counts.MsgsDuplicated++
+		atomic.AddInt64(&i.Counts.MsgsDuplicated, 1)
 	}
 	if delay {
-		i.Counts.MsgsDelayed++
+		atomic.AddInt64(&i.Counts.MsgsDelayed, 1)
 	}
 	if degrade {
-		i.Counts.MsgsDegraded++
+		atomic.AddInt64(&i.Counts.MsgsDegraded, 1)
 	}
 	return drop, dup, delay, degrade
 }
 
-// OffloadFate draws the fate of one athread offload: a stalled gang whose
-// completion flag never fills, or a straggler running factor times slower.
-// Two uniforms are consumed per call; factor is 1 for a healthy offload.
-func (i *Injector) OffloadFate() (stall bool, factor float64) {
-	stallDraw := i.next(streamOffload) < i.plan.Stall
-	straggleDraw := i.next(streamOffload) < i.plan.Straggle
+// OffloadFate draws the fate of one athread offload on rank: a stalled
+// gang whose completion flag never fills, or a straggler running factor
+// times slower. Two uniforms are consumed from the rank's offload stream
+// per call; factor is 1 for a healthy offload.
+func (i *Injector) OffloadFate(rank int) (stall bool, factor float64) {
+	st := i.state(i.offStates, streamOffload, rank)
+	stallDraw := next(st) < i.plan.Stall
+	straggleDraw := next(st) < i.plan.Straggle
 	if stallDraw {
-		i.Counts.OffloadStalls++
+		atomic.AddInt64(&i.Counts.OffloadStalls, 1)
 		return true, 1
 	}
 	if straggleDraw {
-		i.Counts.Stragglers++
+		atomic.AddInt64(&i.Counts.Stragglers, 1)
 		return false, i.plan.StraggleFactor
 	}
 	return false, 1
@@ -390,10 +431,10 @@ func (i *Injector) CrashPoint(nSteps, nRanks int) (rank, step int, frac float64,
 	if i.plan.Crash <= 0 {
 		return 0, 0, 0, false
 	}
-	happen := i.next(streamCrash) < i.plan.Crash
-	rank = int(i.next(streamCrash) * float64(nRanks))
-	step = 1 + int(i.next(streamCrash)*float64(nSteps))
-	frac = i.next(streamCrash)
+	happen := next(&i.crashState) < i.plan.Crash
+	rank = int(next(&i.crashState) * float64(nRanks))
+	step = 1 + int(next(&i.crashState)*float64(nSteps))
+	frac = next(&i.crashState)
 	if !happen {
 		return 0, 0, 0, false
 	}

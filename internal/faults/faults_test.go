@@ -10,13 +10,13 @@ func TestStreamsDeterministic(t *testing.T) {
 	a := NewInjector(plan)
 	b := NewInjector(plan)
 	for i := 0; i < 2000; i++ {
-		ad, adup, adel, adeg := a.MsgFate()
-		bd, bdup, bdel, bdeg := b.MsgFate()
+		ad, adup, adel, adeg := a.MsgFate(0)
+		bd, bdup, bdel, bdeg := b.MsgFate(0)
 		if ad != bd || adup != bdup || adel != bdel || adeg != bdeg {
 			t.Fatalf("MsgFate diverged at draw %d", i)
 		}
-		as, af := a.OffloadFate()
-		bs, bf := b.OffloadFate()
+		as, af := a.OffloadFate(0)
+		bs, bf := b.OffloadFate(0)
 		if as != bs || af != bf {
 			t.Fatalf("OffloadFate diverged at draw %d", i)
 		}
@@ -36,11 +36,11 @@ func TestStreamsIndependent(t *testing.T) {
 	a := NewInjector(plan)
 	b := NewInjector(plan)
 	for i := 0; i < 100; i++ {
-		a.MsgFate() // perturb only the message stream on a
+		a.MsgFate(0) // perturb only the message stream on a
 	}
 	for i := 0; i < 50; i++ {
-		as, af := a.OffloadFate()
-		bs, bf := b.OffloadFate()
+		as, af := a.OffloadFate(0)
+		bs, bf := b.OffloadFate(0)
 		if as != bs || af != bf {
 			t.Fatalf("offload stream shifted by message draws at %d", i)
 		}
@@ -55,8 +55,8 @@ func TestSeedMatters(t *testing.T) {
 	a, b := NewInjector(p1), NewInjector(p2)
 	same := true
 	for i := 0; i < 500; i++ {
-		ad, _, _, _ := a.MsgFate()
-		bd, _, _, _ := b.MsgFate()
+		ad, _, _, _ := a.MsgFate(0)
+		bd, _, _, _ := b.MsgFate(0)
 		if ad != bd {
 			same = false
 		}
@@ -177,8 +177,8 @@ func TestMsgFateConsumesFixedDraws(t *testing.T) {
 	lo := &Plan{Seed: 5, Drop: 0.001, Crash: 0.5}
 	a, b := NewInjector(hi), NewInjector(lo)
 	for i := 0; i < 64; i++ {
-		a.MsgFate()
-		b.MsgFate()
+		a.MsgFate(0)
+		b.MsgFate(0)
 	}
 	ar, as, af, aok := a.CrashPoint(10, 4)
 	br, bs, bf, bok := b.CrashPoint(10, 4)
@@ -210,5 +210,42 @@ func TestCrashPoint(t *testing.T) {
 	inj = NewInjector(&Plan{Seed: 8, Crash: 0, Drop: 0.1})
 	if _, _, _, ok := inj.CrashPoint(10, 4); ok {
 		t.Fatal("crash drawn with zero crash rate")
+	}
+}
+
+// Per-rank streams: one rank's draw sequence must not depend on how many
+// draws other ranks made, and distinct ranks must see distinct histories.
+func TestPerRankStreamsIndependent(t *testing.T) {
+	plan := Default()
+	a := NewInjector(plan)
+	b := NewInjector(plan)
+	for i := 0; i < 300; i++ {
+		a.MsgFate(1) // perturb only rank 1 on a
+		a.OffloadFate(1)
+	}
+	for i := 0; i < 200; i++ {
+		ad, adup, adel, adeg := a.MsgFate(0)
+		bd, bdup, bdel, bdeg := b.MsgFate(0)
+		if ad != bd || adup != bdup || adel != bdel || adeg != bdeg {
+			t.Fatalf("rank 0 message stream shifted by rank 1 draws at %d", i)
+		}
+		as, af := a.OffloadFate(0)
+		bs, bf := b.OffloadFate(0)
+		if as != bs || af != bf {
+			t.Fatalf("rank 0 offload stream shifted by rank 1 draws at %d", i)
+		}
+	}
+	// Distinct ranks draw distinct histories from one seed.
+	c := NewInjector(plan)
+	same := true
+	for i := 0; i < 500; i++ {
+		cd, _, _, _ := c.MsgFate(2)
+		cd3, _, _, _ := c.MsgFate(3)
+		if cd != cd3 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("ranks 2 and 3 produced identical 500-draw drop history")
 	}
 }

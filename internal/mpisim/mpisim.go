@@ -22,6 +22,7 @@ package mpisim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"sunuintah/internal/faults"
 	"sunuintah/internal/perf"
@@ -31,15 +32,26 @@ import (
 
 // Comm is a communicator spanning size ranks (one per core group).
 type Comm struct {
-	eng    *sim.Engine
 	params perf.Params
 	ranks  []*Rank
+
+	// engs[r] is the engine that owns rank r's processes and timers. With
+	// the serial engine every entry is the same engine; under sharding the
+	// entries follow the rank partition and shards coordinates them.
+	engs   []*sim.Engine
+	shards *sim.ShardSet
+
+	// coalesce enables batched completion polls (TestSweep). On by
+	// default; the event-count experiments switch it off for comparison.
+	coalesce bool
 
 	// Fault plane. A nil injector leaves every legacy path untouched.
 	inj *faults.Injector
 	rec *trace.Recorder
-	// nextSeq numbers transmissions for duplicate suppression at receivers.
-	nextSeq int64
+
+	// Collectives in flight, matched across ranks by call index.
+	collMu      sync.Mutex
+	collectives []*collective
 }
 
 // SetFaults attaches a fault injector (and an optional trace recorder for
@@ -58,12 +70,31 @@ func NewComm(eng *sim.Engine, params perf.Params, size int) *Comm {
 	if size <= 0 {
 		panic("mpisim: communicator needs at least one rank")
 	}
-	c := &Comm{eng: eng, params: params}
+	c := &Comm{params: params, coalesce: true}
 	for r := 0; r < size; r++ {
 		c.ranks = append(c.ranks, &Rank{comm: c, rank: r})
+		c.engs = append(c.engs, eng)
 	}
 	return c
 }
+
+// Shard routes the communicator over the engines of a sharded run: engs[r]
+// is the engine owning rank r. Deliveries between ranks on different
+// engines then travel as cross-shard mail with their virtual wire time as
+// the delivery time, and collective completions fan out through the
+// barrier in canonical order. Must be called before any traffic.
+func (c *Comm) Shard(ss *sim.ShardSet, engs []*sim.Engine) {
+	if len(engs) != len(c.ranks) {
+		panic("mpisim: Shard needs one engine per rank")
+	}
+	c.shards = ss
+	copy(c.engs, engs)
+}
+
+// SetTestCoalescing toggles batched completion polling (TestSweep). It is
+// on by default; switching it off restores one poll event per request, for
+// measuring the event-count saving.
+func (c *Comm) SetTestCoalescing(on bool) { c.coalesce = on }
 
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return len(c.ranks) }
@@ -84,9 +115,9 @@ type Rank struct {
 	recvs      []*Request // posted, unmatched receives
 	unexpected []*message // arrived or in-flight messages with no receive yet
 
-	// Collectives executed so far, for in-order matching across ranks.
-	collectives []*collective
-	nextColl    int
+	// nextColl indexes this rank's next collective call, for in-order
+	// matching across ranks (the objects live on the Comm).
+	nextColl int
 
 	// Stats.
 	BytesSent     int64
@@ -97,12 +128,29 @@ type Rank struct {
 
 	// Fault-plane state and stats (used only with an injector attached).
 	seen          map[int64]bool // transmission seqs already delivered
+	sendSeq       int64          // rank-local transmission counter
 	Resends       int64          // retransmissions of dropped messages
 	DupsDiscarded int64          // duplicate deliveries suppressed
 }
 
 // RankID returns this endpoint's rank number.
 func (r *Rank) RankID() int { return r.rank }
+
+// eng returns the engine owning this rank.
+func (r *Rank) eng() *sim.Engine { return r.comm.engs[r.rank] }
+
+// sendTo schedules fn on dst's engine after delay of this rank's virtual
+// time — directly when both ranks share an engine, as cross-shard mail
+// otherwise. The delay is a wire time, which core guarantees is at least
+// the shard lookahead for every cross-shard rank pair.
+func (r *Rank) sendTo(dst int, delay sim.Time, fn func()) {
+	se, de := r.eng(), r.comm.engs[dst]
+	if se == de {
+		se.Schedule(delay, fn)
+		return
+	}
+	r.comm.shards.Post(se, de, se.Now()+delay, fn)
+}
 
 type message struct {
 	src, tag  int
@@ -161,28 +209,30 @@ func (r *Rank) Isend(p *sim.Process, dst, tag int, payload []float64, bytes int6
 		panic("mpisim: negative message size")
 	}
 	p.Sleep(sim.Time(r.comm.params.MPIPostCost))
-	now := r.comm.eng.Now()
+	now := r.eng().Now()
 	wire := sim.Time(r.comm.params.MessageTimeBetween(r.rank, dst, bytes))
 	req := &Request{
 		isSend: true, src: dst, tag: tag, bytes: bytes,
-		sig: sim.NewSignal(r.comm.eng, fmt.Sprintf("send %d->%d tag %d", r.rank, dst, tag)),
+		sig: sim.NewSignal(r.eng(), fmt.Sprintf("send %d->%d tag %d", r.rank, dst, tag)),
 	}
 	r.BytesSent += bytes
 	r.MsgsSent++
 
 	if r.comm.inj != nil {
-		r.comm.nextSeq++
+		// Transmission seqs are rank-local (disambiguated by the rank in
+		// the high bits) so concurrent shards never contend on a counter.
+		r.sendSeq++
 		r.transmit(req, &sendState{dst: dst, tag: tag, payload: payload,
-			bytes: bytes, seq: r.comm.nextSeq, attempt: 1})
+			bytes: bytes, seq: int64(r.rank+1)<<32 | r.sendSeq, attempt: 1})
 		return req
 	}
 
 	req.matched = true
 	req.doneAt = now + wire
-	r.comm.eng.Schedule(wire, req.sig.Fire)
+	r.eng().Schedule(wire, req.sig.Fire)
 	m := &message{src: r.rank, tag: tag, bytes: bytes, payload: payload, arrivesAt: now + wire}
 	dstRank := r.comm.Rank(dst)
-	r.comm.eng.Schedule(wire, func() { dstRank.deliver(m) })
+	r.sendTo(dst, wire, func() { dstRank.deliver(m) })
 	return req
 }
 
@@ -194,9 +244,9 @@ const maxSendAttempts = 6
 // transmit performs one on-wire attempt of a send under fault injection.
 func (r *Rank) transmit(req *Request, st *sendState) {
 	c := r.comm
-	now := c.eng.Now()
+	now := r.eng().Now()
 	wire := sim.Time(c.params.MessageTimeBetween(r.rank, st.dst, st.bytes))
-	drop, dup, delay, degrade := c.inj.MsgFate()
+	drop, dup, delay, degrade := c.inj.MsgFate(r.rank)
 	if st.attempt >= maxSendAttempts {
 		drop = false
 	}
@@ -216,24 +266,24 @@ func (r *Rank) transmit(req *Request, st *sendState) {
 		c.traceFault(r.rank, "msg-drop", st)
 		req.pending = st
 		req.retryAfter = now + 2*wire
-		req.retryEvent = c.eng.Schedule(4*wire, func() { r.resend(req) })
+		req.retryEvent = r.eng().Schedule(4*wire, func() { r.resend(req) })
 		return
 	}
 
 	req.matched = true
 	req.doneAt = now + wire
-	c.eng.Schedule(wire, req.sig.Fire)
+	r.eng().Schedule(wire, req.sig.Fire)
 	m := &message{src: r.rank, tag: st.tag, bytes: st.bytes, payload: st.payload,
 		arrivesAt: now + wire, seq: st.seq}
 	dstRank := c.Rank(st.dst)
-	c.eng.Schedule(wire, func() { dstRank.deliver(m) })
+	r.sendTo(st.dst, wire, func() { dstRank.deliver(m) })
 	if dup {
 		// A duplicate of the same transmission lands a little later; the
 		// receiver suppresses it by sequence number.
 		c.traceFault(r.rank, "msg-dup", st)
 		d := *m
 		d.arrivesAt = now + wire*3/2
-		c.eng.Schedule(wire*3/2, func() { dstRank.deliver(&d) })
+		r.sendTo(st.dst, wire*3/2, func() { dstRank.deliver(&d) })
 	}
 }
 
@@ -258,7 +308,7 @@ func (c *Comm) traceFault(rank int, name string, st *sendState) {
 	if c.rec == nil {
 		return
 	}
-	now := c.eng.Now()
+	now := c.engs[rank].Now()
 	c.rec.Add(trace.Event{Rank: rank, Step: -1, Kind: trace.KindFault,
 		Name:  fmt.Sprintf("%s dst=%d tag=%d try=%d", name, st.dst, st.tag, st.attempt),
 		Start: now, End: now})
@@ -268,7 +318,7 @@ func (c *Comm) traceRecovery(rank int, name string, st *sendState) {
 	if c.rec == nil {
 		return
 	}
-	now := c.eng.Now()
+	now := c.engs[rank].Now()
 	c.rec.Add(trace.Event{Rank: rank, Step: -1, Kind: trace.KindRecovery,
 		Name:  fmt.Sprintf("%s dst=%d tag=%d try=%d", name, st.dst, st.tag, st.attempt),
 		Start: now, End: now})
@@ -281,7 +331,7 @@ func (r *Rank) Irecv(p *sim.Process, src, tag int) *Request {
 	p.Sleep(sim.Time(r.comm.params.MPIPostCost))
 	req := &Request{
 		src: src, tag: tag,
-		sig: sim.NewSignal(r.comm.eng, fmt.Sprintf("recv %d<-%d tag %d", r.rank, src, tag)),
+		sig: sim.NewSignal(r.eng(), fmt.Sprintf("recv %d<-%d tag %d", r.rank, src, tag)),
 	}
 	// Check the unexpected queue first (message already arrived or is in
 	// flight).
@@ -320,13 +370,13 @@ func (r *Rank) deliver(m *message) {
 }
 
 func (r *Rank) complete(req *Request, m *message) {
-	now := r.comm.eng.Now()
+	now := r.eng().Now()
 	req.matched = true
 	req.bytes = m.bytes
 	req.payload = m.payload
 	if m.arrivesAt > now {
 		req.doneAt = m.arrivesAt
-		r.comm.eng.Schedule(m.arrivesAt-now, req.sig.Fire)
+		r.eng().Schedule(m.arrivesAt-now, req.sig.Fire)
 	} else {
 		req.doneAt = now
 		req.sig.Fire()
@@ -341,14 +391,49 @@ func (r *Rank) Test(p *sim.Process, req *Request) bool {
 	p.Sleep(sim.Time(r.comm.params.MPITestCost))
 	r.TestCalls++
 	if r.comm.inj != nil && req.isSend && req.pending != nil &&
-		r.comm.eng.Now() >= req.retryAfter {
+		r.eng().Now() >= req.retryAfter {
 		// Host attention progresses the library: a send whose transmission
 		// was lost is retried here, ahead of the autonomous backstop.
 		if req.retryEvent.Cancel() {
 			r.resend(req)
 		}
 	}
-	return req.matched && req.doneAt <= r.comm.eng.Now()
+	return req.matched && req.doneAt <= r.eng().Now()
+}
+
+// TestSweep tests a batch of already-posted send requests, semantically
+// identical to calling Test on each in order, and reports each result.
+// With coalescing on and no fault injector, the per-request poll events
+// collapse into a single sleep covering the whole sweep: a send's doneAt
+// is fixed at post time, so the result of the i-th test is exactly
+// req.matched && doneAt <= t_i, where t_i is the virtual instant the i-th
+// serial Test would have returned — reproduced by the same float
+// additions, so results and timestamps are bit-identical to the serial
+// sweep while executing one event instead of len(reqs).
+//
+// Under fault injection Test drives retransmission mid-sweep, so the
+// batched shortcut is disabled and the sweep degrades to per-request
+// polls.
+func (r *Rank) TestSweep(p *sim.Process, reqs []*Request) []bool {
+	res := make([]bool, len(reqs))
+	if len(reqs) == 0 {
+		return res
+	}
+	if !r.comm.coalesce || r.comm.inj != nil {
+		for i, req := range reqs {
+			res[i] = r.Test(p, req)
+		}
+		return res
+	}
+	cost := sim.Time(r.comm.params.MPITestCost)
+	t := r.eng().Now()
+	for i, req := range reqs {
+		t += cost // same accumulation as sequential Sleeps
+		res[i] = req.matched && req.doneAt <= t
+	}
+	r.TestCalls += int64(len(reqs))
+	p.SleepUntil(t)
+	return res
 }
 
 // TestAll tests a batch of requests with a single charge per request,
@@ -369,15 +454,15 @@ func (r *Rank) TestAll(p *sim.Process, reqs []*Request) int {
 func (r *Rank) Wait(p *sim.Process, req *Request) {
 	r.TestCalls++
 	p.Sleep(sim.Time(r.comm.params.MPITestCost))
-	if req.matched && req.doneAt <= r.comm.eng.Now() {
+	if req.matched && req.doneAt <= r.eng().Now() {
 		return
 	}
 	if r.comm.inj != nil && req.isSend && req.pending != nil {
 		// A blocking wait keeps the library progressing: pull the resend
 		// forward to the earliest retry time instead of the late backstop.
 		if req.retryEvent.Cancel() {
-			delay := req.retryAfter - r.comm.eng.Now()
-			r.comm.eng.Schedule(delay, func() { r.resend(req) })
+			delay := req.retryAfter - r.eng().Now()
+			r.eng().Schedule(delay, func() { r.resend(req) })
 		}
 	}
 	req.sig.Wait(p)
@@ -401,61 +486,94 @@ const (
 type collective struct {
 	op      ReduceOp
 	arrived int
-	value   float64
-	sig     *sim.Signal
+	contrib []float64     // staged per-rank contributions
+	sigs    []*sim.Signal // per-rank completion signal, on the rank's engine
+	lastAt  sim.Time      // latest virtual arrival
 	result  float64
-	doneSet bool
 }
 
 // Allreduce combines x across all ranks with op and returns the result,
 // blocking until every rank has contributed. Every rank must call
 // collectives in the same order. The modelled cost is the software base
 // cost plus a 2*ceil(log2(P)) latency tree after the last arrival.
+//
+// Contributions are staged per rank and reduced in rank order once the
+// last rank arrives, and each rank's completion fires on its own engine —
+// under sharding through the barrier mailbox in rank order (tagged mail),
+// so neither the float reduction order nor the wake order depends on
+// which shard's contribution happened to land last in wall-clock time.
 func (r *Rank) Allreduce(p *sim.Process, x float64, op ReduceOp) float64 {
 	c := r.comm
 	idx := r.nextColl
 	r.nextColl++
-	// The collective object is shared: rank 0's slice is authoritative.
-	root := c.ranks[0]
-	for len(root.collectives) <= idx {
-		root.collectives = append(root.collectives, nil)
+	p.Sleep(sim.Time(c.params.ReduceBaseCost))
+
+	c.collMu.Lock()
+	for len(c.collectives) <= idx {
+		c.collectives = append(c.collectives, nil)
 	}
-	coll := root.collectives[idx]
+	coll := c.collectives[idx]
 	if coll == nil {
-		coll = &collective{op: op, sig: sim.NewSignal(c.eng, fmt.Sprintf("allreduce#%d", idx))}
-		switch op {
-		case OpMax:
-			coll.value = math.Inf(-1)
-		case OpMin:
-			coll.value = math.Inf(1)
-		}
-		root.collectives[idx] = coll
+		coll = &collective{op: op,
+			contrib: make([]float64, c.Size()),
+			sigs:    make([]*sim.Signal, c.Size())}
+		c.collectives[idx] = coll
 	}
 	if coll.op != op {
+		c.collMu.Unlock()
 		panic("mpisim: mismatched collective operations across ranks")
 	}
-	p.Sleep(sim.Time(c.params.ReduceBaseCost))
-	switch op {
-	case OpSum:
-		coll.value += x
-	case OpMax:
-		coll.value = math.Max(coll.value, x)
-	case OpMin:
-		coll.value = math.Min(coll.value, x)
+	coll.contrib[r.rank] = x
+	coll.sigs[r.rank] = sim.NewSignal(r.eng(), fmt.Sprintf("allreduce#%d@%d", idx, r.rank))
+	if now := r.eng().Now(); now > coll.lastAt {
+		coll.lastAt = now
 	}
 	coll.arrived++
 	if coll.arrived == c.Size() {
+		acc := coll.contrib[0]
+		for _, v := range coll.contrib[1:] {
+			switch op {
+			case OpSum:
+				acc += v
+			case OpMax:
+				acc = math.Max(acc, v)
+			case OpMin:
+				acc = math.Min(acc, v)
+			}
+		}
+		coll.result = acc
 		levels := 0
 		for 1<<levels < c.Size() {
 			levels++
 		}
 		delay := sim.Time(2*float64(levels)*c.params.LinkLatency + c.params.ReduceBaseCost)
-		coll.result = coll.value
-		coll.doneSet = true
-		c.eng.Schedule(delay, coll.sig.Fire)
+		fireAt := coll.lastAt + delay
+		if c.shards == nil {
+			// Serial: the detecting rank executes at lastAt, the latest
+			// arrival. Fire every rank's signal then, in rank order.
+			for q := range coll.sigs {
+				r.eng().Schedule(delay, coll.sigs[q].Fire)
+			}
+		} else {
+			// Sharded: the wall-clock-last contributor is nondeterministic,
+			// so the fires travel as tagged barrier mail keyed by
+			// (fireAt, lastAt, collective, rank) — injected in the same
+			// order whichever shard posts them. The fire lies at least a
+			// full tree latency past every shard's window, so it is never
+			// late (delay >= 2*LinkLatency > lookahead).
+			for q := range coll.sigs {
+				c.shards.PostTagged(r.eng(), c.engs[q], fireAt, coll.lastAt,
+					uint64(idx)*uint64(c.Size())+uint64(q), coll.sigs[q].Fire)
+			}
+		}
 	}
-	coll.sig.Wait(p)
-	return coll.result
+	sig := coll.sigs[r.rank]
+	c.collMu.Unlock()
+	sig.Wait(p)
+	c.collMu.Lock()
+	result := coll.result
+	c.collMu.Unlock()
+	return result
 }
 
 // Barrier blocks until every rank has entered it.

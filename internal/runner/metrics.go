@@ -7,15 +7,15 @@ import (
 
 // metrics is the pool's internal atomic counter block.
 type metrics struct {
-	submitted int64 // jobs accepted by Submit (after dedup coalescing)
-	coalesced int64 // Submit calls joined to an already-pending job
-	running   int64 // jobs currently executing
-	done      int64 // jobs finished successfully (executed or cache hit)
-	failed    int64 // jobs finished with an error
-	executed  int64 // jobs that actually ran (cache misses)
-	cacheHits int64
-	retries   int64
-	panics    int64
+	submitted  int64 // jobs accepted by Submit (after dedup coalescing)
+	coalesced  int64 // Submit calls joined to an already-pending job
+	running    int64 // jobs currently executing
+	done       int64 // jobs finished successfully (executed or cache hit)
+	failed     int64 // jobs finished with an error
+	executed   int64 // jobs that actually ran (cache misses)
+	cacheHits  int64
+	retries    int64
+	panics     int64
 	execNanos  int64 // host nanoseconds spent executing jobs
 	savedNanos int64 // host nanoseconds avoided by cache hits
 }

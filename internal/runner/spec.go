@@ -61,6 +61,12 @@ type Spec struct {
 	// runs the case fault-free and hashes identically to a spec without
 	// the field, so pre-existing cache entries stay valid.
 	Faults *faults.Plan `json:"faults,omitempty"`
+
+	// Shards selects the conservative parallel engine (0 or 1 = serial).
+	// It is a wall-clock knob only: results are bit-identical for every
+	// shard count, so — like the pool's worker count — it deliberately
+	// never enters the canonical form or the content hash.
+	Shards int `json:"shards,omitempty"`
 }
 
 // canonical renders the spec as a stable, unambiguous key string. Every

@@ -222,15 +222,34 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 			s.unpackRecv(p, step, r)
 			progressed = true
 		}
+		// The send sweep only retires request handles — completed sends
+		// release no work — so its polls coalesce into one batched sweep
+		// (one engine event instead of one per request). The per-request
+		// spans are synthesized at the exact instants the serial polls
+		// would have occupied, so accounting and traces are unchanged.
+		var pendingSends []*pendingSend
 		for _, sd := range s.sends {
-			if sd.done {
-				continue
+			if !sd.done {
+				pendingSends = append(pendingSends, sd)
 			}
-			t0 := p.Now()
-			ok := s.mpi.Test(p, sd.req)
-			s.noteComm(p, t0, step, "test send")
-			if ok {
-				sd.done = true
+		}
+		if len(pendingSends) > 0 {
+			reqs := make([]*mpisim.Request, len(pendingSends))
+			for i, sd := range pendingSends {
+				reqs[i] = sd.req
+			}
+			// Span boundaries accumulate the per-test cost exactly as the
+			// serial polls' clock did, so times and CommTime stay bitwise
+			// identical whether or not the sweep was coalesced.
+			start := p.Now()
+			oks := s.mpi.TestSweep(p, reqs)
+			for i, sd := range pendingSends {
+				if oks[i] {
+					sd.done = true
+				}
+				end := start + sim.Time(s.params.MPITestCost)
+				s.noteCommSpan(start, end, step, "test send")
+				start = end
 			}
 		}
 
@@ -264,13 +283,20 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 // noteComm attributes the virtual time an MPI call consumed to the
 // communication bucket.
 func (s *Rank) noteComm(p *sim.Process, t0 sim.Time, step int, name string) {
-	d := p.Now() - t0
+	s.noteCommSpan(t0, p.Now(), step, name)
+}
+
+// noteCommSpan attributes an explicit [start, end) interval to the
+// communication bucket — used by batched sweeps, which synthesize the
+// per-request spans the serial polls would have produced.
+func (s *Rank) noteCommSpan(start, end sim.Time, step int, name string) {
+	d := end - start
 	if d <= 0 {
 		return
 	}
 	s.Stats.CommTime += d
 	s.cfg.Trace.Add(trace.Event{Rank: s.mpi.RankID(), Step: step,
-		Kind: trace.KindComm, Name: name, Start: t0, End: p.Now()})
+		Kind: trace.KindComm, Name: name, Start: start, End: end})
 }
 
 // nextReady returns the lowest-index ready object, selecting offloadable

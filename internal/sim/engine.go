@@ -148,11 +148,29 @@ type Engine struct {
 	active int
 	// interrupted records the reason passed to Interrupt, if any.
 	interrupted string
+	// executed counts events run, for measuring event-loop pressure.
+	executed uint64
+
+	// shardSet is non-nil when this engine is one shard of a ShardSet. An
+	// empty calendar then means "waiting for cross-shard mail", not
+	// deadlock — the coordinator owns the global deadlock check — and the
+	// engine executes only inside the windows the coordinator grants.
+	shardSet *ShardSet
+	shardID  int
+	// outbox stages cross-shard events posted during the current window;
+	// the coordinator drains it at the barrier. mailSeq orders the items.
+	outbox  []mailItem
+	mailSeq uint64
+	// selfMailAt caps the running window at the earliest outbox item
+	// addressed to this same engine (PostTagged routes even self-sends
+	// through the barrier for deterministic ordering): the clock must not
+	// pass an undelivered item's time. Infinity when none is pending.
+	selfMailAt Time
 }
 
 // NewEngine returns an empty simulation at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{selfMailAt: Infinity}
 }
 
 // Now returns the current virtual time.
@@ -166,6 +184,20 @@ func (e *Engine) Schedule(delay Time, fn func()) *EventHandle {
 		delay = 0
 	}
 	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	e.queue.push(ev)
+	return &EventHandle{ev: ev}
+}
+
+// ScheduleAt registers fn to run at the absolute virtual time at, which
+// must not lie in the past. It is the barrier-time injection primitive of
+// the sharded engine: cross-shard mail carries absolute delivery times,
+// and the receiving engine's clock may trail the sender's.
+func (e *Engine) ScheduleAt(at Time, fn func()) *EventHandle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) is before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	e.queue.push(ev)
 	return &EventHandle{ev: ev}
@@ -208,15 +240,64 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			panic(fmt.Sprintf("sim: event at %v is before now %v", next.at, e.now))
 		}
 		e.now = next.at
+		e.executed++
 		next.fn()
 	}
-	if e.active > 0 && !e.stopped {
+	if e.active > 0 && !e.stopped && e.shardSet == nil {
 		// Every runnable process is blocked and no event can wake any of
 		// them: the model has deadlocked. Surface it loudly with a roster.
+		// (A shard engine legitimately idles here waiting for cross-shard
+		// mail; its ShardSet owns the global deadlock check.)
 		panic("sim: deadlock: " + e.blockedRoster())
 	}
 	return e.now
 }
+
+// RunWindow executes every event strictly before end, leaving the clock at
+// the last executed event (not at end): the sharded coordinator needs the
+// true event times to compute the next lookahead window, and mail is
+// injected with absolute times via ScheduleAt.
+func (e *Engine) RunWindow(end Time) {
+	for !e.stopped && e.queue.Len() > 0 {
+		if e.selfMailAt < end {
+			end = e.selfMailAt
+		}
+		next := e.queue.evs[0]
+		if next.at >= end {
+			return
+		}
+		e.queue.pop()
+		if next.cancelled {
+			continue
+		}
+		if next.at < e.now {
+			panic(fmt.Sprintf("sim: event at %v is before now %v", next.at, e.now))
+		}
+		e.now = next.at
+		e.executed++
+		next.fn()
+	}
+}
+
+// NextEventTime returns the time of the earliest live event, or Infinity
+// with an empty (or fully cancelled) calendar. Cancelled events at the top
+// of the heap are removed on the way.
+func (e *Engine) NextEventTime() Time {
+	for e.queue.Len() > 0 {
+		if e.queue.evs[0].cancelled {
+			ev := e.queue.pop()
+			_ = ev
+			continue
+		}
+		return e.queue.evs[0].at
+	}
+	return Infinity
+}
+
+// EventsExecuted returns the number of events the engine has run — the
+// denominator of event-loop efficiency measurements (for example the
+// coalesced-polling gate).
+func (e *Engine) EventsExecuted() uint64 { return e.executed }
 
 // Stop halts the run loop after the current event completes. Parked process
 // goroutines are abandoned (the engine is single-use after Stop).

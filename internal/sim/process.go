@@ -86,6 +86,15 @@ func (p *Process) Sleep(d Time) {
 	p.yield(fmt.Sprintf("sleep(%g)", float64(d)))
 }
 
+// SleepUntil suspends the process until the absolute virtual time at.
+// Unlike Sleep(at-Now()), the wake time is exactly at — no float rounding
+// from the subtract-then-add round trip — which batched operations rely on
+// to land on the same instant as the equivalent sequence of Sleeps.
+func (p *Process) SleepUntil(at Time) {
+	p.eng.ScheduleAt(at, func() { p.run() })
+	p.yield(fmt.Sprintf("sleepUntil(%g)", float64(at)))
+}
+
 // Done returns a signal fired when the process body returns. Other
 // processes may Wait on it to join this process.
 func (p *Process) Done() *Signal { return p.doneSig }

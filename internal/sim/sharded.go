@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// mailItem is one staged cross-shard event: a callback to run at an
+// absolute virtual time on another shard's engine. Items are merged at
+// every barrier in the canonical (at, postTime, srcShard, seq) order, so
+// the destination engine sees the same tie-break order regardless of how
+// ranks are partitioned into shards.
+type mailItem struct {
+	at       Time
+	postTime Time
+	srcShard int
+	seq      uint64
+	dst      *Engine
+	fn       func()
+}
+
+// ShardSet is a conservative parallel discrete-event coordinator: it owns
+// S engines (shards), each with its own calendar and process set, and
+// advances them in lookahead windows. The lookahead is the minimum virtual
+// latency of any cross-shard interaction (for the simulated Sunway, the
+// interconnect's first-byte time): an event executed at time t can only
+// affect another shard at t+lookahead or later, so every shard may safely
+// run ahead to the earliest event of any other shard plus the lookahead.
+// Cross-shard effects are staged in per-shard outboxes and exchanged at a
+// deterministic barrier between windows.
+//
+// The contract is bit-identical results: for a model whose only cross-
+// shard channel is Post/PostTagged with delivery delays of at least the
+// lookahead, a ShardSet run produces the same virtual timestamps, the
+// same event outcomes, and the same final state as the single-engine run,
+// for every shard count.
+type ShardSet struct {
+	engines   []*Engine
+	lookahead Time
+	stopReq   atomic.Bool
+
+	// scratch for Run.
+	mail []mailItem
+	next []Time
+	ends []Time
+}
+
+// NewShardSet creates n engines coordinated with the given lookahead.
+func NewShardSet(n int, lookahead Time) *ShardSet {
+	if n < 1 {
+		panic("sim: shard set needs at least one engine")
+	}
+	if lookahead <= 0 {
+		panic("sim: shard lookahead must be positive")
+	}
+	ss := &ShardSet{lookahead: lookahead,
+		next: make([]Time, n), ends: make([]Time, n)}
+	for i := 0; i < n; i++ {
+		e := NewEngine()
+		e.shardSet = ss
+		e.shardID = i
+		ss.engines = append(ss.engines, e)
+	}
+	return ss
+}
+
+// NumShards returns the number of engines.
+func (ss *ShardSet) NumShards() int { return len(ss.engines) }
+
+// Engine returns shard i's engine.
+func (ss *ShardSet) Engine(i int) *Engine { return ss.engines[i] }
+
+// Lookahead returns the window width.
+func (ss *ShardSet) Lookahead() Time { return ss.lookahead }
+
+// Post schedules fn to run at absolute time at on dst. With dst the
+// posting engine it is a plain ScheduleAt; otherwise the event is staged
+// in src's outbox and injected at the next barrier, which requires
+// at >= src.Now() + Lookahead(). Must be called from src's executing
+// event (or before Run starts).
+func (ss *ShardSet) Post(src, dst *Engine, at Time, fn func()) {
+	if src == dst {
+		src.ScheduleAt(at, fn)
+		return
+	}
+	src.outbox = append(src.outbox, mailItem{
+		at: at, postTime: src.now, srcShard: src.shardID, seq: src.mailSeq,
+		dst: dst, fn: fn})
+	src.mailSeq++
+}
+
+// PostTagged stages a globally-ordered cross-shard event: items with the
+// same (at, postTime) are ordered by tag alone and sort ahead of ordinary
+// mail, independent of which shard happened to post them. Collectives use
+// it so the completion events they fan out to every rank are injected in
+// rank order no matter which contributor arrived last. Unlike Post it
+// always goes through the barrier, even to the posting shard itself.
+func (ss *ShardSet) PostTagged(src, dst *Engine, at, postTime Time, tag uint64, fn func()) {
+	src.outbox = append(src.outbox, mailItem{
+		at: at, postTime: postTime, srcShard: -1, seq: tag, dst: dst, fn: fn})
+	if dst == src && at < src.selfMailAt {
+		// The window must not run past the undelivered self-send.
+		src.selfMailAt = at
+	}
+}
+
+// RequestStop asks the coordinator to stop every shard at the next
+// barrier. Safe to call from any shard's goroutine (it is how a shard
+// propagates Engine.Stop or Interrupt to its siblings).
+func (ss *ShardSet) RequestStop() { ss.stopReq.Store(true) }
+
+// Interrupted returns the first interrupt reason recorded on any shard,
+// in shard order, or "".
+func (ss *ShardSet) Interrupted() string {
+	for _, e := range ss.engines {
+		if e.interrupted != "" {
+			return e.interrupted
+		}
+	}
+	return ""
+}
+
+// Now returns the latest virtual time any shard has reached.
+func (ss *ShardSet) Now() Time {
+	max := Time(0)
+	for _, e := range ss.engines {
+		if e.now > max {
+			max = e.now
+		}
+	}
+	return max
+}
+
+// AlignNow advances every shard's clock to the global maximum and returns
+// it. Called between run segments (checkpoint intervals), where the
+// single-engine simulation carries one clock across segments: newly
+// spawned processes must start at the same instant on every shard. Safe
+// once the calendars are drained — pop skips cancelled leftovers before
+// the before-now check.
+func (ss *ShardSet) AlignNow() Time {
+	max := ss.Now()
+	for _, e := range ss.engines {
+		if e.now < max {
+			e.now = max
+		}
+	}
+	return max
+}
+
+// deliverMail merges every outbox in canonical order and injects the
+// items into their destination calendars. The destination assigns its
+// event sequence numbers in merge order, so same-time ties at a receiver
+// resolve identically for every shard count.
+func (ss *ShardSet) deliverMail() {
+	ss.mail = ss.mail[:0]
+	for _, e := range ss.engines {
+		ss.mail = append(ss.mail, e.outbox...)
+		e.outbox = e.outbox[:0]
+		e.selfMailAt = Infinity
+	}
+	if len(ss.mail) == 0 {
+		return
+	}
+	sort.Slice(ss.mail, func(i, j int) bool {
+		a, b := ss.mail[i], ss.mail[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.postTime != b.postTime {
+			return a.postTime < b.postTime
+		}
+		if a.srcShard != b.srcShard {
+			return a.srcShard < b.srcShard
+		}
+		return a.seq < b.seq
+	})
+	for _, m := range ss.mail {
+		m.dst.ScheduleAt(m.at, m.fn)
+	}
+}
+
+// Run drives every shard until all calendars drain, a stop or interrupt
+// is requested, or the model deadlocks (panic, as in Engine.RunUntil).
+// It returns the latest virtual time reached.
+//
+// Each iteration delivers staged mail, computes per-shard window ends —
+// shard i may run to min over other shards j of (next_j + lookahead), so
+// a shard that is alone in a stretch of virtual time crosses it in one
+// window — and executes the eligible shards concurrently, one goroutine
+// per shard (inline when only one shard has work).
+func (ss *ShardSet) Run() Time {
+	for {
+		ss.deliverMail()
+
+		// Propagate stops and interrupts recorded during the last window.
+		reason := ss.Interrupted()
+		stopped := ss.stopReq.Load()
+		for _, e := range ss.engines {
+			if e.stopped {
+				stopped = true
+			}
+		}
+		if reason != "" || stopped {
+			for _, e := range ss.engines {
+				if reason != "" && e.interrupted == "" {
+					e.interrupted = reason
+				}
+				e.stopped = true
+			}
+			return ss.Now()
+		}
+
+		min1, min2 := Infinity, Infinity
+		argmin := -1
+		for i, e := range ss.engines {
+			t := e.NextEventTime()
+			ss.next[i] = t
+			if t < min1 {
+				min2 = min1
+				min1 = t
+				argmin = i
+			} else if t < min2 {
+				min2 = t
+			}
+		}
+		if min1 == Infinity {
+			active := 0
+			for _, e := range ss.engines {
+				active += e.active
+			}
+			if active > 0 {
+				var rosters []string
+				for i, e := range ss.engines {
+					if e.active > 0 {
+						rosters = append(rosters, e.blockedRoster())
+					}
+					_ = i
+				}
+				panic("sim: deadlock: " + strings.Join(rosters, ", "))
+			}
+			return ss.Now()
+		}
+
+		runnable := 0
+		last := -1
+		for i := range ss.engines {
+			minOther := min1
+			if i == argmin {
+				minOther = min2
+			}
+			ss.ends[i] = Infinity
+			if minOther < Infinity {
+				ss.ends[i] = minOther + ss.lookahead
+			}
+			if ss.next[i] < ss.ends[i] {
+				runnable++
+				last = i
+			}
+		}
+		if runnable == 1 {
+			// Lone-runner fast path: no other shard can be affected before
+			// this shard's window end, so run it inline on this goroutine.
+			ss.engines[last].RunWindow(ss.ends[last])
+			continue
+		}
+		var wg sync.WaitGroup
+		for i, e := range ss.engines {
+			if ss.next[i] >= ss.ends[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(e *Engine, end Time) {
+				defer wg.Done()
+				e.RunWindow(end)
+			}(e, ss.ends[i])
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestShardSetPingPongMatchesSerial models two ranks exchanging timestamped
+// messages with a wire latency of 2µs (≥ the 1µs lookahead) and asserts the
+// sharded run produces the identical execution log and end time as the same
+// model on one engine.
+func TestShardSetPingPongMatchesSerial(t *testing.T) {
+	const hops = 50
+	const wire = 2 * Microsecond
+
+	type post func(srcRank, dstRank int, at Time, fn func())
+
+	// Concurrent shard windows interleave their wall-clock side effects, so
+	// the comparison keys each hop by identity and checks its virtual
+	// timestamp — the quantity the engine promises to reproduce exactly.
+	run := func(engOf func(rank int) *Engine, send post, drive func() Time) (log map[string]Time, end Time) {
+		log = make(map[string]Time)
+		var mu sync.Mutex
+		var hop func(from, to, n int)
+		hop = func(from, to, n int) {
+			if n >= hops {
+				return
+			}
+			e := engOf(from)
+			at := e.Now() + wire
+			send(from, to, at, func() {
+				mu.Lock()
+				log[fmt.Sprintf("hop %d->%d #%d", from, to, n)] = engOf(to).Now()
+				mu.Unlock()
+				hop(to, from, n+1)
+			})
+		}
+		engOf(0).Schedule(0, func() { hop(0, 1, 0) })
+		// A second, phase-shifted stream on rank 1 creates same-window traffic
+		// in both directions.
+		engOf(1).Schedule(Microsecond/2, func() { hop(1, 0, 0) })
+		return log, drive()
+	}
+
+	serial := NewEngine()
+	wantLog, wantEnd := run(
+		func(int) *Engine { return serial },
+		func(src, dst int, at Time, fn func()) { serial.ScheduleAt(at, fn) },
+		serial.Run)
+
+	ss := NewShardSet(2, Microsecond)
+	gotLog, gotEnd := run(
+		ss.Engine,
+		func(src, dst int, at Time, fn func()) { ss.Post(ss.Engine(src), ss.Engine(dst), at, fn) },
+		ss.Run)
+
+	if gotEnd != wantEnd {
+		t.Fatalf("end time: sharded %v, serial %v", gotEnd, wantEnd)
+	}
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("log length: sharded %d, serial %d", len(gotLog), len(wantLog))
+	}
+	for k, want := range wantLog {
+		if got, ok := gotLog[k]; !ok || got != want {
+			t.Fatalf("%s: sharded time %v, serial %v", k, got, want)
+		}
+	}
+}
+
+// TestShardSetMailTieOrder posts cross-shard mail from every shard to shard 0
+// at one shared delivery instant and asserts execution follows the canonical
+// (at, postTime, srcShard, seq) order, not goroutine scheduling order.
+func TestShardSetMailTieOrder(t *testing.T) {
+	ss := NewShardSet(4, Microsecond)
+	var got []int
+	const at = 10 * Microsecond
+	for s := 3; s >= 0; s-- {
+		src := ss.Engine(s)
+		for k := 0; k < 3; k++ {
+			id := s*10 + k
+			ss.Post(src, ss.Engine(0), at, func() { got = append(got, id) })
+		}
+	}
+	ss.Run()
+	want := []int{0, 1, 2, 10, 11, 12, 20, 21, 22, 30, 31, 32}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestShardSetInterruptPropagates interrupts one shard mid-run and asserts
+// every engine stops with the same reason at the next barrier.
+func TestShardSetInterruptPropagates(t *testing.T) {
+	ss := NewShardSet(2, Microsecond)
+	e0, e1 := ss.Engine(0), ss.Engine(1)
+	for i := 1; i <= 100; i++ {
+		at := Time(i) * 10 * Microsecond
+		e0.ScheduleAt(at, func() {})
+		e1.ScheduleAt(at, func() {})
+	}
+	e0.ScheduleAt(50*Microsecond, func() {
+		e0.Interrupt("cg0 crashed")
+		ss.RequestStop()
+	})
+	ss.Run()
+	if got := ss.Interrupted(); got != "cg0 crashed" {
+		t.Fatalf("Interrupted() = %q, want %q", got, "cg0 crashed")
+	}
+	for i := 0; i < 2; i++ {
+		if !ss.Engine(i).Stopped() {
+			t.Fatalf("shard %d not stopped after interrupt", i)
+		}
+		if ss.Engine(i).Interrupted() != "cg0 crashed" {
+			t.Fatalf("shard %d reason = %q", i, ss.Engine(i).Interrupted())
+		}
+	}
+}
+
+// TestShardSetLoneRunner checks that a shard with no peers holding events
+// runs to completion (windows extend to Infinity rather than livelocking).
+func TestShardSetLoneRunner(t *testing.T) {
+	ss := NewShardSet(3, Microsecond)
+	n := 0
+	var last Time
+	var tick func()
+	tick = func() {
+		n++
+		last = ss.Engine(1).Now()
+		if n < 1000 {
+			ss.Engine(1).Schedule(Microsecond/4, tick)
+		}
+	}
+	ss.Engine(1).Schedule(0, tick)
+	end := ss.Run()
+	if n != 1000 {
+		t.Fatalf("ran %d ticks, want 1000", n)
+	}
+	if end != last {
+		t.Fatalf("end = %v, want last tick time %v", end, last)
+	}
+}

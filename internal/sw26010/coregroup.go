@@ -37,11 +37,24 @@ type Machine struct {
 
 // NewMachine creates nCGs core groups on the given engine.
 func NewMachine(eng *sim.Engine, params perf.Params, nCGs int) *Machine {
-	if nCGs <= 0 {
+	engs := make([]*sim.Engine, nCGs)
+	for i := range engs {
+		engs[i] = eng
+	}
+	return NewMachineWithEngines(engs, params)
+}
+
+// NewMachineWithEngines creates one core group per engine — the sharded
+// construction, where engs[i] is the shard engine owning core group i.
+// Every per-CG state (counters, memory accounting, noise stream) is
+// already CG-local, so the only sharding concern is that each CG's
+// offloads and timers land on its own engine.
+func NewMachineWithEngines(engs []*sim.Engine, params perf.Params) *Machine {
+	if len(engs) == 0 {
 		panic("sw26010: need at least one core group")
 	}
-	m := &Machine{Params: params, eng: eng}
-	for i := 0; i < nCGs; i++ {
+	m := &Machine{Params: params, eng: engs[0]}
+	for i, eng := range engs {
 		m.cgs = append(m.cgs, &CoreGroup{
 			ID:         i,
 			Params:     params,

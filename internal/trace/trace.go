@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"sunuintah/internal/sim"
 )
@@ -46,18 +47,25 @@ func (e Event) Duration() sim.Time { return e.End - e.Start }
 // Recorder accumulates events. The zero value is usable; a nil recorder
 // discards everything.
 type Recorder struct {
+	mu     sync.Mutex
 	events []Event
 }
 
 // New creates an empty recorder.
 func New() *Recorder { return &Recorder{} }
 
-// Add records one interval. Safe on a nil receiver.
+// Add records one interval. Safe on a nil receiver and safe for
+// concurrent use — the sharded engine records from several host threads.
+// Note that insertion order is then wall-clock arrival order, so
+// order-sensitive consumers (WriteTimeline) should sort; the aggregate
+// accessors are order-insensitive.
 func (r *Recorder) Add(ev Event) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.events = append(r.events, ev)
+	r.mu.Unlock()
 }
 
 // Events returns all recorded events in insertion order.
