@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench benchgate clean
+.PHONY: check vet build test race chaos bench benchgate cover clean
 
-check: vet build test race chaos benchgate
+check: vet build test race chaos benchgate cover
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,7 @@ race:
 	$(GO) test -race -count=1 ./internal/sim/... ./internal/mpisim/...
 	$(GO) test -race -count=1 ./internal/runner/...
 	$(GO) test -race -count=1 ./internal/faults/...
+	$(GO) test -race -count=1 ./internal/trace/... ./internal/obs/...
 	$(GO) test -race -count=1 -run 'Resilient|Reoffload|MPEFallback|MessageFaults|ZeroPlan|Sharded|Shards|Coalesced' ./internal/core/
 	$(GO) test -race -short -count=1 ./internal/experiments/...
 
@@ -49,5 +50,13 @@ bench:
 benchgate:
 	$(GO) run ./cmd/benchgate -check BENCH_baseline.json -tol 0.15
 
+# Coverage floor on the observability layer (the flight recorder and the
+# trace recorder): pure logic with deterministic outputs, kept above 80%.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/obs/ ./internal/trace/
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); \
+		if ($$3+0 < 80) { printf "coverage %.1f%% is below the 80%% floor\n", $$3; exit 1 } \
+		else { printf "observability coverage %.1f%% (floor 80%%)\n", $$3 } }'
+
 clean:
-	rm -rf .suncache
+	rm -rf .suncache cover.out

@@ -13,8 +13,9 @@
 // Usage:
 //
 //	sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N]
-//	         [-shards N] [-cache dir|off] [-json file] [-cpuprofile file]
-//	         [-memprofile file] [-v] <artifact>...
+//	         [-shards N] [-cache dir|off] [-json file] [-report]
+//	         [-metrics-out file] [-cpuprofile file] [-memprofile file]
+//	         [-v] <artifact>...
 //
 // Artifacts: table1 table2 table3 table4 table5 table6 table7
 // fig5 fig6 fig7 fig8 fig9 fig10 ablation-dma ablation-packing
@@ -23,9 +24,16 @@
 // -faults injects a deterministic fault plan into every run ("default",
 // "default,scale=2", or "seed=1,drop=0.05,crash=0.5,..."; "off" disables).
 // The chaos artifact runs its own fault matrix and ignores -faults.
+//
+// -report runs a representative case with the flight recorder attached and
+// prints its run report (virtual-time series summary, overlap, roofline);
+// -metrics-out FILE additionally writes the full report plus the pool's
+// job metrics as JSON. Both work with or without artifact arguments.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,11 +43,12 @@ import (
 
 	"sunuintah/internal/experiments"
 	"sunuintah/internal/faults"
+	"sunuintah/internal/obs"
 	"sunuintah/internal/runner"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-shards N] [-cache dir|off] [-json file] [-cpuprofile file] [-memprofile file] [-v] <artifact>...")
+	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-shards N] [-cache dir|off] [-json file] [-report] [-metrics-out file] [-cpuprofile file] [-memprofile file] [-v] <artifact>...")
 	fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles chaos summary all")
 }
 
@@ -73,12 +82,15 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shards per simulation (0 = serial engine; results are bit-identical)")
 	cacheFlag := flag.String("cache", "off", `result cache: "off", or a directory for an on-disk store (e.g. .suncache)`)
 	jsonPath := flag.String("json", "", "also write the full evaluation as structured JSON to this file")
+	report := flag.Bool("report", false, "run a representative case with the flight recorder and print its run report")
+	metricsOut := flag.String("metrics-out", "", "write the flight-recorder report and pool metrics as JSON to this file (implies -report)")
 	verbose := flag.Bool("v", false, "print per-case progress as [done/total, hit-rate]")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
-	flag.CommandLine.Parse(reorderArgs(os.Args[1:], map[string]bool{"v": true}))
+	flag.CommandLine.Parse(reorderArgs(os.Args[1:], map[string]bool{"v": true, "report": true}))
 	args := flag.Args()
-	if len(args) == 0 {
+	wantReport := *report || *metricsOut != ""
+	if len(args) == 0 && !wantReport {
 		usage()
 		os.Exit(2)
 	}
@@ -191,6 +203,13 @@ func main() {
 		fmt.Println()
 	}
 
+	if wantReport {
+		if err := runFlightReport(pool, *steps, *shards, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonPath != "" {
 		export, err := experiments.BuildExport(sweep, *steps)
 		if err != nil {
@@ -216,4 +235,47 @@ func main() {
 	if *verbose {
 		fmt.Fprintln(os.Stderr, "sunbench:", pool.Metrics())
 	}
+}
+
+// runFlightReport executes a representative small case with the flight
+// recorder attached and prints its run report. The run bypasses the result
+// cache deliberately: Report is excluded from the content hash, so a cached
+// result could legitimately lack the report this invocation asked for.
+func runFlightReport(pool *experiments.Pool, steps, shards int, metricsOut string) error {
+	spec := runner.Spec{Cells: "16x16x32", Layout: "2x2x2", CGs: 8,
+		Variant: "acc.async", Steps: steps, Shards: shards,
+		Report: true, Trace: true}
+	res, err := experiments.Exec(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	if !res.Feasible || res.Sim == nil {
+		return fmt.Errorf("report case %s is infeasible", spec)
+	}
+	fmt.Printf("flight report for %s:\n", spec)
+	res.Sim.Obs.WriteTable(os.Stdout)
+	fmt.Println()
+	if metricsOut == "" {
+		return nil
+	}
+	out := struct {
+		Spec   runner.Spec    `json:"spec"`
+		Report *obs.Report    `json:"report"`
+		Pool   runner.Metrics `json:"pool"`
+	}{spec, res.Sim.Obs, pool.Metrics()}
+	f, err := os.Create(metricsOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", metricsOut)
+	return nil
 }

@@ -8,14 +8,17 @@
 //
 //	POST /run              submit a spec, returns {"id": "jN"}
 //	GET  /jobs/{id}        job state and, when done, the full result
+//	GET  /jobs/{id}/trace  Chrome/Perfetto trace of a job run with "trace":true
 //	GET  /jobs             job summaries
-//	GET  /metrics          pool metrics: queued/running/done/failed, hit rate
+//	GET  /metrics          Prometheus text: HTTP and pool counters, gauges
+//	GET  /healthz          liveness probe
 //	GET  /artifacts/{name} render a paper table/figure (text)
 //
 // Requests run behind a per-request handler timeout; SIGINT/SIGTERM drains
 // in-flight jobs for -grace before cancelling them. A -faults plan is
 // applied to every spec that does not carry its own, so the whole service
-// can run under deterministic chaos.
+// can run under deterministic chaos. -pprof additionally mounts Go's
+// net/http/pprof profiling handlers under /debug/pprof/.
 //
 // Example:
 //
@@ -30,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,7 +56,10 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-HTTP-request handler timeout")
 	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on SIGINT/SIGTERM")
 	faultsFlag := flag.String("faults", "off", `default fault plan for specs that omit one: "off", "default", "default,scale=F" or "key=value,..."`)
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	plan, err := faults.Parse(*faultsFlag)
 	if err != nil {
@@ -72,7 +79,7 @@ func main() {
 			os.Exit(1)
 		}
 		cache = dc
-		fmt.Printf("sunserver: on-disk result cache at %s\n", dc.Dir())
+		logger.Info("on-disk result cache", "dir", dc.Dir())
 	}
 
 	pool, err := runner.New(runner.Config{
@@ -88,7 +95,7 @@ func main() {
 	}
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: *steps, Shards: *shards}, pool)
 
-	srv := newServer(pool, sweep, *steps, *shards, plan)
+	srv := newServer(pool, sweep, *steps, *shards, plan, logger, *pprofFlag)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           http.TimeoutHandler(srv.handler(), *reqTimeout, "request timed out\n"),
@@ -102,30 +109,33 @@ func main() {
 	defer stop()
 
 	if plan != nil {
-		fmt.Printf("sunserver: default fault plan %s\n", plan.Canonical())
+		logger.Info("default fault plan", "plan", plan.Canonical())
 	}
-	fmt.Printf("sunserver: %d workers, listening on %s\n", *jobs, *addr)
+	if *pprofFlag {
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	logger.Info("listening", "addr", *addr, "workers", *jobs)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "sunserver:", err)
+			logger.Error("serve failed", "err", err)
 			os.Exit(1)
 		}
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
-		fmt.Println("sunserver: shutting down, draining in-flight work...")
+		logger.Info("shutting down, draining in-flight work", "grace", *grace)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "sunserver: http shutdown:", err)
+			logger.Error("http shutdown", "err", err)
 		}
 		if err := pool.Shutdown(drainCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "sunserver: drain cut short:", err)
+			logger.Error("drain cut short", "err", err)
 			os.Exit(1)
 		}
-		fmt.Println("sunserver: drained cleanly")
+		logger.Info("drained cleanly")
 	}
 }

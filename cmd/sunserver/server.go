@@ -4,13 +4,20 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"sunuintah/internal/experiments"
 	"sunuintah/internal/faults"
+	"sunuintah/internal/obs"
 	"sunuintah/internal/runner"
+	"sunuintah/internal/trace"
 )
 
 // runRequest is the POST /run body: a runner.Spec plus the paper's
@@ -44,13 +51,30 @@ type server struct {
 	shards int          // default engine shards for requests that omit them
 	faults *faults.Plan // default fault plan for requests that omit one (nil: none)
 	start  time.Time
+	log    *slog.Logger
+	pprof  bool // mount net/http/pprof under /debug/pprof/
+
+	// Operational telemetry, exposed as Prometheus text on /metrics. HTTP
+	// counters accumulate in the registry as requests finish; the pool's
+	// own atomic counters are mirrored in at scrape time.
+	reg       *obs.Registry
+	httpReqs  *obs.CounterVec
+	httpDur   *obs.HistogramVec
+	poolTotal *obs.CounterVec
+	poolSecs  *obs.CounterVec
+	poolLive  *obs.GaugeVec
+	info      *obs.GaugeVec
 
 	mu     sync.Mutex
 	jobs   map[string]*apiJob
 	nextID int
 }
 
-func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps, defaultShards int, plan *faults.Plan) *server {
+func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps, defaultShards int, plan *faults.Plan, logger *slog.Logger, withPprof bool) *server {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := obs.NewRegistry()
 	return &server{
 		pool:   pool,
 		sweep:  sweep,
@@ -58,20 +82,106 @@ func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps, d
 		shards: defaultShards,
 		faults: plan,
 		start:  time.Now(),
-		jobs:   map[string]*apiJob{},
+		log:    logger,
+		pprof:  withPprof,
+		reg:    reg,
+		httpReqs: reg.CounterVec("sunserver_http_requests_total",
+			"HTTP requests served, by method, route and status code.",
+			"method", "path", "code"),
+		httpDur: reg.HistogramVec("sunserver_http_request_duration_seconds",
+			"HTTP request handling latency in seconds.",
+			[]float64{0.001, 0.01, 0.1, 1, 10, 60}, "method", "path"),
+		poolTotal: reg.CounterVec("sunserver_pool_jobs_total",
+			"Runner-pool job counters, mirrored from the pool at scrape time.",
+			"state"),
+		poolSecs: reg.CounterVec("sunserver_pool_seconds_total",
+			"Host seconds spent executing jobs (exec) and avoided by cache hits (saved).",
+			"kind"),
+		poolLive: reg.GaugeVec("sunserver_pool_jobs",
+			"Runner-pool jobs currently queued or running.",
+			"state"),
+		info: reg.GaugeVec("sunserver_info",
+			"Service-level gauges: workers, uptime, accepted API jobs, cache hit ratio.",
+			"name"),
+		jobs: map[string]*apiJob{},
 	}
 }
 
-// handler builds the route table.
+// handler builds the route table. Wrong-method requests on /run and /jobs
+// land on explicit method-less fallbacks that answer 405 with an Allow
+// header and a JSON error (the mux's built-in 405 is plain text).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("/run", s.methodNotAllowed("POST"))
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("/jobs", s.methodNotAllowed("GET"))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /artifacts/{name}", s.handleArtifact)
-	return mux
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
+}
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the route table with request logging and HTTP metrics.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sr, r)
+		dur := time.Since(t0)
+		route := metricRoute(r.URL.Path)
+		s.httpReqs.Inc(r.Method, route, strconv.Itoa(sr.status))
+		s.httpDur.Observe(dur.Seconds(), r.Method, route)
+		s.log.Info("request", "method", r.Method, "path", r.URL.Path,
+			"status", sr.status, "duration", dur)
+	})
+}
+
+// metricRoute collapses request paths onto their route patterns, so metric
+// label cardinality stays bounded no matter how many jobs exist.
+func metricRoute(p string) string {
+	switch {
+	case strings.HasPrefix(p, "/jobs/"):
+		if strings.HasSuffix(p, "/trace") {
+			return "/jobs/{id}/trace"
+		}
+		return "/jobs/{id}"
+	case strings.HasPrefix(p, "/artifacts/"):
+		return "/artifacts/{name}"
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
+	}
+	return p
+}
+
+// methodNotAllowed answers a wrong-method request with 405, the Allow
+// header, and a JSON error body.
+func (s *server) methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed; use %s", r.Method, allow)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -90,7 +200,8 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"service": "sunserver: simulated Sunway TaihuLight experiment service",
 		"endpoints": []string{
-			"POST /run", "GET /jobs", "GET /jobs/{id}", "GET /metrics", "GET /artifacts/{name}",
+			"POST /run", "GET /jobs", "GET /jobs/{id}", "GET /jobs/{id}/trace",
+			"GET /metrics", "GET /healthz", "GET /artifacts/{name}",
 		},
 		"artifacts": experiments.ArtifactNames(),
 	})
@@ -225,18 +336,65 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleMetrics serves the registry in the Prometheus text exposition
+// format, mirroring the pool's atomic counters in first.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.pool.Metrics()
 	s.mu.Lock()
 	total := len(s.jobs)
 	s.mu.Unlock()
+	s.poolTotal.Set(float64(m.Submitted), "submitted")
+	s.poolTotal.Set(float64(m.Coalesced), "coalesced")
+	s.poolTotal.Set(float64(m.Done), "done")
+	s.poolTotal.Set(float64(m.Failed), "failed")
+	s.poolTotal.Set(float64(m.Executed), "executed")
+	s.poolTotal.Set(float64(m.CacheHits), "cache_hits")
+	s.poolTotal.Set(float64(m.Retries), "retries")
+	s.poolTotal.Set(float64(m.Panics), "panics")
+	s.poolSecs.Set(m.ExecSeconds, "exec")
+	s.poolSecs.Set(m.SavedSeconds, "saved")
+	s.poolLive.Set(float64(m.Queued), "queued")
+	s.poolLive.Set(float64(m.Running), "running")
+	s.info.Set(float64(s.pool.Workers()), "workers")
+	s.info.Set(time.Since(s.start).Seconds(), "uptime_seconds")
+	s.info.Set(float64(total), "api_jobs")
+	s.info.Set(m.HitRate(), "cache_hit_ratio")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
 		"uptimeSeconds": time.Since(s.start).Seconds(),
-		"workers":       s.pool.Workers(),
-		"requests":      total,
-		"pool":          m,
-		"hitRate":       m.HitRate(),
 	})
+}
+
+// handleJobTrace serves a finished job's event timeline as a Chrome/
+// Perfetto trace file. Only jobs submitted with "trace": true carry one.
+func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var cp apiJob
+	if ok {
+		cp = *j
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if cp.State != runner.StateDone || cp.Result == nil || cp.Result.Sim == nil || len(cp.Result.Sim.Trace) == 0 {
+		writeError(w, http.StatusNotFound,
+			"job %q has no recorded trace (submit the spec with \"trace\": true and wait for it to finish)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+"-trace.json"))
+	if err := trace.NewFromEvents(cp.Result.Sim.Trace).WriteChromeTrace(w); err != nil {
+		s.log.Error("trace download", "job", id, "err", err)
+	}
 }
 
 // handleArtifact renders one of the paper's tables or figures from the

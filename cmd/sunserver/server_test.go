@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -26,7 +27,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *runner.Pool) {
 		t.Fatal(err)
 	}
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: 1}, pool)
-	ts := httptest.NewServer(newServer(pool, sweep, 1, 0, nil).handler())
+	ts := httptest.NewServer(newServer(pool, sweep, 1, 0, nil, nil, false).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
@@ -121,13 +122,59 @@ func TestRunFunctionalCaseEndToEnd(t *testing.T) {
 		t.Fatalf("cached rerun differs: %+v", job2.Result)
 	}
 
-	var metrics map[string]any
-	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != http.StatusOK {
-		t.Fatalf("GET /metrics status = %d", code)
+	// /metrics serves Prometheus text; after the identical resubmission the
+	// mirrored pool counters must show the cache hit.
+	body2, contentType := getMetrics(t, ts.URL)
+	if !strings.HasPrefix(contentType, "text/plain") {
+		t.Errorf("metrics Content-Type = %q, want text/plain", contentType)
 	}
-	if metrics["hitRate"].(float64) <= 0 {
-		t.Errorf("hit rate = %v, want > 0 after identical resubmission", metrics["hitRate"])
+	if v := promValue(t, body2, `sunserver_pool_jobs_total{state="cache_hits"}`); v < 1 {
+		t.Errorf("cache_hits = %v, want >= 1 after identical resubmission", v)
 	}
+	if v := promValue(t, body2, `sunserver_info{name="cache_hit_ratio"}`); v <= 0 {
+		t.Errorf("cache hit ratio = %v, want > 0", v)
+	}
+	if !strings.Contains(body2, "# TYPE sunserver_http_requests_total counter") {
+		t.Errorf("metrics missing http_requests_total TYPE line:\n%s", body2)
+	}
+	if !strings.Contains(body2, "sunserver_http_request_duration_seconds_bucket") {
+		t.Errorf("metrics missing request-duration histogram buckets")
+	}
+}
+
+// getMetrics fetches /metrics and returns body and Content-Type.
+func getMetrics(t *testing.T, base string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.Header.Get("Content-Type")
+}
+
+// promValue extracts one sample value from a Prometheus text body.
+func promValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, sample+" ") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(line, sample+" "), "%g", &v); err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %q not found in:\n%s", sample, body)
+	return 0
 }
 
 // TestDefaultFaultPlanApplied runs a chaotic case end to end through the
@@ -145,7 +192,7 @@ func TestDefaultFaultPlanApplied(t *testing.T) {
 	}
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: 2}, pool)
 	plan := &faults.Plan{Seed: 1, CrashAtStep: 3, CheckpointEvery: 2}
-	ts := httptest.NewServer(newServer(pool, sweep, 2, 0, plan).handler())
+	ts := httptest.NewServer(newServer(pool, sweep, 2, 0, plan, nil, false).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
@@ -246,5 +293,135 @@ func TestArtifactEndpoint(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown artifact status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestMethodNotAllowed checks that wrong-method requests on /run and /jobs
+// answer 405 with an Allow header and a JSON error body.
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/run", "POST"},
+		{http.MethodDelete, "/run", "POST"},
+		{http.MethodPost, "/jobs", "GET"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s status = %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != c.allow {
+			t.Errorf("%s %s Allow = %q, want %q", c.method, c.path, got, c.allow)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s %s: no JSON error body", c.method, c.path)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &out); code != http.StatusOK {
+		t.Fatalf("GET /healthz status = %d", code)
+	}
+	if out["status"] != "ok" {
+		t.Errorf("healthz status = %v, want ok", out["status"])
+	}
+}
+
+// TestJobTraceDownload submits a spec with "trace": true and downloads the
+// finished job's Chrome trace; a job without a trace answers 404.
+func TestJobTraceDownload(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	body := `{"cells":"32x32x64","layout":"2x2x1","cgs":2,"variant":"acc.async","steps":2,"trace":true}`
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted map[string]string
+	json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /run status = %d", resp.StatusCode)
+	}
+	id := accepted["id"]
+
+	deadline := time.Now().Add(30 * time.Second)
+	var job apiJob
+	for {
+		getJSON(t, ts.URL+"/jobs/"+id, &job)
+		if job.State == runner.StateDone || job.State == runner.StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after 30s", job.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if job.State != runner.StateDone {
+		t.Fatalf("job failed: %s", job.Error)
+	}
+	if job.Result.Sim.Obs == nil {
+		t.Fatal("traced job has no flight-recorder report")
+	}
+
+	tr, err := http.Get(ts.URL + "/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/trace status = %d", id, tr.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&chrome); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+
+	// A job run without "trace": true has nothing to download.
+	body2 := `{"cells":"32x32x64","layout":"2x2x1","cgs":2,"variant":"acc.async","steps":1}`
+	resp2, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted2 map[string]string
+	json.NewDecoder(resp2.Body).Decode(&accepted2)
+	resp2.Body.Close()
+	for {
+		getJSON(t, ts.URL+"/jobs/"+accepted2["id"], &job)
+		if job.State == runner.StateDone || job.State == runner.StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("untraced job did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	tr2, err := http.Get(ts.URL + "/jobs/" + accepted2["id"] + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Body.Close()
+	if tr2.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced job trace status = %d, want 404", tr2.StatusCode)
 	}
 }

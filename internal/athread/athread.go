@@ -362,6 +362,7 @@ func (g *Group) Launch(spec KernelSpec, activeCPEs int, functional bool, flag *s
 
 	launch := sim.Time(p.OffloadCost)
 	off := &Offload{group: g, Stalled: stall}
+	dmaBefore := g.cg.Counters.DMABytes
 	var last, lastHealthy sim.Time
 	for id := 0; id < g.cpes; id++ {
 		cpe := &CPE{ID: id, group: g, spec: spec, active: activeCPEs, functional: functional, firstTile: true}
@@ -389,6 +390,10 @@ func (g *Group) Launch(spec KernelSpec, activeCPEs int, functional bool, flag *s
 			g.cg.Engine().Schedule(finish, func() { flag.Add(1) }))
 	}
 	off.Estimate = lastHealthy
+	// The CPE bodies accounted their memory<->LDM transfers above; feed
+	// the delta to the flight recorder (a plain method call on a possibly
+	// nil probe set — no obs dependency, no cost when disabled).
+	g.cg.Probes.DMA(g.cg.Engine().Now(), g.cg.Counters.DMABytes-dmaBefore)
 	if stall {
 		off.Done = sim.Infinity
 		return off

@@ -20,6 +20,7 @@ import (
 	"sunuintah/internal/grid"
 	"sunuintah/internal/loadbalancer"
 	"sunuintah/internal/mpisim"
+	"sunuintah/internal/obs"
 	"sunuintah/internal/perf"
 	"sunuintah/internal/scheduler"
 	"sunuintah/internal/sim"
@@ -53,6 +54,12 @@ type Config struct {
 	// the substrate (see package faults). Crash events only fire under
 	// RunResilient, which also recovers from them.
 	Faults *faults.Plan
+	// Obs, when non-nil, attaches the flight recorder: virtual-time series
+	// sampling across every layer plus overlap and roofline summaries in
+	// Result.Obs. A reporting knob only — it never changes scheduling,
+	// timing, or numerics, and the report is bit-identical across Shards
+	// and host-parallelism settings.
+	Obs *obs.Options
 }
 
 // Problem is a user-defined simulation: its task list plus initial
@@ -100,6 +107,9 @@ type Simulation struct {
 	crashStep int
 	crashFrac float64
 	crashed   *CrashError
+
+	// sampler is the flight recorder (nil unless Cfg.Obs is set).
+	sampler *obs.Sampler
 }
 
 // Result summarises a completed run.
@@ -130,6 +140,12 @@ type Result struct {
 	// Faults reports injected faults and recoveries; nil (and absent from
 	// JSON) on fault-free runs.
 	Faults *FaultReport `json:"Faults,omitempty"`
+	// Obs is the flight-recorder report; nil (and absent from JSON) unless
+	// Config.Obs was set.
+	Obs *obs.Report `json:"Obs,omitempty"`
+	// Trace is the run's event timeline in canonical order; populated only
+	// when Config.Obs requests it (Options.Trace).
+	Trace []trace.Event `json:"Trace,omitempty"`
 }
 
 // NewSimulation validates and assembles a run.
@@ -192,10 +208,28 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 		comm.Shard(shards, engs)
 	}
 
+	// Attach the flight recorder before the schedulers are built: each CG,
+	// the communicator and each rank's scheduler get their own per-rank
+	// probe set, so every hook fires from that rank's engine events and the
+	// sampled series stay bit-identical under sharding. An observed run
+	// always records a trace (the overlap report needs the intervals).
+	var sampler *obs.Sampler
+	if cfg.Obs != nil {
+		if cfg.Scheduler.Trace == nil {
+			cfg.Scheduler.Trace = trace.New()
+		}
+		sampler = obs.NewSampler(*cfg.Obs, cfg.NumCGs)
+		for i := 0; i < cfg.NumCGs; i++ {
+			machine.CG(i).Probes = sampler.Rank(i)
+		}
+		comm.SetObs(sampler)
+	}
+
 	s := &Simulation{
 		Cfg: cfg, Prob: prob, Level: level,
 		Machine: machine, Comm: comm,
 		eng: engs[0], engs: engs, shards: shards, assign: assign,
+		sampler: sampler,
 	}
 	// Attach the fault plane before the schedulers are built (they capture
 	// their core group's injector at construction).
@@ -211,7 +245,9 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 		if err != nil {
 			return nil, err
 		}
-		rk, err := scheduler.New(cfg.Scheduler, g, machine.CG(r), comm.Rank(r))
+		sc := cfg.Scheduler
+		sc.Probes = sampler.Rank(r)
+		rk, err := scheduler.New(sc, g, machine.CG(r), comm.Rank(r))
 		if err != nil {
 			return nil, err
 		}
@@ -448,7 +484,25 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 	}
 	res.BytesOnWire -= bytesBefore
 	res.Faults = s.faultReport()
+	s.attachObs(res)
 	return res, nil
+}
+
+// attachObs folds the flight recorder into a result: the sampled series
+// finalized at the current (globally aligned) virtual time, the trace
+// overlap statistics, the roofline placement, and — when requested — the
+// canonical event timeline. No-op without Config.Obs.
+func (s *Simulation) attachObs(res *Result) {
+	if s.sampler == nil {
+		return
+	}
+	rep := s.sampler.Report(s.now())
+	rep.AddOverlap(s.Cfg.Scheduler.Trace, s.Cfg.NumCGs)
+	rep.AddRoofline(s.Machine.Params.CGRoofline(), res.Gflops, res.Efficiency)
+	res.Obs = rep
+	if s.Cfg.Obs.Trace {
+		res.Trace = trace.Sorted(s.Cfg.Scheduler.Trace.Events())
+	}
 }
 
 // GatherField assembles the global field of a label from every rank's old

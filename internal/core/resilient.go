@@ -296,5 +296,8 @@ func runResilient(cfg Config, prob Problem, nSteps int) (*Result, *Simulation, e
 	for _, rk := range s.Ranks {
 		out.RankStats = append(out.RankStats, rk.Stats)
 	}
+	// The surviving incarnation's flight recorder covers every step that
+	// made it into the folded result (crashed segments' work was redone).
+	s.attachObs(out)
 	return out, s, nil
 }

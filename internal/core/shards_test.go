@@ -6,6 +6,7 @@ import (
 
 	"sunuintah/internal/faults"
 	"sunuintah/internal/grid"
+	"sunuintah/internal/obs"
 	"sunuintah/internal/scheduler"
 )
 
@@ -73,6 +74,20 @@ func TestShardedBitIdentical(t *testing.T) {
 			c.Faults = noCrash
 			return c
 		}()},
+		// Flight-recorder cases: Result.Obs (every sampled series, overlap,
+		// roofline) and Result.Trace ride inside the compared JSON, so the
+		// byte-identity contract extends to the whole report.
+		{"obs-async-8cg", func() Config {
+			c := base(scheduler.ModeAsync, false, 8)
+			c.Obs = &obs.Options{}
+			return c
+		}()},
+		{"obs-trace-faulted-8cg", func() Config {
+			c := base(scheduler.ModeAsync, true, 8)
+			c.Faults = noCrash
+			c.Obs = &obs.Options{Trace: true}
+			return c
+		}()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -136,6 +151,48 @@ func TestShardedCrashPlanForcesSerial(t *testing.T) {
 	b, _ := json.Marshal(sharded)
 	if string(a) != string(b) {
 		t.Fatalf("crash-plan results differ:\nserial:  %s\nsharded: %s", a, b)
+	}
+}
+
+// TestShardsReportUnderCrashPlan: the flight recorder under
+// checkpoint/restart — a crash-plan run (forced serial regardless of the
+// shard request) carries a report from the surviving incarnation, and the
+// report is byte-identical whatever Shards asked for.
+func TestShardsReportUnderCrashPlan(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	prob, _ := burgersProblem(cells, patches, false)
+	cfg := Config{
+		Cells:       cells,
+		PatchCounts: patches,
+		NumCGs:      4,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 4), Functional: true},
+		Faults:      &faults.Plan{Seed: 3, CrashAtStep: 2, CheckpointEvery: 2},
+		Obs:         &obs.Options{Trace: true},
+	}
+
+	serial, err := RunResilient(cfg, prob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Obs == nil || serial.Obs.Samples == 0 {
+		t.Fatal("resilient run has no flight-recorder report")
+	}
+	if len(serial.Trace) == 0 {
+		t.Fatal("resilient run has no trace")
+	}
+	if serial.Obs.Roofline == nil || len(serial.Obs.Overlap) != 4 {
+		t.Fatalf("report missing roofline/overlap: %+v", serial.Obs)
+	}
+	cfg.Shards = 4
+	sharded, err := RunResilient(cfg, prob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(sharded)
+	if string(a) != string(b) {
+		t.Fatalf("crash-plan reports differ:\nserial:  %s\nsharded: %s", a, b)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sunuintah/internal/burgers"
 	"sunuintah/internal/core"
 	"sunuintah/internal/grid"
+	"sunuintah/internal/obs"
 	"sunuintah/internal/perf"
 	"sunuintah/internal/runner"
 	"sunuintah/internal/scheduler"
@@ -45,6 +46,8 @@ func SpecFor(prob ProblemSpec, cgs int, v Variant, opt Options, seed uint64) run
 		spec.Faults = opt.Faults
 	}
 	spec.Shards = opt.Shards
+	spec.Report = opt.Report
+	spec.Trace = opt.Trace
 	return spec
 }
 
@@ -188,6 +191,9 @@ func specConfig(spec runner.Spec) (core.Config, core.Problem, error) {
 		cfg.Faults = spec.Faults
 	}
 	cfg.Shards = spec.Shards
+	if spec.Report || spec.Trace {
+		cfg.Obs = &obs.Options{Trace: spec.Trace}
+	}
 	return cfg, problem, nil
 }
 

@@ -36,6 +36,12 @@ func TestExecShardDeterminism(t *testing.T) {
 		{Cells: "16x16x32", Layout: "2x2x2", CGs: 8, Variant: "acc_simd.sync", Steps: 3},
 		{Cells: "16x16x32", Layout: "2x2x2", CGs: 8, Variant: "acc.async", Steps: 3,
 			Faults: &faults.Plan{Seed: 5, Drop: 0.1, Dup: 0.1, Stall: 0.05}},
+		// Flight-recorder runs: Result.Sim.Obs and .Trace ride inside the
+		// compared JSON, extending bit-identity to the whole report.
+		{Cells: "16x16x32", Layout: "2x2x2", CGs: 8, Variant: "acc.async", Steps: 3,
+			Report: true, Trace: true},
+		{Cells: "16x16x32", Layout: "2x2x2", CGs: 8, Variant: "acc.async", Steps: 3,
+			Faults: &faults.Plan{Seed: 5, Drop: 0.1, Dup: 0.1, Stall: 0.05}, Report: true},
 	}
 	for _, spec := range specs {
 		spec := spec
@@ -75,5 +81,57 @@ func TestValidateSpecRejectsNegativeShards(t *testing.T) {
 	spec := runner.Spec{Cells: "16x16x32", Layout: "2x2x2", CGs: 2, Variant: "acc.async", Steps: 1, Shards: -1}
 	if err := ValidateSpec(spec); err == nil {
 		t.Fatal("want error for shards = -1, got nil")
+	}
+}
+
+// TestShardsWorkersReportBitIdentical runs a flight-recorder spec through
+// pools of different worker counts and different shard settings and asserts
+// every Result — sampled series included — is byte-identical. Workers and
+// Shards are the two host-parallelism knobs; neither may leak into the
+// virtual-time report. (Each run uses its own pool with a fresh cache, so
+// no comparison is served from a memoised result.)
+func TestShardsWorkersReportBitIdentical(t *testing.T) {
+	spec := runner.Spec{Cells: "16x16x32", Layout: "2x2x2", CGs: 8, Variant: "acc.async",
+		Steps: 3, Report: true, Trace: true}
+
+	run := func(workers, shards int) []byte {
+		t.Helper()
+		s := spec
+		s.Shards = shards
+		pool := NewPool(workers, runner.NewMemoryCache(0), nil)
+		defer pool.Close()
+		res, err := pool.Submit(s).Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sim == nil || res.Sim.Obs == nil || res.Sim.Obs.Samples == 0 {
+			t.Fatalf("workers=%d shards=%d: no flight-recorder report", workers, shards)
+		}
+		blob, err := json.Marshal(res.Sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	ref := run(1, 0)
+	for _, c := range []struct{ workers, shards int }{{4, 0}, {1, 2}, {4, 4}} {
+		if got := run(c.workers, c.shards); string(got) != string(ref) {
+			t.Fatalf("workers=%d shards=%d: report differs from workers=1 serial run",
+				c.workers, c.shards)
+		}
+	}
+}
+
+// TestReportExcludedFromHash: Report and Trace are reporting knobs — they
+// must not change the content hash, so a report-bearing request aliases the
+// same cache entry as the plain spec.
+func TestReportExcludedFromHash(t *testing.T) {
+	base := runner.Spec{Cells: "16x16x32", Layout: "2x2x2", CGs: 8, Variant: "acc.async", Steps: 3}
+	withReport := base
+	withReport.Report = true
+	withReport.Trace = true
+	if base.Hash() != withReport.Hash() {
+		t.Fatal("Report/Trace changed the content hash; they must stay cache-transparent")
 	}
 }

@@ -139,6 +139,12 @@ type Options struct {
 	// all-zero runs fault-free.
 	Faults *faults.Plan
 
+	// Report attaches the flight recorder to every case; Trace additionally
+	// captures the full event timeline. Reporting knobs only — like Shards,
+	// they never participate in the result-cache key.
+	Report bool
+	Trace  bool
+
 	// seed is the per-repeat noise seed set by RunCase.
 	seed uint64
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"sunuintah/internal/faults"
+	"sunuintah/internal/obs"
 	"sunuintah/internal/perf"
 	"sunuintah/internal/sim"
 	"sunuintah/internal/trace"
@@ -63,6 +64,17 @@ type Comm struct {
 func (c *Comm) SetFaults(inj *faults.Injector, rec *trace.Recorder) {
 	c.inj = inj
 	c.rec = rec
+}
+
+// SetObs attaches the flight recorder's per-rank probes: sends record the
+// in-flight message/byte series (rising at post time, falling at the
+// sender-computed arrival instant, so no event ever touches another
+// rank's engine) and fault-plane markers bump the fault/recovery
+// counters. Observability only — no simulated behaviour changes.
+func (c *Comm) SetObs(s *obs.Sampler) {
+	for _, rk := range c.ranks {
+		rk.probes = s.Rank(rk.rank)
+	}
 }
 
 // NewComm builds a communicator with the given number of ranks.
@@ -131,6 +143,11 @@ type Rank struct {
 	sendSeq       int64          // rank-local transmission counter
 	Resends       int64          // retransmissions of dropped messages
 	DupsDiscarded int64          // duplicate deliveries suppressed
+
+	// probes is this rank's flight-recorder hook set (nil = disabled).
+	// Touched only from this rank's engine events, so sharding never
+	// races on it.
+	probes *obs.RankProbes
 }
 
 // RankID returns this endpoint's rank number.
@@ -233,6 +250,7 @@ func (r *Rank) Isend(p *sim.Process, dst, tag int, payload []float64, bytes int6
 	m := &message{src: r.rank, tag: tag, bytes: bytes, payload: payload, arrivesAt: now + wire}
 	dstRank := r.comm.Rank(dst)
 	r.sendTo(dst, wire, func() { dstRank.deliver(m) })
+	r.probes.MsgSent(now, bytes, now+wire)
 	return req
 }
 
@@ -277,6 +295,7 @@ func (r *Rank) transmit(req *Request, st *sendState) {
 		arrivesAt: now + wire, seq: st.seq}
 	dstRank := c.Rank(st.dst)
 	r.sendTo(st.dst, wire, func() { dstRank.deliver(m) })
+	r.probes.MsgSent(now, st.bytes, now+wire)
 	if dup {
 		// A duplicate of the same transmission lands a little later; the
 		// receiver suppresses it by sequence number.
@@ -284,6 +303,7 @@ func (r *Rank) transmit(req *Request, st *sendState) {
 		d := *m
 		d.arrivesAt = now + wire*3/2
 		r.sendTo(st.dst, wire*3/2, func() { dstRank.deliver(&d) })
+		r.probes.MsgSent(now, st.bytes, now+wire*3/2)
 	}
 }
 
@@ -303,8 +323,11 @@ func (r *Rank) resend(req *Request) {
 	r.transmit(req, st)
 }
 
-// traceFault and traceRecovery emit zero-duration fault-plane markers.
+// traceFault and traceRecovery emit zero-duration fault-plane markers and
+// bump the flight recorder's per-rank counters. Both run on the faulting
+// rank's own engine.
 func (c *Comm) traceFault(rank int, name string, st *sendState) {
+	c.ranks[rank].probes.Fault(c.engs[rank].Now())
 	if c.rec == nil {
 		return
 	}
@@ -315,6 +338,7 @@ func (c *Comm) traceFault(rank int, name string, st *sendState) {
 }
 
 func (c *Comm) traceRecovery(rank int, name string, st *sendState) {
+	c.ranks[rank].probes.Recovery(c.engs[rank].Now())
 	if c.rec == nil {
 		return
 	}

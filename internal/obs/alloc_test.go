@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+// The disabled recorder must stay free: every hook on nil probes (the
+// state of every run without -report) is a no-op that allocates nothing,
+// so attaching the obs plumbing to the hot paths cannot regress the
+// benchgate e2e numbers.
+func TestNilProbesZeroAlloc(t *testing.T) {
+	var p *RankProbes
+	var s *Sampler
+	allocs := testing.AllocsPerRun(200, func() {
+		p.QueueDepth(1, 3)
+		p.QueueDelta(1, -1)
+		p.Prepared(1, 2)
+		p.Gangs(1, 1)
+		p.MsgSent(1, 4096, 2)
+		p.DMA(1, 1<<16)
+		p.Mem(1, 1<<20)
+		p.Fault(1)
+		p.Recovery(1)
+		_ = s.Rank(3)
+		s.Finalize(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil probes allocated %.1f times per run, want 0", allocs)
+	}
+}

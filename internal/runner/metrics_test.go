@@ -1,0 +1,55 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHitRateZeroFinished: a fresh pool (or one whose jobs are all still
+// queued) has finished nothing; the hit rate must be a clean zero, not NaN
+// from a 0/0 division.
+func TestHitRateZeroFinished(t *testing.T) {
+	var m Metrics
+	if got := m.HitRate(); got != 0 {
+		t.Errorf("HitRate of zero metrics = %v, want 0", got)
+	}
+	m = Metrics{Submitted: 3, Queued: 2, Running: 1, CacheHits: 0}
+	if got := m.HitRate(); got != 0 {
+		t.Errorf("HitRate with only in-flight jobs = %v, want 0", got)
+	}
+}
+
+func TestHitRateCountsFailedJobs(t *testing.T) {
+	m := Metrics{Done: 3, Failed: 1, CacheHits: 2}
+	if got, want := m.HitRate(), 0.5; got != want {
+		t.Errorf("HitRate = %v, want %v (failed jobs count as finished)", got, want)
+	}
+	m = Metrics{Done: 4, CacheHits: 4}
+	if got := m.HitRate(); got != 1 {
+		t.Errorf("HitRate of all-cached pool = %v, want 1", got)
+	}
+}
+
+// TestMetricsStringZero: the one-line summary must render sanely (no NaN,
+// 0% hit rate) before any job has finished.
+func TestMetricsStringZero(t *testing.T) {
+	var m Metrics
+	s := m.String()
+	if strings.Contains(s, "NaN") {
+		t.Errorf("zero-metrics String contains NaN: %q", s)
+	}
+	if !strings.Contains(s, "0% hit rate") {
+		t.Errorf("zero-metrics String = %q, want 0%% hit rate", s)
+	}
+}
+
+func TestMetricsStringRendersCounters(t *testing.T) {
+	m := Metrics{Done: 7, Failed: 1, Executed: 5, CacheHits: 2, Retries: 3,
+		ExecSeconds: 1.5, SavedSeconds: 0.25}
+	s := m.String()
+	for _, want := range []string{"7 done", "1 failed", "5 executed", "2 cache hits", "25% hit rate", "3 retries", "exec 1.50s", "saved 0.25s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String = %q, missing %q", s, want)
+		}
+	}
+}

@@ -217,6 +217,7 @@ func (s *Rank) offload(p *sim.Process, step int, t, dt float64, obj *taskgraph.O
 	obj.State = taskgraph.StateRunning
 	sl.obj = obj
 	sl.off = off
+	s.probeGangs()
 	if s.inj != nil {
 		sl.estimate = off.Estimate
 		sl.deadline = start + off.Estimate*sim.Time(s.inj.Plan().DeadlineFactor)

@@ -32,9 +32,11 @@ func (s *Rank) handleOffloadTimeout(p *sim.Process, step int, t, dt float64, sl 
 	sl.off.Abort()
 	sl.off = nil
 	sl.obj = nil
+	s.probeGangs()
 	sl.flag.Reset()
 	sl.attempts++
 	sl.consecFails++
+	s.cfg.Probes.Fault(now)
 	s.mark(step, trace.KindFault, fmt.Sprintf("offload-timeout %s try=%d", obj.Task.Name, sl.attempts), now)
 
 	plan := s.inj.Plan()
@@ -62,6 +64,7 @@ func (s *Rank) retryPending(p *sim.Process, step int, t, dt float64, sl *slot) e
 	sl.pending = nil
 	fs := s.faultStats()
 	fs.Reoffloads++
+	s.cfg.Probes.Recovery(p.Now())
 	s.mark(step, trace.KindRecovery, fmt.Sprintf("re-offload %s try=%d", obj.Task.Name, sl.attempts+1), p.Now())
 	return s.offload(p, step, t, dt, obj, sl)
 }
@@ -73,6 +76,7 @@ func (s *Rank) retryPending(p *sim.Process, step int, t, dt float64, sl *slot) e
 func (s *Rank) fallbackToMPE(p *sim.Process, step int, t, dt float64, obj *taskgraph.Object, completed *int) error {
 	fs := s.faultStats()
 	fs.MPEFallbacks++
+	s.cfg.Probes.Recovery(p.Now())
 	s.mark(step, trace.KindRecovery, fmt.Sprintf("mpe-fallback %s", obj.Task.Name), p.Now())
 	if err := s.runOnMPE(p, step, t, dt, obj); err != nil {
 		return err
@@ -91,6 +95,7 @@ func (s *Rank) drainToMPE(p *sim.Process, step int, t, dt float64, completed *in
 		if len(s.prepared) > 0 {
 			obj = s.prepared[0]
 			s.prepared = s.prepared[1:]
+			s.cfg.Probes.Prepared(p.Now(), len(s.prepared))
 		} else {
 			obj = s.nextReady(true)
 			if obj == nil {
@@ -161,4 +166,5 @@ func (s *Rank) clearSlot(sl *slot) {
 	sl.off = nil
 	sl.attempts = 0
 	sl.consecFails = 0
+	s.probeGangs()
 }

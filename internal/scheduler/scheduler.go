@@ -25,6 +25,7 @@ import (
 	"sunuintah/internal/faults"
 	"sunuintah/internal/grid"
 	"sunuintah/internal/mpisim"
+	"sunuintah/internal/obs"
 	"sunuintah/internal/perf"
 	"sunuintah/internal/sim"
 	"sunuintah/internal/sw26010"
@@ -66,6 +67,12 @@ type Config struct {
 	Functional bool
 	// Trace optionally records the scheduler's activity timeline.
 	Trace *trace.Recorder
+	// Probes is this rank's flight-recorder probe set: virtual-time series
+	// of queue depth, work-ahead backlog and gang occupancy. nil disables
+	// sampling at zero cost. Like Workers, it is a reporting knob only —
+	// it never changes the simulated outcome and never enters the
+	// runner's spec hash.
+	Probes *obs.RankProbes
 
 	// AsyncDMA enables the paper's future-work double-buffered
 	// memory<->LDM transfers: each tile's DMA overlaps the previous
@@ -340,4 +347,20 @@ func (s *Rank) charge(p *sim.Process, d sim.Time, bucket *sim.Time, kind trace.K
 		Rank: s.mpi.RankID(), Step: step, Kind: kind, Name: name,
 		Start: start, End: p.Now(),
 	})
+}
+
+// probeGangs records the current CPE-gang occupancy (slots with an
+// offload in flight) on the flight recorder. Called wherever a slot's obj
+// is set or cleared; a nil probe set makes it free.
+func (s *Rank) probeGangs() {
+	if s.cfg.Probes == nil {
+		return
+	}
+	busy := 0
+	for _, sl := range s.slots {
+		if sl.obj != nil {
+			busy++
+		}
+	}
+	s.cfg.Probes.Gangs(s.cg.Engine().Now(), busy)
 }

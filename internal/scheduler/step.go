@@ -80,6 +80,8 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 
 	completed := 0
 	total := len(g.Objects)
+	s.cfg.Probes.QueueDepth(p.Now(), total)
+	s.cfg.Probes.Prepared(p.Now(), len(s.prepared))
 
 	for {
 		progressed := false
@@ -142,6 +144,7 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 			if len(s.prepared) > 0 {
 				obj = s.prepared[0]
 				s.prepared = s.prepared[1:]
+				s.cfg.Probes.Prepared(p.Now(), len(s.prepared))
 			} else {
 				obj = s.nextReady(true)
 				if obj == nil {
@@ -178,6 +181,7 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 							Start: t0, End: p.Now()})
 						s.completeObject(sl.obj, &completed)
 						sl.obj = nil
+						s.probeGangs()
 					}
 				}
 			}
@@ -202,6 +206,7 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 				}
 				obj.State = taskgraph.StatePrepared
 				s.prepared = append(s.prepared, obj)
+				s.cfg.Probes.Prepared(p.Now(), len(s.prepared))
 				progressed = true
 			}
 		}
@@ -327,6 +332,7 @@ func (s *Rank) completeObject(o *taskgraph.Object, completed *int) {
 	o.State = taskgraph.StateCompleted
 	*completed++
 	s.Stats.TasksRun++
+	s.cfg.Probes.QueueDelta(s.cg.Engine().Now(), -1)
 	for _, d := range o.Downstream {
 		d.PendingDeps--
 		if d.PendingDeps == 0 && d.State == taskgraph.StateWaiting {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sunuintah/internal/faults"
+	"sunuintah/internal/obs"
 	"sunuintah/internal/perf"
 	"sunuintah/internal/sim"
 )
@@ -20,6 +21,11 @@ type CoreGroup struct {
 	// stragglers) into offloads launched on this core group. All core
 	// groups of a simulation share one injector.
 	Faults *faults.Injector
+
+	// Probes, when non-nil, is this rank's flight-recorder hook set:
+	// Allocate/Free feed the memory-footprint series and offload launches
+	// feed the DMA-traffic series. Only this CG's engine events touch it.
+	Probes *obs.RankProbes
 
 	eng        *sim.Engine
 	allocBytes int64
@@ -135,6 +141,7 @@ func (cg *CoreGroup) Allocate(bytes int64) error {
 	if cg.allocBytes > cg.peakBytes {
 		cg.peakBytes = cg.allocBytes
 	}
+	cg.Probes.Mem(cg.eng.Now(), cg.allocBytes)
 	return nil
 }
 
@@ -144,6 +151,7 @@ func (cg *CoreGroup) Free(bytes int64) {
 	if cg.allocBytes < 0 {
 		panic("sw26010: allocation accounting underflow")
 	}
+	cg.Probes.Mem(cg.eng.Now(), cg.allocBytes)
 }
 
 // AllocatedBytes returns the current field-memory footprint.

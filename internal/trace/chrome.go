@@ -38,7 +38,7 @@ func laneOf(k Kind) int {
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	events := []chromeEvent{}
 	if r != nil {
-		for _, e := range r.events {
+		for _, e := range r.snapshot() {
 			events = append(events, chromeEvent{
 				Name:     e.Name,
 				Category: string(e.Kind),

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	r := New()
+	r.Add(Event{Rank: 0, Step: 2, Kind: KindKernel, Name: "burgers", Start: 2e-6, End: 4e-6})
+	r.Add(Event{Rank: 1, Step: 2, Kind: KindComm, Name: "halo", Start: 2e-6, End: 4e-6})
+	r.Add(Event{Rank: 0, Step: 2, Kind: KindFault, Name: "drop", Start: 5e-6, End: 5e-6})
+	var b strings.Builder
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"burgers","cat":"kernel","ph":"X","ts":2,"dur":2,"pid":0,"tid":1,"args":{"step":"2"}},` +
+		`{"name":"halo","cat":"comm","ph":"X","ts":2,"dur":2,"pid":1,"tid":0,"args":{"step":"2"}},` +
+		`{"name":"drop","cat":"fault","ph":"X","ts":5,"dur":0,"pid":0,"tid":2,"args":{"step":"2"}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if b.String() != want {
+		t.Fatalf("chrome trace JSON:\n got %s\nwant %s", b.String(), want)
+	}
+}
+
+func TestWriteChromeTraceEmptyRecorder(t *testing.T) {
+	var b strings.Builder
+	if err := New().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	// An empty recorder must still emit a valid document with an empty
+	// (not null) traceEvents array — Perfetto rejects null.
+	if !strings.Contains(b.String(), `"traceEvents":[]`) {
+		t.Fatalf("empty trace = %s", b.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteChromeTraceNilRecorder(t *testing.T) {
+	var r *Recorder
+	var b strings.Builder
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"traceEvents":[]`) {
+		t.Fatalf("nil trace = %s", b.String())
+	}
+}
+
+func TestLaneAssignment(t *testing.T) {
+	cases := map[Kind]int{
+		KindKernel:   1,
+		KindFault:    2,
+		KindRecovery: 2,
+		KindMPEWork:  0,
+		KindComm:     0,
+		KindIdle:     0,
+	}
+	for k, lane := range cases {
+		if got := laneOf(k); got != lane {
+			t.Errorf("laneOf(%s) = %d, want %d", k, got, lane)
+		}
+	}
+}

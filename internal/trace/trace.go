@@ -54,6 +54,16 @@ type Recorder struct {
 // New creates an empty recorder.
 func New() *Recorder { return &Recorder{} }
 
+// NewFromEvents creates a recorder pre-loaded with the given events — the
+// inverse of Events(), used to rehydrate a recorder from an exported
+// Result timeline (for example to serve a Perfetto download of a stored
+// job).
+func NewFromEvents(events []Event) *Recorder {
+	r := New()
+	r.events = append(r.events, events...)
+	return r
+}
+
 // Add records one interval. Safe on a nil receiver and safe for
 // concurrent use — the sharded engine records from several host threads.
 // Note that insertion order is then wall-clock arrival order, so
@@ -68,22 +78,73 @@ func (r *Recorder) Add(ev Event) {
 	r.mu.Unlock()
 }
 
-// Events returns all recorded events in insertion order.
-func (r *Recorder) Events() []Event {
+// snapshot returns a consistent copy of the event slice. Every reader
+// goes through it: Add may be appending concurrently from another shard's
+// host thread, and handing out the live slice would race on both the
+// header and the backing array.
+func (r *Recorder) snapshot() []Event {
 	if r == nil {
 		return nil
 	}
-	return r.events
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) == 0 {
+		return nil
+	}
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Events returns a copy of all recorded events in insertion order.
+func (r *Recorder) Events() []Event {
+	return r.snapshot()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Sorted returns a copy of events in canonical order: (Start, End, Rank,
+// Step, Kind, Name). Concurrent shard threads append in wall-clock
+// arrival order, so exported timelines must be canonicalised to stay
+// byte-identical across -shards/-workers settings.
+func Sorted(events []Event) []Event {
+	out := make([]Event, len(events))
+	copy(out, events)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Name < b.Name
+	})
+	return out
 }
 
 // TotalByKind sums interval durations per kind, optionally filtered by
 // rank (rank < 0 means all ranks).
 func (r *Recorder) TotalByKind(rank int) map[Kind]sim.Time {
 	out := map[Kind]sim.Time{}
-	if r == nil {
-		return out
-	}
-	for _, e := range r.events {
+	for _, e := range r.snapshot() {
 		if rank >= 0 && e.Rank != rank {
 			continue
 		}
@@ -111,7 +172,7 @@ func (r *Recorder) OverlapTime(rank int, a, b Kind) sim.Time {
 		delta int
 	}
 	var edges []edge
-	for _, e := range r.events {
+	for _, e := range r.snapshot() {
 		if e.Rank != rank || (e.Kind != a && e.Kind != b) {
 			continue
 		}
@@ -148,7 +209,7 @@ func (r *Recorder) selfOverlap(rank int, k Kind) sim.Time {
 		delta int
 	}
 	var edges []edge
-	for _, e := range r.events {
+	for _, e := range r.snapshot() {
 		if e.Rank != rank || e.Kind != k {
 			continue
 		}
@@ -176,16 +237,14 @@ func (r *Recorder) selfOverlap(rank int, k Kind) sim.Time {
 // WriteTimeline renders a compact per-rank textual timeline, most useful
 // for small runs.
 func (r *Recorder) WriteTimeline(w io.Writer, rank int, maxEvents int) {
-	if r == nil {
-		return
-	}
+	events := r.snapshot()
 	n := 0
-	for _, e := range r.events {
+	for _, e := range events {
 		if e.Rank != rank {
 			continue
 		}
 		if maxEvents > 0 && n >= maxEvents {
-			fmt.Fprintf(w, "  ... (%d more events)\n", len(r.events)-n)
+			fmt.Fprintf(w, "  ... (%d more events)\n", len(events)-n)
 			return
 		}
 		fmt.Fprintf(w, "  [%12.6f, %12.6f] step %2d %-8s %s\n",

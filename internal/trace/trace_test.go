@@ -1,8 +1,13 @@
 package trace
 
 import (
+	"io"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
+
+	"sunuintah/internal/sim"
 )
 
 func TestNilRecorderIsSafe(t *testing.T) {
@@ -98,5 +103,97 @@ func TestEventDuration(t *testing.T) {
 	e := Event{Start: 1.5, End: 4}
 	if e.Duration() != 2.5 {
 		t.Fatalf("duration = %v", e.Duration())
+	}
+}
+
+// The regression this locks down: Events and the aggregate readers used
+// to hand out / iterate the live slice while sharded engines Add from
+// other host threads. Run under -race (the Makefile race target does).
+func TestRecorderConcurrentAddAndRead(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Add(Event{Rank: w, Step: i, Kind: KindKernel,
+					Start: sim.Time(i), End: sim.Time(i + 1)})
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		evs := r.Events()
+		for _, e := range evs {
+			if e.End <= e.Start {
+				t.Errorf("torn event: %+v", e)
+			}
+		}
+		_ = r.TotalByKind(-1)
+		_ = r.OverlapTime(0, KindKernel, KindComm)
+		_ = r.Len()
+		r.WriteTimeline(io.Discard, 0, 4)
+		if err := r.WriteChromeTrace(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := New()
+	r.Add(Event{Rank: 0, Kind: KindComm, Start: 1, End: 2})
+	evs := r.Events()
+	evs[0].Rank = 99
+	if r.Events()[0].Rank != 0 {
+		t.Fatal("Events handed out the live slice")
+	}
+}
+
+func TestSortedCanonicalOrder(t *testing.T) {
+	in := []Event{
+		{Rank: 1, Step: 0, Kind: KindComm, Name: "b", Start: 2, End: 3},
+		{Rank: 0, Step: 1, Kind: KindKernel, Name: "a", Start: 1, End: 4},
+		{Rank: 0, Step: 0, Kind: KindKernel, Name: "a", Start: 1, End: 2},
+		{Rank: 0, Step: 0, Kind: KindComm, Name: "z", Start: 1, End: 2},
+	}
+	got := Sorted(in)
+	want := []Event{
+		{Rank: 0, Step: 0, Kind: KindComm, Name: "z", Start: 1, End: 2},
+		{Rank: 0, Step: 0, Kind: KindKernel, Name: "a", Start: 1, End: 2},
+		{Rank: 0, Step: 1, Kind: KindKernel, Name: "a", Start: 1, End: 4},
+		{Rank: 1, Step: 0, Kind: KindComm, Name: "b", Start: 2, End: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sorted = %v", got)
+	}
+	// Input untouched, and sorting any permutation converges.
+	if in[0].Rank != 1 {
+		t.Fatal("Sorted mutated its input")
+	}
+	again := Sorted(got)
+	if !reflect.DeepEqual(again, want) {
+		t.Fatal("Sorted not idempotent")
+	}
+}
+
+func TestNewFromEventsRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Rank: 0, Kind: KindKernel, Name: "k", Start: 0, End: 1},
+		{Rank: 1, Kind: KindComm, Name: "c", Start: 1, End: 2},
+	}
+	r := NewFromEvents(evs)
+	if !reflect.DeepEqual(r.Events(), evs) {
+		t.Fatalf("round trip lost events: %v", r.Events())
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
 	}
 }
