@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench benchgate cover clean
+.PHONY: check vet build test examples race chaos workload bench benchgate cover clean
 
-check: vet build test race chaos benchgate cover
+check: vet build test examples race chaos workload benchgate cover
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,15 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Build and run every example end to end: each one self-verifies (exact
+# solutions, serial-reference bit-identity) and exits non-zero on drift,
+# so dormant examples can no longer rot as APIs move underneath them.
+examples:
+	$(GO) vet ./examples/...
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; $(GO) run ./$$d > /dev/null; done
+	@echo "examples: all ok"
 
 # Race-check the concurrent subsystems: the sharded engine and the MPI
 # model it drives (the packages with real cross-goroutine traffic), the
@@ -29,6 +38,7 @@ race:
 	$(GO) test -race -count=1 ./internal/runner/...
 	$(GO) test -race -count=1 ./internal/faults/...
 	$(GO) test -race -count=1 ./internal/trace/... ./internal/obs/...
+	$(GO) test -race -count=1 ./internal/rng/... ./internal/physics/... ./internal/heat3d/... ./internal/workload/...
 	$(GO) test -race -count=1 -run 'Resilient|Reoffload|MPEFallback|MessageFaults|ZeroPlan|Sharded|Shards|Coalesced' ./internal/core/
 	$(GO) test -race -short -count=1 ./internal/experiments/...
 
@@ -37,6 +47,11 @@ race:
 # fault rate).
 chaos:
 	$(GO) test -run TestChaos -count=1 ./internal/experiments/
+
+# The workload gate: the scenario sweep plus record-and-replay artifact
+# must render byte-identically across worker and shard counts.
+workload:
+	$(GO) test -run TestWorkloadArtifact -count=1 ./internal/experiments/
 
 # Run every micro-benchmark, then refresh the committed performance
 # baseline. Commit the updated BENCH_baseline.json together with any

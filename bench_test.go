@@ -18,6 +18,7 @@ import (
 
 	"sunuintah/internal/experiments"
 	"sunuintah/internal/runner"
+	"sunuintah/internal/workload"
 )
 
 // benchSteps keeps each regenerated artifact fast enough for a benchmark
@@ -182,6 +183,47 @@ func BenchmarkTimestepEndToEnd(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkMixedPhysicsEndToEnd times a run with all three model
+// problems (Burgers, advection, heat3d) partitioned across the patch
+// layout — the per-patch task-filtering path the workload scenarios
+// exercise, with physics-interface BC fills replacing halo exchanges at
+// model boundaries.
+func BenchmarkMixedPhysicsEndToEnd(b *testing.B) {
+	spec := runner.Spec{
+		Cells:   "16x16x32",
+		Layout:  "2x2x4",
+		CGs:     4,
+		Variant: "acc.async",
+		Steps:   benchSteps,
+		Physics: "mix:burgers=1,advection=1,heat3d=1,seed=3",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Exec(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible {
+			b.Fatal("benchmark case infeasible")
+		}
+		b.ReportMetric(float64(res.Sim.PerStep), "simulated-s/step")
+	}
+}
+
+// BenchmarkWorkloadScenario times the full scenario sweep: expand the
+// default mixed-physics scenario and run every job on a fresh pool.
+func BenchmarkWorkloadScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSweep()
+		rep, err := experiments.RunScenario(s, workload.DefaultScenario())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+		b.ReportMetric(float64(rep.Jobs), "jobs")
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"sunuintah/internal/sim"
 	"sunuintah/internal/sw26010"
 	"sunuintah/internal/taskgraph"
+	"sunuintah/internal/workload"
 )
 
 // calibName is the machine-speed reference metric every rate is
@@ -184,6 +185,35 @@ func collect() map[string]float64 {
 	}
 	m["e2e.serial.steps_per_s"] = measureRate(e2eSteps, 3, e2e(0))
 	m["e2e.shards4.steps_per_s"] = measureRate(e2eSteps, 3, e2e(4))
+
+	// Mixed-physics end-to-end throughput (steps/s): all three model
+	// problems partitioned across patches with per-patch task predicates
+	// and physics-interface BC fills — the workload scenarios' hot path.
+	mixedSpec := runner.Spec{Cells: "16x16x32", Layout: "2x2x4", CGs: 4,
+		Variant: "acc.async", Steps: e2eSteps,
+		Physics: "mix:burgers=1,advection=1,heat3d=1,seed=3"}
+	m["e2e.mixed.steps_per_s"] = measureRate(e2eSteps, 3, func() {
+		res, err := experiments.Exec(context.Background(), mixedSpec)
+		if err != nil {
+			panic(err)
+		}
+		if !res.Feasible {
+			panic("benchgate: mixed-physics case infeasible")
+		}
+	})
+
+	// Scenario expansion throughput (jobs/s): the workload generator's
+	// thinned-sampling and storm-wave path, no simulation involved.
+	sc := workload.DefaultScenario()
+	expanded, err := sc.Expand()
+	if err != nil {
+		panic(err)
+	}
+	m["workload.expand.jobs_per_s"] = measureRate(len(expanded), 5, func() {
+		if _, err := sc.Expand(); err != nil {
+			panic(err)
+		}
+	})
 
 	// Event-loop throughput (events/s): a self-rescheduling chain.
 	m["sim.events_per_s"] = measureRate(100000, 5, func() {

@@ -13,17 +13,22 @@
 // Usage:
 //
 //	sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N]
-//	         [-shards N] [-cache dir|off] [-json file] [-report]
-//	         [-metrics-out file] [-cpuprofile file] [-memprofile file]
-//	         [-v] <artifact>...
+//	         [-shards N] [-cache dir|off] [-json file] [-scenario file]
+//	         [-report] [-metrics-out file] [-cpuprofile file]
+//	         [-memprofile file] [-v] <artifact>...
 //
 // Artifacts: table1 table2 table3 table4 table5 table6 table7
 // fig5 fig6 fig7 fig8 fig9 fig10 ablation-dma ablation-packing
-// ablation-groups ablation-tiles chaos summary all
+// ablation-groups ablation-tiles chaos workload summary all
 //
 // -faults injects a deterministic fault plan into every run ("default",
 // "default,scale=2", or "seed=1,drop=0.05,crash=0.5,..."; "off" disables).
 // The chaos artifact runs its own fault matrix and ignores -faults.
+//
+// -scenario FILE expands a declarative workload scenario (see
+// internal/workload) into its job schedule, runs every job on the pool
+// and prints the per-phase report; the "workload" artifact runs the
+// built-in default scenario plus a record-and-replay leg.
 //
 // -report runs a representative case with the flight recorder attached and
 // prints its run report (virtual-time series summary, overlap, roofline);
@@ -45,11 +50,12 @@ import (
 	"sunuintah/internal/faults"
 	"sunuintah/internal/obs"
 	"sunuintah/internal/runner"
+	"sunuintah/internal/workload"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-shards N] [-cache dir|off] [-json file] [-report] [-metrics-out file] [-cpuprofile file] [-memprofile file] [-v] <artifact>...")
-	fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles chaos summary all")
+	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-shards N] [-cache dir|off] [-json file] [-scenario file] [-report] [-metrics-out file] [-cpuprofile file] [-memprofile file] [-v] <artifact>...")
+	fmt.Fprintln(os.Stderr, "artifacts: table1..table7 fig5..fig10 ablation-dma ablation-packing ablation-groups ablation-tiles chaos workload summary all")
 }
 
 // reorderArgs moves flag tokens ahead of positionals so invocations like
@@ -82,6 +88,7 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shards per simulation (0 = serial engine; results are bit-identical)")
 	cacheFlag := flag.String("cache", "off", `result cache: "off", or a directory for an on-disk store (e.g. .suncache)`)
 	jsonPath := flag.String("json", "", "also write the full evaluation as structured JSON to this file")
+	scenario := flag.String("scenario", "", "run a workload scenario JSON file through the pool and print its per-phase report")
 	report := flag.Bool("report", false, "run a representative case with the flight recorder and print its run report")
 	metricsOut := flag.String("metrics-out", "", "write the flight-recorder report and pool metrics as JSON to this file (implies -report)")
 	verbose := flag.Bool("v", false, "print per-case progress as [done/total, hit-rate]")
@@ -90,7 +97,7 @@ func main() {
 	flag.CommandLine.Parse(reorderArgs(os.Args[1:], map[string]bool{"v": true, "report": true}))
 	args := flag.Args()
 	wantReport := *report || *metricsOut != ""
-	if len(args) == 0 && !wantReport {
+	if len(args) == 0 && !wantReport && *scenario == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -201,6 +208,25 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Println()
+	}
+
+	if *scenario != "" {
+		data, err := os.ReadFile(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		sc, err := workload.Parse(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		rep, err := experiments.RunScenario(sweep, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
 	}
 
 	if wantReport {

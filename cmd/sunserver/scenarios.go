@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sunuintah/internal/experiments"
+	"sunuintah/internal/runner"
+	"sunuintah/internal/workload"
+)
+
+// apiScenario is one accepted workload-scenario submission and,
+// eventually, its per-phase report. Scenario runs share the server's
+// pool and cache with single-spec jobs and artifacts.
+type apiScenario struct {
+	ID        string                      `json:"id"`
+	Name      string                      `json:"name"`
+	Seed      uint64                      `json:"seed"`
+	Jobs      int                         `json:"jobs"` // expanded schedule size
+	State     runner.JobState             `json:"state"`
+	Submitted time.Time                   `json:"submitted"`
+	Finished  *time.Time                  `json:"finished,omitempty"`
+	Report    *experiments.ScenarioReport `json:"report,omitempty"`
+	Error     string                      `json:"error,omitempty"`
+}
+
+// handleScenarioSubmit accepts a declarative workload scenario, expands
+// it to validate the schedule up front, and runs every job on the shared
+// pool in the background.
+func (s *server) handleScenarioSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	sc, err := workload.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, err := sc.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "scenario %q expands to no jobs", sc.Name)
+		return
+	}
+	// Validate every expanded spec now so the submitter gets a 400, not a
+	// background failure, for unknown variants or problem names.
+	for i, j := range jobs {
+		if err := experiments.ValidateSpec(j.Spec); err != nil {
+			writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	s.nextScenarioID++
+	sj := &apiScenario{
+		ID:        fmt.Sprintf("s%d", s.nextScenarioID),
+		Name:      sc.Name,
+		Seed:      sc.Seed,
+		Jobs:      len(jobs),
+		State:     runner.StateRunning,
+		Submitted: time.Now(),
+	}
+	s.scenarios[sj.ID] = sj
+	s.mu.Unlock()
+
+	go s.collectScenario(sj.ID, sc)
+
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": sj.ID, "status": "/scenarios/" + sj.ID})
+}
+
+func (s *server) collectScenario(id string, sc *workload.Scenario) {
+	rep, err := experiments.RunScenario(s.sweep, sc)
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sj, ok := s.scenarios[id]
+	if !ok {
+		return
+	}
+	sj.Finished = &now
+	if err != nil {
+		sj.State = runner.StateFailed
+		sj.Error = err.Error()
+		return
+	}
+	sj.State = runner.StateDone
+	sj.Report = rep
+}
+
+func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sj, ok := s.scenarios[id]
+	var cp apiScenario
+	if ok {
+		cp = *sj
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scenario %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
+}
+
+// handleScenarios lists scenario summaries (without the full reports).
+func (s *server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	type summary struct {
+		ID        string          `json:"id"`
+		Name      string          `json:"name"`
+		Jobs      int             `json:"jobs"`
+		State     runner.JobState `json:"state"`
+		Submitted time.Time       `json:"submitted"`
+	}
+	s.mu.Lock()
+	out := make([]summary, 0, len(s.scenarios))
+	for _, sj := range s.scenarios {
+		out = append(out, summary{ID: sj.ID, Name: sj.Name, Jobs: sj.Jobs, State: sj.State, Submitted: sj.Submitted})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}

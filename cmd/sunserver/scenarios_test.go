@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sunuintah/internal/runner"
+)
+
+// TestScenarioEndToEnd submits a small workload scenario, polls it to
+// completion and checks the per-phase report.
+func TestScenarioEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	body := `{
+		"name": "api-tiny",
+		"seed": 2,
+		"base": {"cells": "8x8x16", "layout": "1x1x2", "cgs": 2, "variant": "acc.async", "steps": 1},
+		"phases": [
+			{"name": "burst", "duration": 1, "arrival": {"pattern": "burst", "burst": 2, "every": 1}},
+			{"name": "heat", "duration": 1, "arrival": {"pattern": "burst", "burst": 1, "every": 1},
+			 "jobs": {"physics": "heat3d"}}
+		]
+	}`
+	resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /scenarios status = %d", resp.StatusCode)
+	}
+	id := accepted["id"]
+	if id == "" {
+		t.Fatalf("no scenario id in %v", accepted)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var sc apiScenario
+	for {
+		if code := getJSON(t, ts.URL+"/scenarios/"+id, &sc); code != http.StatusOK {
+			t.Fatalf("GET /scenarios/%s status = %d", id, code)
+		}
+		if sc.State == runner.StateDone || sc.State == runner.StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scenario stuck in state %q", sc.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sc.State != runner.StateDone {
+		t.Fatalf("scenario failed: %s", sc.Error)
+	}
+	if sc.Jobs != 3 {
+		t.Fatalf("expanded %d jobs, want 3", sc.Jobs)
+	}
+	rep := sc.Report
+	if rep == nil || len(rep.Rows) != 2 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.Rows[0].Jobs != 2 || rep.Rows[0].Models["burgers"] != 2 {
+		t.Fatalf("burst row wrong: %+v", rep.Rows[0])
+	}
+	if rep.Rows[1].Jobs != 1 || rep.Rows[1].Models["heat3d"] != 1 {
+		t.Fatalf("heat row wrong: %+v", rep.Rows[1])
+	}
+
+	// The listing includes the scenario.
+	var list []map[string]any
+	if code := getJSON(t, ts.URL+"/scenarios", &list); code != http.StatusOK {
+		t.Fatalf("GET /scenarios status = %d", code)
+	}
+	found := false
+	for _, item := range list {
+		if item["id"] == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("scenario %s missing from listing %v", id, list)
+	}
+}
+
+// TestScenarioRejections covers the 400 paths: malformed JSON, invalid
+// scenarios, and schedules referencing unknown variants.
+func TestScenarioRejections(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post := func(body string) (int, string) {
+		resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]string
+		json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out["error"]
+	}
+
+	if code, _ := post(`{not json`); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON accepted: %d", code)
+	}
+	if code, msg := post(`{"name":"x","seed":1,"base":{"cells":"8x8x8","cgs":2,"variant":"acc.sync","steps":1},"phases":[{"name":"p","duration":1,"arrival":{"pattern":"poisson","rate":1}}]}`); code != http.StatusBadRequest || !strings.Contains(msg, "unknown arrival pattern") {
+		t.Fatalf("bad pattern: code %d, msg %q", code, msg)
+	}
+	if code, msg := post(`{"name":"x","seed":1,"base":{"cells":"8x8x8","cgs":2,"variant":"warp9","steps":1},"phases":[{"name":"p","duration":1,"arrival":{"pattern":"burst","burst":1,"every":1}}]}`); code != http.StatusBadRequest || !strings.Contains(msg, "variant") {
+		t.Fatalf("bad variant: code %d, msg %q", code, msg)
+	}
+}

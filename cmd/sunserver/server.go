@@ -65,9 +65,11 @@ type server struct {
 	poolLive  *obs.GaugeVec
 	info      *obs.GaugeVec
 
-	mu     sync.Mutex
-	jobs   map[string]*apiJob
-	nextID int
+	mu             sync.Mutex
+	jobs           map[string]*apiJob
+	nextID         int
+	scenarios      map[string]*apiScenario
+	nextScenarioID int
 }
 
 func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps, defaultShards int, plan *faults.Plan, logger *slog.Logger, withPprof bool) *server {
@@ -103,7 +105,8 @@ func newServer(pool *experiments.Pool, sweep *experiments.Sweep, defaultSteps, d
 		info: reg.GaugeVec("sunserver_info",
 			"Service-level gauges: workers, uptime, accepted API jobs, cache hit ratio.",
 			"name"),
-		jobs: map[string]*apiJob{},
+		jobs:      map[string]*apiJob{},
+		scenarios: map[string]*apiScenario{},
 	}
 }
 
@@ -119,6 +122,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("/jobs", s.methodNotAllowed("GET"))
+	mux.HandleFunc("POST /scenarios", s.handleScenarioSubmit)
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("/scenarios", s.methodNotAllowed("GET, POST"))
+	mux.HandleFunc("GET /scenarios/{id}", s.handleScenario)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /artifacts/{name}", s.handleArtifact)
@@ -162,6 +169,8 @@ func (s *server) instrument(next http.Handler) http.Handler {
 // label cardinality stays bounded no matter how many jobs exist.
 func metricRoute(p string) string {
 	switch {
+	case strings.HasPrefix(p, "/scenarios/"):
+		return "/scenarios/{id}"
 	case strings.HasPrefix(p, "/jobs/"):
 		if strings.HasSuffix(p, "/trace") {
 			return "/jobs/{id}/trace"
@@ -201,6 +210,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"service": "sunserver: simulated Sunway TaihuLight experiment service",
 		"endpoints": []string{
 			"POST /run", "GET /jobs", "GET /jobs/{id}", "GET /jobs/{id}/trace",
+			"POST /scenarios", "GET /scenarios", "GET /scenarios/{id}",
 			"GET /metrics", "GET /healthz", "GET /artifacts/{name}",
 		},
 		"artifacts": experiments.ArtifactNames(),

@@ -1,0 +1,96 @@
+// Advection: the linear transport equation on the ported runtime,
+//
+//	dq/dt + a . grad(q) = 0
+//
+// solved with the first-order upwind kernel from internal/advection — a
+// first-class scheduled task type, selectable per patch by the workload
+// scenario generator's physics mixtures. A Gaussian pulse rides the
+// constant velocity field across the periodic-free domain; the scheduled
+// run is verified against the package's serial reference solver, which
+// must agree bit for bit.
+//
+//	go run ./examples/advection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sunuintah/internal/advection"
+	"sunuintah/internal/core"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/taskgraph"
+)
+
+func main() {
+	cells := grid.IV(32, 32, 32)
+	dx := 1.0 / float64(cells.X)
+
+	v := advection.DefaultVelocity
+	dt := v.StableDt(dx, dx, dx)
+	q := v.NewLabel()
+
+	prob := core.Problem{
+		Tasks: []*taskgraph.Task{v.NewAdvanceTask(q)},
+		Initial: map[*taskgraph.Label]func(x, y, z float64) float64{
+			q: v.Initial,
+		},
+		Dt: dt,
+	}
+	cfg := core.Config{
+		Cells:       cells,
+		PatchCounts: grid.IV(2, 2, 2),
+		NumCGs:      4,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync, Functional: true},
+	}
+
+	sim, err := core.NewSimulation(cfg, prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const steps = 10
+	res, err := sim.Run(steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advection: %d steps, %.4f simulated s/step\n", res.Steps, float64(res.PerStep))
+
+	got, err := sim.GatherField(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The scheduled run must reproduce the serial reference solver bit
+	// for bit: same kernel, same order of operations per cell.
+	want := v.SerialSolve(sim.Level, steps, dt)
+	maxDiff := 0.0
+	sim.Level.Layout.Domain.ForEach(func(c grid.IVec) {
+		if d := math.Abs(got.At(c) - want.At(c)); d > maxDiff {
+			maxDiff = d
+		}
+	})
+	fmt.Printf("max |scheduled - serial|: %.3g\n", maxDiff)
+	if maxDiff != 0 {
+		log.Fatal("scheduled run diverged from the serial reference")
+	}
+
+	// And it should still track the analytic transported pulse.
+	finalT := float64(steps) * dt
+	maxErr := 0.0
+	sim.Level.Layout.Domain.ForEach(func(c grid.IVec) {
+		x, y, z := sim.Level.CellCenter(c)
+		if e := math.Abs(got.At(c) - v.Exact(x, y, z, finalT)); e > maxErr {
+			maxErr = e
+		}
+	})
+	fmt.Printf("max error vs analytic solution: %.3e\n", maxErr)
+	// First-order upwind smears the pulse, so the analytic comparison is
+	// a sanity bound, not a convergence claim — the serial-reference
+	// bit-identity above is the real verification.
+	if maxErr > 0.15 {
+		log.Fatal("verification failed")
+	}
+	fmt.Println("ok")
+}

@@ -4,9 +4,10 @@
 //	du/dt = alpha * Lap(u)
 //
 // with the manufactured solution u = exp(-3 alpha pi^2 t) sin(pi x) sin(pi
-// y) sin(pi z), using a user-defined offloadable kernel, a user-defined
-// reduction task that tracks the decaying peak amplitude each step, and
-// the asynchronous Sunway scheduler.
+// y) sin(pi z). The advance kernel comes from internal/heat3d — the same
+// first-class task type the workload scenario generator schedules per
+// patch — and a user-defined reduction task tracks the decaying peak
+// amplitude each step under the asynchronous Sunway scheduler.
 //
 //	go run ./examples/heat3d
 package main
@@ -19,61 +20,19 @@ import (
 	"sunuintah/internal/core"
 	"sunuintah/internal/field"
 	"sunuintah/internal/grid"
+	"sunuintah/internal/heat3d"
 	"sunuintah/internal/mpisim"
 	"sunuintah/internal/scheduler"
 	"sunuintah/internal/taskgraph"
 )
 
-const alpha = 0.05
-
-func exact(x, y, z, t float64) float64 {
-	return math.Exp(-3*alpha*math.Pi*math.Pi*t) *
-		math.Sin(math.Pi*x) * math.Sin(math.Pi*y) * math.Sin(math.Pi*z)
-}
-
-// heatKernel is the user-provided tile kernel: a 7-point Laplacian with
-// forward Euler, written against the LDM tile context exactly as the
-// Burgers kernel is.
-func heatKernel(u *taskgraph.Label, dt float64) func(tc *taskgraph.TileContext) {
-	return func(tc *taskgraph.TileContext) {
-		in := tc.In[u].Data
-		out := tc.Out[u].Data
-		dx := tc.Level.Spacing[0]
-		dy := tc.Level.Spacing[1]
-		dz := tc.Level.Spacing[2]
-		rdx2, rdy2, rdz2 := 1/(dx*dx), 1/(dy*dy), 1/(dz*dz)
-		tc.Tile.Box.ForEach(func(c grid.IVec) {
-			v := in.At(c)
-			lap := (in.At(c.Add(grid.IV(1, 0, 0)))+in.At(c.Sub(grid.IV(1, 0, 0)))-2*v)*rdx2 +
-				(in.At(c.Add(grid.IV(0, 1, 0)))+in.At(c.Sub(grid.IV(0, 1, 0)))-2*v)*rdy2 +
-				(in.At(c.Add(grid.IV(0, 0, 1)))+in.At(c.Sub(grid.IV(0, 0, 1)))-2*v)*rdz2
-			out.Set(c, v+dt*alpha*lap)
-		})
-	}
-}
-
 func main() {
 	cells := grid.IV(32, 32, 32)
 	dx := 1.0 / float64(cells.X)
-	dt := 0.2 * dx * dx / (6 * alpha)
+	dt := heat3d.StableDt(dx, dx, dx)
 
-	u := taskgraph.NewLabel("temperature", exact)
-
-	advance := &taskgraph.Task{
-		Name: "heat.advance",
-		Kind: taskgraph.KindOffload,
-		Requires: []taskgraph.Dep{
-			{Label: u, DW: taskgraph.OldDW, Ghost: 1},
-		},
-		Computes: []taskgraph.Dep{
-			{Label: u, DW: taskgraph.NewDW},
-		},
-		Kernel: &taskgraph.Kernel{
-			FlopsPerCell: 14,   // 7-point stencil: no exponentials
-			Weight:       0.05, // far cheaper per cell than Burgers
-			Compute:      heatKernel(u, dt),
-		},
-	}
+	u := heat3d.NewLabel()
+	advance := heat3d.NewAdvanceTask(u)
 
 	// A reduction task: every step, all ranks agree on the global peak
 	// temperature — an "MPI reduce task" the MPE executes (Section V-C
@@ -99,7 +58,7 @@ func main() {
 	prob := core.Problem{
 		Tasks: []*taskgraph.Task{advance, maxTemp},
 		Initial: map[*taskgraph.Label]func(x, y, z float64) float64{
-			u: func(x, y, z float64) float64 { return exact(x, y, z, 0) },
+			u: heat3d.Initial,
 		},
 		Dt: dt,
 	}
@@ -124,7 +83,7 @@ func main() {
 	fmt.Println("step  measured peak   analytic peak")
 	for s, v := range peaks {
 		t := float64(s+1) * dt
-		analytic := math.Exp(-3 * alpha * math.Pi * math.Pi * t)
+		analytic := math.Exp(-3 * heat3d.Alpha * math.Pi * math.Pi * t)
 		fmt.Printf("%4d  %13.6f   %13.6f\n", s, v, analytic)
 	}
 
@@ -132,11 +91,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	finalT := steps * dt
+	finalT := float64(steps) * dt
 	maxErr := 0.0
 	sim.Level.Layout.Domain.ForEach(func(c grid.IVec) {
 		x, y, z := sim.Level.CellCenter(c)
-		if e := math.Abs(f.At(c) - exact(x, y, z, finalT)); e > maxErr {
+		if e := math.Abs(f.At(c) - heat3d.Exact(x, y, z, finalT)); e > maxErr {
 			maxErr = e
 		}
 	})

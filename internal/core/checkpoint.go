@@ -70,6 +70,11 @@ func (s *Simulation) WriteCheckpoint(w io.Writer) error {
 		perPatch := make([][]float64, layout.NumPatches())
 		for _, rk := range s.Ranks {
 			for _, p := range rk.Graph().LocalPatches {
+				// Patch-filtered tasks leave the label unallocated on
+				// foreign patches; their slots stay nil in the file.
+				if !rk.DWs.Old.Exists(l, p) {
+					continue
+				}
 				perPatch[p.ID] = rk.DWs.Old.Get(l, p).Pack(p.Box, nil)
 			}
 		}
@@ -117,6 +122,9 @@ func (s *Simulation) RestoreCheckpoint(r io.Reader) error {
 		for _, rk := range s.Ranks {
 			for _, p := range rk.Graph().LocalPatches {
 				data := f.Data[li][p.ID]
+				if len(data) == 0 && !rk.DWs.Old.Exists(l, p) {
+					continue // foreign-physics patch: nothing saved, nothing allocated
+				}
 				if int64(len(data)) != p.NumCells() {
 					return fmt.Errorf("core: checkpoint patch %d has %d values, want %d",
 						p.ID, len(data), p.NumCells())

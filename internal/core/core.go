@@ -336,20 +336,34 @@ func checkCarryForward(tasks []*taskgraph.Task) error {
 // initial conditions. Allocation failures reproduce the paper's Table III
 // memory errors.
 func (s *Simulation) allocateInitial() error {
-	needed := map[*taskgraph.Label]bool{}
+	// A label is needed on a patch only where some task requiring it from
+	// the old warehouse actually runs — patch-filtered tasks (mixed
+	// physics) keep foreign patches unallocated.
+	needed := map[*taskgraph.Label][]*taskgraph.Task{}
 	for _, t := range s.Prob.Tasks {
 		for _, d := range t.Requires {
 			if d.DW == taskgraph.OldDW {
-				needed[d.Label] = true
+				needed[d.Label] = append(needed[d.Label], t)
 			}
 		}
 	}
 	for _, rk := range s.Ranks {
 		for _, l := range rk.Graph().Labels {
-			if !needed[l] {
+			requirers := needed[l]
+			if len(requirers) == 0 {
 				continue
 			}
 			for _, p := range rk.Graph().LocalPatches {
+				applies := false
+				for _, t := range requirers {
+					if t.AppliesTo(p.ID) {
+						applies = true
+						break
+					}
+				}
+				if !applies {
+					continue
+				}
 				if err := rk.DWs.Old.Allocate(l, p, rk.MaxGhost(l)); err != nil {
 					return err
 				}
@@ -514,6 +528,11 @@ func (s *Simulation) GatherField(l *taskgraph.Label) (*field.Cell, error) {
 	out := field.NewCell(s.Level.Layout.Domain)
 	for _, rk := range s.Ranks {
 		for _, p := range rk.Graph().LocalPatches {
+			// Patch-filtered tasks (mixed physics) leave the label
+			// unallocated on foreign patches; those cells stay zero.
+			if !rk.DWs.Old.Exists(l, p) {
+				continue
+			}
 			f := rk.DWs.Old.Get(l, p)
 			out.CopyRegion(f, p.Box)
 		}

@@ -23,6 +23,11 @@ import (
 // The new layout must tile the same cells. The new assignment follows the
 // configured balancer strategy.
 func (s *Simulation) Regrid(newPatchCounts grid.IVec) error {
+	for _, t := range s.Prob.Tasks {
+		if t.Patches != nil {
+			return fmt.Errorf("core: Regrid does not support patch-filtered task %q (patch IDs change meaning across layouts; submit a new run with the new layout instead)", t.Name)
+		}
+	}
 	newLevel, err := grid.NewUnitCubeLevel(s.Cfg.Cells, newPatchCounts)
 	if err != nil {
 		return err

@@ -12,7 +12,7 @@ var artifactOrder = []string{
 	"table1", "table2", "table3", "table4", "fig5", "table5", "table6",
 	"table7", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"ablation-dma", "ablation-packing", "ablation-groups", "ablation-tiles",
-	"chaos", "summary",
+	"chaos", "workload", "summary",
 }
 
 // artifactFuncs renders each artifact from a sweep. steps parameterises
@@ -76,6 +76,7 @@ var artifactFuncs = map[string]func(s *Sweep, steps int) (string, error){
 	"ablation-groups":  AblationCPEGroups,
 	"ablation-tiles":   AblationTileSize,
 	"chaos":            Chaos,
+	"workload":         Workload,
 	"summary":          func(s *Sweep, _ int) (string, error) { return ShapeSummary(s) },
 }
 

@@ -7,15 +7,14 @@ import (
 	"strconv"
 	"strings"
 
-	"sunuintah/internal/burgers"
 	"sunuintah/internal/core"
 	"sunuintah/internal/grid"
 	"sunuintah/internal/obs"
 	"sunuintah/internal/perf"
+	"sunuintah/internal/physics"
 	"sunuintah/internal/runner"
 	"sunuintah/internal/scheduler"
 	"sunuintah/internal/sw26010"
-	"sunuintah/internal/taskgraph"
 )
 
 // SpecFor builds the runner.Spec of one experimental cell under the given
@@ -105,6 +104,9 @@ func ValidateSpec(spec runner.Spec) error {
 	if spec.Shards < 0 {
 		return fmt.Errorf("experiments: spec shards must be >= 0 (0 = serial engine), got %d", spec.Shards)
 	}
+	if _, err := physics.Parse(spec.Physics); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -152,14 +154,13 @@ func specConfig(spec runner.Spec) (core.Config, core.Problem, error) {
 		return fail(fmt.Errorf("experiments: spec needs positive steps, got %d", spec.Steps))
 	}
 
-	u := burgers.NewULabel()
-	dx := 1.0 / float64(cells.X)
-	dy := 1.0 / float64(cells.Y)
-	dz := 1.0 / float64(cells.Z)
-	problem := core.Problem{
-		Tasks:   []*taskgraph.Task{burgers.NewAdvanceTask(u, burgers.FastExpLib, v.SIMD)},
-		Initial: map[*taskgraph.Label]func(x, y, z float64) float64{u: burgers.Initial},
-		Dt:      burgers.StableDt(dx, dy, dz),
+	sel, err := physics.Parse(spec.Physics)
+	if err != nil {
+		return fail(err)
+	}
+	problem, err := sel.NewProblem(cells, layout, v.SIMD)
+	if err != nil {
+		return fail(err)
 	}
 	cfg := core.Config{
 		Cells:       cells,

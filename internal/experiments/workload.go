@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sunuintah/internal/obs"
+	"sunuintah/internal/physics"
+	"sunuintah/internal/runner"
+	"sunuintah/internal/workload"
+)
+
+// The workload artifact exercises the declarative scenario layer end to
+// end: the default mixed-physics scenario (steady trickle, diurnal
+// modulation, a regrid storm cycling patch layouts) expands into a job
+// schedule, every job runs on the sweep's pool, and the per-phase
+// aggregate is printed. A second leg records one representative mixed
+// run with the flight recorder, folds its report into per-window phase
+// stats, converts the trace back into a synthetic replay scenario and
+// runs that through the same path — proving record-and-replay closes
+// the loop. Submission and collection order are fixed and every cell is
+// deterministic, so the artifact is byte-identical across worker and
+// shard counts.
+
+// ScenarioPhaseRow aggregates the runs of one scenario phase.
+type ScenarioPhaseRow struct {
+	Phase string
+	Jobs  int
+	// Models counts expanded jobs by participating physics model (a
+	// mixed job counts once per participating model).
+	Models map[string]int
+	// MeanWall is the mean virtual wall seconds per job.
+	MeanWall float64
+	// Makespan is the latest virtual completion time of the phase's jobs
+	// (arrival offset + run wall time), measuring how far work from this
+	// phase stretches past its arrivals.
+	Makespan float64
+}
+
+// ScenarioReport is the outcome of running one expanded scenario.
+type ScenarioReport struct {
+	Scenario string
+	Jobs     int
+	// Makespan is max over jobs of (arrival time + wall time).
+	Makespan float64
+	Rows     []ScenarioPhaseRow // scenario phase order
+}
+
+// RunScenario expands the scenario and runs every job on the sweep's
+// pool: all jobs are submitted before any is collected, so the schedule
+// saturates the workers, and collection follows expansion order, so the
+// report is deterministic for a given scenario.
+func RunScenario(s *Sweep, sc *workload.Scenario) (*ScenarioReport, error) {
+	jobs, err := sc.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("experiments: scenario %q expands to no jobs", sc.Name)
+	}
+	for _, j := range jobs {
+		if err := ValidateSpec(j.Spec); err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.Name, err)
+		}
+	}
+	handles := make([]*runner.Job, len(jobs))
+	for i, j := range jobs {
+		handles[i] = s.Pool().Submit(j.Spec)
+	}
+
+	rep := &ScenarioReport{Scenario: sc.Name, Jobs: len(jobs)}
+	rows := map[string]*ScenarioPhaseRow{}
+	for _, ph := range sc.Phases {
+		row := &ScenarioPhaseRow{Phase: ph.Name, Models: map[string]int{}}
+		rows[ph.Name] = row
+		rep.Rows = append(rep.Rows, ScenarioPhaseRow{}) // placeholder, filled below
+	}
+	wallSums := map[string]float64{}
+	for i, h := range handles {
+		res, err := h.Wait(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q job %d (%s): %w",
+				sc.Name, i, jobs[i].Spec, err)
+		}
+		if !res.Feasible || res.Sim == nil {
+			return nil, fmt.Errorf("experiments: scenario %q job %d (%s): infeasible",
+				sc.Name, i, jobs[i].Spec)
+		}
+		row := rows[jobs[i].Phase]
+		row.Jobs++
+		sel, err := physics.Parse(jobs[i].Spec.Physics)
+		if err != nil {
+			return nil, err
+		}
+		for _, sh := range sel.Shares {
+			row.Models[sh.Name]++
+		}
+		wall := float64(res.Sim.WallTime)
+		wallSums[jobs[i].Phase] += wall
+		if done := jobs[i].At + wall; done > row.Makespan {
+			row.Makespan = done
+		}
+	}
+	for i, ph := range sc.Phases {
+		row := rows[ph.Name]
+		if row.Jobs > 0 {
+			row.MeanWall = wallSums[ph.Name] / float64(row.Jobs)
+		}
+		if row.Makespan > rep.Makespan {
+			rep.Makespan = row.Makespan
+		}
+		rep.Rows[i] = *row
+	}
+	return rep, nil
+}
+
+// Format renders the scenario report as a fixed-width table.
+func (r *ScenarioReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d jobs, virtual makespan %.4g s\n", r.Scenario, r.Jobs, r.Makespan)
+	fmt.Fprintf(&b, "%-14s %5s %9s %12s %10s  %s\n",
+		"phase", "jobs", "wall(ms)", "makespan(s)", "models", "mix")
+	for _, row := range r.Rows {
+		var mix []string
+		for _, name := range physics.Names() {
+			if n := row.Models[name]; n > 0 {
+				mix = append(mix, fmt.Sprintf("%s:%d", name, n))
+			}
+		}
+		fmt.Fprintf(&b, "%-14s %5d %9.3f %12.4g %10d  %s\n",
+			row.Phase, row.Jobs, row.MeanWall*1e3, row.Makespan,
+			len(row.Models), strings.Join(mix, " "))
+	}
+	return b.String()
+}
+
+// replaySpec is the representative mixed-physics case the workload
+// artifact records and replays: all three models on one layout, flight
+// recorder and tracer attached.
+func replaySpec(steps int) runner.Spec {
+	if steps <= 0 {
+		steps = 3
+	}
+	return runner.Spec{
+		Cells:   "16x16x32",
+		Layout:  "2x2x4",
+		CGs:     4,
+		Variant: "acc.async",
+		Steps:   steps,
+		Physics: "mix:burgers=1,advection=1,heat3d=1,seed=3",
+		Report:  true,
+		Trace:   true,
+	}
+}
+
+// Workload is the "workload" artifact: the default scenario sweep plus
+// the record-and-replay leg.
+func Workload(s *Sweep, steps int) (string, error) {
+	var b strings.Builder
+
+	rep, err := RunScenario(s, workload.DefaultScenario())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(rep.Format())
+	b.WriteString("\n")
+
+	// Record one representative mixed run. The run bypasses the result
+	// cache deliberately: Report/Trace are excluded from the content
+	// hash, so a cached result could legitimately lack the timeline this
+	// leg needs.
+	spec := replaySpec(steps)
+	res, err := Exec(context.Background(), spec)
+	if err != nil {
+		return "", err
+	}
+	if !res.Feasible || res.Sim == nil {
+		return "", fmt.Errorf("experiments: workload replay case %s is infeasible", spec)
+	}
+
+	replay, err := workload.FromTrace(res.Sim.Trace, workload.ReplayOptions{
+		Bins:        3,
+		TasksPerJob: 16,
+		Base: workload.Template{
+			Cells: spec.Cells, Layout: spec.Layout, CGs: spec.CGs,
+			Variant: spec.Variant, Steps: spec.Steps,
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		return "", err
+	}
+
+	// Fold the recorded run's flight report over the replay windows —
+	// the per-phase view of the run the replay scenario was cut from.
+	var windows []obs.PhaseWindow
+	start := 0.0
+	for _, ph := range replay.Phases {
+		windows = append(windows, obs.PhaseWindow{Name: ph.Name, Start: start, End: start + ph.Duration})
+		start += ph.Duration
+	}
+	if len(windows) > 0 {
+		// The final samples' midpoints can lie past the run end; stretch
+		// the last window so the fold covers the whole grid.
+		windows[len(windows)-1].End = start * 2
+	}
+	fmt.Fprintf(&b, "recorded %s:\n", spec)
+	obs.WritePhaseTable(&b, res.Sim.Obs.FoldPhases(windows))
+	b.WriteString("\n")
+
+	replayRep, err := RunScenario(s, replay)
+	if err != nil {
+		return "", fmt.Errorf("experiments: trace replay: %w", err)
+	}
+	b.WriteString("trace replay of the recorded run:\n")
+	b.WriteString(replayRep.Format())
+	return b.String(), nil
+}

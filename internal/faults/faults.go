@@ -20,6 +20,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"sunuintah/internal/rng"
 )
 
 // Plan declares what to inject. The zero value injects nothing; rates are
@@ -305,11 +307,11 @@ const (
 // drawn once per run, outside engine execution).
 type Injector struct {
 	plan       Plan
-	crashState uint64
+	crashState *rng.Stream
 
 	mu        sync.Mutex
-	msgStates map[int]*uint64
-	offStates map[int]*uint64
+	msgStates map[int]*rng.Stream
+	offStates map[int]*rng.Stream
 
 	// Counts tallies injected faults as they are drawn.
 	Counts Counts
@@ -324,29 +326,23 @@ func NewInjector(p *Plan) *Injector {
 	}
 	inj := &Injector{
 		plan:      p.Normalized(),
-		msgStates: make(map[int]*uint64),
-		offStates: make(map[int]*uint64),
+		msgStates: make(map[int]*rng.Stream),
+		offStates: make(map[int]*rng.Stream),
 	}
-	inj.crashState = streamSeed(inj.plan.Seed, streamCrash, 0)
+	inj.crashState = rng.NewSub(inj.plan.Seed, streamCrash, 0)
 	return inj
 }
 
-// streamSeed derives the initial splitmix64 state for one (category, rank)
-// stream. Rank 0's streams coincide with the historical per-category ones.
-func streamSeed(seed uint64, stream, rank int) uint64 {
-	return mix64(seed ^ (uint64(stream+1) * 0x9e3779b97f4a7c15) ^
-		(uint64(rank) * 0x94d049bb133111eb))
-}
-
-// state returns rank's stream state for the category, creating it on first
-// use. Only the map access is locked: the returned pointer is mutated by
-// the owning rank alone, which the engine serialises.
-func (i *Injector) state(m map[int]*uint64, stream, rank int) *uint64 {
+// state returns rank's stream for the category, creating it on first use.
+// Stream derivation lives in internal/rng (rank 0's streams coincide with
+// the historical per-category ones). Only the map access is locked: the
+// returned stream is advanced by the owning rank alone, which the engine
+// serialises.
+func (i *Injector) state(m map[int]*rng.Stream, stream, rank int) *rng.Stream {
 	i.mu.Lock()
 	st, ok := m[rank]
 	if !ok {
-		s := streamSeed(i.plan.Seed, stream, rank)
-		st = &s
+		st = rng.NewSub(i.plan.Seed, stream, rank)
 		m[rank] = st
 	}
 	i.mu.Unlock()
@@ -356,19 +352,6 @@ func (i *Injector) state(m map[int]*uint64, stream, rank int) *uint64 {
 // Plan returns the injector's normalized plan.
 func (i *Injector) Plan() Plan { return i.plan }
 
-// mix64 is the splitmix64 output function.
-func mix64(z uint64) uint64 {
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// next draws a uniform float64 in [0,1) from the stream at st.
-func next(st *uint64) float64 {
-	*st += 0x9e3779b97f4a7c15
-	return float64(mix64(*st)>>11) / float64(1<<53)
-}
-
 // MsgFate draws the fate of one message transmission sent by rank. Exactly
 // four uniforms are consumed from the rank's message stream per call
 // regardless of outcome, so the stream position is independent of earlier
@@ -376,10 +359,10 @@ func next(st *uint64) float64 {
 // cannot also be delivered).
 func (i *Injector) MsgFate(rank int) (drop, dup, delay, degrade bool) {
 	st := i.state(i.msgStates, streamMsg, rank)
-	drop = next(st) < i.plan.Drop
-	dup = next(st) < i.plan.Dup
-	delay = next(st) < i.plan.Delay
-	degrade = next(st) < i.plan.Degrade
+	drop = st.Uniform() < i.plan.Drop
+	dup = st.Uniform() < i.plan.Dup
+	delay = st.Uniform() < i.plan.Delay
+	degrade = st.Uniform() < i.plan.Degrade
 	if drop {
 		atomic.AddInt64(&i.Counts.MsgsDropped, 1)
 		return true, false, false, false
@@ -402,8 +385,8 @@ func (i *Injector) MsgFate(rank int) (drop, dup, delay, degrade bool) {
 // per call; factor is 1 for a healthy offload.
 func (i *Injector) OffloadFate(rank int) (stall bool, factor float64) {
 	st := i.state(i.offStates, streamOffload, rank)
-	stallDraw := next(st) < i.plan.Stall
-	straggleDraw := next(st) < i.plan.Straggle
+	stallDraw := st.Uniform() < i.plan.Stall
+	straggleDraw := st.Uniform() < i.plan.Straggle
 	if stallDraw {
 		atomic.AddInt64(&i.Counts.OffloadStalls, 1)
 		return true, 1
@@ -431,10 +414,10 @@ func (i *Injector) CrashPoint(nSteps, nRanks int) (rank, step int, frac float64,
 	if i.plan.Crash <= 0 {
 		return 0, 0, 0, false
 	}
-	happen := next(&i.crashState) < i.plan.Crash
-	rank = int(next(&i.crashState) * float64(nRanks))
-	step = 1 + int(next(&i.crashState)*float64(nSteps))
-	frac = next(&i.crashState)
+	happen := i.crashState.Uniform() < i.plan.Crash
+	rank = int(i.crashState.Uniform() * float64(nRanks))
+	step = 1 + int(i.crashState.Uniform()*float64(nSteps))
+	frac = i.crashState.Uniform()
 	if !happen {
 		return 0, 0, 0, false
 	}

@@ -1,0 +1,103 @@
+package heat3d
+
+import (
+	"math"
+	"testing"
+
+	"sunuintah/internal/core"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/taskgraph"
+)
+
+func level(t *testing.T, n int) *grid.Level {
+	t.Helper()
+	lv, err := grid.NewUnitCubeLevel(grid.IV(n, n, n), grid.IV(2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lv
+}
+
+func TestExactDecays(t *testing.T) {
+	// The manufactured solution is a decaying standing mode: the peak
+	// amplitude at the centre follows exp(-3 alpha pi^2 t).
+	x, y, z := 0.5, 0.5, 0.5
+	t0, t1 := Exact(x, y, z, 0.0), Exact(x, y, z, 0.5)
+	if t1 >= t0 || t1 <= 0 {
+		t.Fatalf("solution does not decay: u(0)=%v u(0.5)=%v", t0, t1)
+	}
+	want := t0 * math.Exp(-3*Alpha*math.Pi*math.Pi*0.5)
+	if math.Abs(t1-want) > 1e-12 {
+		t.Fatalf("decay rate wrong: got %v want %v", t1, want)
+	}
+}
+
+func TestStableDtMatchesHistoricalExample(t *testing.T) {
+	// The promoted package must keep the heat3d example's timestep:
+	// 0.2*dx^2/(6*Alpha) on a cubic grid.
+	dx := 1.0 / 32
+	want := 0.2 * dx * dx / (6 * Alpha)
+	if got := StableDt(dx, dx, dx); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("StableDt = %v, want %v", got, want)
+	}
+}
+
+func TestSerialSolveTracksExact(t *testing.T) {
+	lv := level(t, 32)
+	dx := lv.Spacing[0]
+	dt := StableDt(dx, dx, dx)
+	const steps = 10
+	u := SerialSolve(lv, steps, dt)
+	finalT := steps * dt
+	maxErr := 0.0
+	lv.Layout.Domain.ForEach(func(c grid.IVec) {
+		x, y, z := lv.CellCenter(c)
+		if e := math.Abs(u.At(c) - Exact(x, y, z, finalT)); e > maxErr {
+			maxErr = e
+		}
+	})
+	if maxErr > 5e-3 {
+		t.Fatalf("error vs exact = %v", maxErr)
+	}
+}
+
+func TestScheduledRunMatchesSerialSolve(t *testing.T) {
+	// The scheduled task must produce exactly the serial reference: same
+	// stencil, same boundary handling, bit-identical across the runtime.
+	cells := grid.IV(16, 16, 16)
+	u := NewLabel()
+	dx := 1.0 / float64(cells.X)
+	dt := StableDt(dx, dx, dx)
+	prob := core.Problem{
+		Tasks: []*taskgraph.Task{NewAdvanceTask(u)},
+		Initial: map[*taskgraph.Label]func(x, y, z float64) float64{
+			u: Initial,
+		},
+		Dt: dt,
+	}
+	cfg := core.Config{
+		Cells:       cells,
+		PatchCounts: grid.IV(2, 2, 2),
+		NumCGs:      4,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync, Functional: true},
+	}
+	sim, err := core.NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 5
+	if _, err := sim.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.GatherField(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SerialSolve(sim.Level, steps, dt)
+	sim.Level.Layout.Domain.ForEach(func(c grid.IVec) {
+		if got.At(c) != want.At(c) {
+			t.Fatalf("cell %v: scheduled %v != serial %v", c, got.At(c), want.At(c))
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// PhaseWindow names one virtual-time window of a run — typically one
+// phase of a workload scenario projected onto a job's timeline.
+type PhaseWindow struct {
+	Name  string  `json:"name"`
+	Start float64 `json:"start"` // virtual seconds, inclusive
+	End   float64 `json:"end"`   // virtual seconds, exclusive
+}
+
+// PhaseStat folds the report's rank series over one window, averaged
+// across ranks. Faults and Recoveries are deltas of the cumulative
+// counters over the window, summed across ranks.
+type PhaseStat struct {
+	Name         string  `json:"name"`
+	Start        float64 `json:"start"`
+	End          float64 `json:"end"`
+	Samples      int     `json:"samples"` // samples per rank inside the window
+	QueueMean    float64 `json:"queueMean"`
+	GangsMean    float64 `json:"gangsMean"`
+	InflightMean float64 `json:"inflightMean"`
+	MemPeak      float64 `json:"memPeak"`
+	Faults       float64 `json:"faults"`
+	Recoveries   float64 `json:"recoveries"`
+}
+
+// FoldPhases slices the per-rank series into the given virtual-time
+// windows and aggregates each. A sample belongs to the window containing
+// its interval midpoint, so every sample lands in at most one window and
+// the fold is independent of rank iteration order (pure arithmetic over
+// committed series).
+func (r *Report) FoldPhases(windows []PhaseWindow) []PhaseStat {
+	if r == nil {
+		return nil
+	}
+	out := make([]PhaseStat, len(windows))
+	for wi, w := range windows {
+		st := PhaseStat{Name: w.Name, Start: w.Start, End: w.End}
+		var qSum, gSum, iSum float64
+		var n int
+		for _, rs := range r.Ranks {
+			lastBefore := func(xs []float64) float64 {
+				v := 0.0
+				for i, x := range xs {
+					if mid := (float64(i) + 0.5) * r.IntervalSeconds; mid < w.Start {
+						v = x
+					} else {
+						break
+					}
+				}
+				return v
+			}
+			fault0, recov0 := lastBefore(rs.Faults), lastBefore(rs.Recoveries)
+			faultEnd, recovEnd := fault0, recov0
+			rankSamples := 0
+			for i := range rs.QueueDepth {
+				mid := (float64(i) + 0.5) * r.IntervalSeconds
+				if mid < w.Start || mid >= w.End {
+					continue
+				}
+				rankSamples++
+				qSum += rs.QueueDepth[i]
+				if i < len(rs.GangsBusy) {
+					gSum += rs.GangsBusy[i]
+				}
+				if i < len(rs.InflightMsgs) {
+					iSum += rs.InflightMsgs[i]
+				}
+				if i < len(rs.MemBytes) && rs.MemBytes[i] > st.MemPeak {
+					st.MemPeak = rs.MemBytes[i]
+				}
+				if i < len(rs.Faults) {
+					faultEnd = rs.Faults[i]
+				}
+				if i < len(rs.Recoveries) {
+					recovEnd = rs.Recoveries[i]
+				}
+			}
+			n += rankSamples
+			if rankSamples > st.Samples {
+				st.Samples = rankSamples
+			}
+			st.Faults += faultEnd - fault0
+			st.Recoveries += recovEnd - recov0
+		}
+		if n > 0 {
+			st.QueueMean = qSum / float64(n)
+			st.GangsMean = gSum / float64(n)
+			st.InflightMean = iSum / float64(n)
+		}
+		out[wi] = st
+	}
+	return out
+}
+
+// WritePhaseTable renders folded phase stats as a fixed-width table.
+func WritePhaseTable(w io.Writer, stats []PhaseStat) {
+	fmt.Fprintf(w, "%-14s %10s %10s %8s %7s %7s %9s %11s %7s %7s\n",
+		"phase", "start(s)", "end(s)", "samples", "q.mean", "gangs", "infl.mean", "mem.peak", "faults", "recov")
+	for _, st := range stats {
+		fmt.Fprintf(w, "%-14s %10.4g %10.4g %8d %7.2f %7.2f %9.2f %11.0f %7.0f %7.0f\n",
+			st.Name, st.Start, st.End, st.Samples, st.QueueMean, st.GangsMean,
+			st.InflightMean, st.MemPeak, st.Faults, st.Recoveries)
+	}
+}

@@ -1,0 +1,81 @@
+// Package rng provides the seeded splitmix64 streams behind every
+// deterministic random plane in the repo: fault injection, per-patch
+// physics assignment, and workload scenario expansion.
+//
+// The contract is bit-stability. A stream is a plain splitmix64 sequence
+// (Weyl increment + output mix); SubSeed derives independent substream
+// states from one seed so that adding draws in one category never
+// perturbs another, and a per-lane stream (per rank, per patch, per
+// phase) depends only on its own draw sites in their own order. The
+// constants and arithmetic are shared verbatim with the historical
+// implementation inside internal/faults, so fault histories recorded
+// before the extraction replay identically.
+package rng
+
+const (
+	// golden is the splitmix64 Weyl increment (2^64 / phi).
+	golden = 0x9e3779b97f4a7c15
+	// laneMix decorrelates lanes within a stream when deriving substream
+	// seeds (also the second splitmix64 mixing multiplier).
+	laneMix = 0x94d049bb133111eb
+)
+
+// Mix64 is the splitmix64 output function: a bijective avalanche of the
+// raw sequence state.
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SubSeed derives the initial splitmix64 state for one (stream, lane)
+// substream of seed. Streams separate draw categories; lanes separate
+// independent actors within a category (ranks, patches, phases). Lane
+// 0's substreams coincide with the historical per-category ones of
+// internal/faults.
+func SubSeed(seed uint64, stream, lane int) uint64 {
+	return Mix64(seed ^ (uint64(stream+1) * golden) ^ (uint64(lane) * laneMix))
+}
+
+// Unit maps a state word to a uniform float64 in [0,1) without
+// advancing anything — the stateless one-shot draw used for per-patch
+// assignment, where the result must depend only on (seed, patch), not
+// on visit order.
+func Unit(state uint64) float64 {
+	return float64(Mix64(state)>>11) / float64(1<<53)
+}
+
+// Stream is one splitmix64 sequence. The zero value is a valid stream
+// seeded with 0; use New or NewSub to seed it deliberately.
+type Stream struct {
+	state uint64
+}
+
+// New creates a stream with the given raw initial state.
+func New(state uint64) *Stream { return &Stream{state: state} }
+
+// NewSub creates a stream seeded with SubSeed(seed, stream, lane).
+func NewSub(seed uint64, stream, lane int) *Stream {
+	return &Stream{state: SubSeed(seed, stream, lane)}
+}
+
+// Uint64 advances the stream and returns the next 64-bit output.
+func (s *Stream) Uint64() uint64 {
+	s.state += golden
+	return Mix64(s.state)
+}
+
+// Uniform advances the stream and returns a uniform float64 in [0,1).
+func (s *Stream) Uniform() float64 {
+	return float64(s.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn advances the stream and returns a uniform int in [0,n); n must
+// be positive.
+func (s *Stream) Intn(n int) int {
+	v := int(s.Uniform() * float64(n))
+	if v >= n { // guard the (theoretical) 1.0 rounding edge
+		v = n - 1
+	}
+	return v
+}

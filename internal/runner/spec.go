@@ -57,6 +57,16 @@ type Spec struct {
 	CPEGroups   int    `json:"cpeGroups,omitempty"`
 	TileSize    string `json:"tileSize,omitempty"`
 
+	// Physics selects the scheduled model problem: a registered single
+	// model ("burgers", "advection", "heat3d") or a seeded per-patch
+	// mixture ("mix:burgers=2,advection=1,heat3d=1,seed=7"). Empty and
+	// "burgers" both mean the historical Burgers default and hash
+	// identically to a spec without the field, so pre-existing cache
+	// entries stay valid. Producers should store the canonical selector
+	// form (physics.Selection.Canonical); the runner hashes the string
+	// as given.
+	Physics string `json:"physics,omitempty"`
+
 	// Faults is the deterministic fault-injection plan; nil (or all-zero)
 	// runs the case fault-free and hashes identically to a spec without
 	// the field, so pre-existing cache entries stay valid.
@@ -85,6 +95,9 @@ func (s Spec) canonical() string {
 	key := fmt.Sprintf("%s|problem=%s|cells=%s|layout=%s|cgs=%d|variant=%s|steps=%d|noise=%g|seed=%d|functional=%t|asyncdma=%t|packing=%t|cpegroups=%d|tilesize=%s",
 		specHashVersion, s.Problem, s.Cells, s.Layout, s.CGs, s.Variant, s.Steps,
 		s.Noise, s.Seed, s.Functional, s.AsyncDMA, s.TilePacking, s.CPEGroups, s.TileSize)
+	if p := s.Physics; p != "" && p != "burgers" {
+		key += "|physics=" + p
+	}
 	if !s.Faults.Zero() {
 		key += "|faults=" + s.Faults.Canonical()
 	}
@@ -105,6 +118,9 @@ func (s Spec) String() string {
 		name = s.Cells
 	}
 	out := fmt.Sprintf("%s/%s@%dCG", name, s.Variant, s.CGs)
+	if p := s.Physics; p != "" && p != "burgers" {
+		out += " " + p
+	}
 	if s.Noise > 0 {
 		out += fmt.Sprintf(" seed=%d", s.Seed)
 	}

@@ -312,6 +312,9 @@ func (s *Rank) resetConsumers() {
 				s.consumers[scrubKey{d.Label, o.Patch.ID}]++
 			} else {
 				for _, p := range s.graph.LocalPatches {
+					if !o.Task.AppliesTo(p.ID) {
+						continue
+					}
 					s.consumers[scrubKey{d.Label, p.ID}]++
 				}
 			}

@@ -350,6 +350,9 @@ func (s *Rank) completeObject(o *taskgraph.Object, completed *int) {
 			s.noteConsumed(d.Label, o.Patch.ID)
 		} else {
 			for _, p := range s.graph.LocalPatches {
+				if !o.Task.AppliesTo(p.ID) {
+					continue
+				}
 				s.noteConsumed(d.Label, p.ID)
 			}
 		}
@@ -493,6 +496,11 @@ func (s *Rank) runReduction(p *sim.Process, step int, obj *taskgraph.Object) err
 	}
 	var bytes int64
 	for _, patch := range s.graph.LocalPatches {
+		// A patch-filtered reduction folds (and pays for) only its own
+		// patches; its predicate must match its producer's.
+		if !task.AppliesTo(patch.ID) {
+			continue
+		}
 		bytes += patch.NumCells() * 8
 		if s.cfg.Functional && task.Reduce.Local != nil {
 			v := task.Reduce.Local(patch, s.DWs.Select(d.DW).Get(d.Label, patch))

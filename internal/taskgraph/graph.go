@@ -179,6 +179,9 @@ func Compile(level *grid.Level, tasks []*Task, assign []int, rank int) (*Graph, 
 		switch t.Kind {
 		case KindOffload, KindMPE:
 			for _, p := range g.LocalPatches {
+				if !t.AppliesTo(p.ID) {
+					continue
+				}
 				obj := &Object{Index: len(g.Objects), Task: t, Patch: p}
 				g.Objects = append(g.Objects, obj)
 				for _, d := range t.Requires {
@@ -190,6 +193,10 @@ func Compile(level *grid.Level, tasks []*Task, assign []int, rank int) (*Graph, 
 								t.Name, d.Label.Name())
 						}
 						up := producerObjs[producerKey{prod, p.ID}]
+						if up == nil {
+							return nil, fmt.Errorf("taskgraph: task %q requires %q from the new warehouse on patch %d but producer %q is excluded there by its patch predicate",
+								t.Name, d.Label.Name(), p.ID, prod.Name)
+						}
 						obj.Upstream = append(obj.Upstream, up)
 						up.Downstream = append(up.Downstream, obj)
 					case d.Ghost > 0:
@@ -212,6 +219,11 @@ func Compile(level *grid.Level, tasks []*Task, assign []int, rank int) (*Graph, 
 						t.Name, d.Label.Name())
 				}
 				for _, p := range g.LocalPatches {
+					// The reduction folds only the patches where both it
+					// and the producer run.
+					if !t.AppliesTo(p.ID) || !prod.AppliesTo(p.ID) {
+						continue
+					}
 					up := producerObjs[producerKey{prod, p.ID}]
 					obj.Upstream = append(obj.Upstream, up)
 					up.Downstream = append(up.Downstream, obj)
@@ -230,8 +242,14 @@ func Compile(level *grid.Level, tasks []*Task, assign []int, rank int) (*Graph, 
 				continue
 			}
 			for _, q := range g.LocalPatches {
+				// Only patches the task runs on exchange its ghosts: an
+				// excluded source patch never holds the label, and an
+				// excluded destination fills from boundary conditions.
+				if !t.AppliesTo(q.ID) {
+					continue
+				}
 				for _, p := range layout.Neighbours(q, d.Ghost) {
-					if assign[p.ID] == rank {
+					if assign[p.ID] == rank || !t.AppliesTo(p.ID) {
 						continue
 					}
 					for _, gr := range layout.GhostRegions(p, d.Ghost) {
@@ -288,7 +306,10 @@ func (g *Graph) addGhostDeps(obj *Object, d Dep, recvKey map[edgeKey]*Edge, labe
 	var bc *BCReq
 	for _, gr := range layout.GhostRegions(obj.Patch, d.Ghost) {
 		switch {
-		case gr.Src == nil:
+		case gr.Src == nil || !obj.Task.AppliesTo(gr.Src.ID):
+			// Out of the domain, or sourced from a patch the task is
+			// excluded from: the region is a physical (or physics-
+			// interface) boundary, filled from the label's BC.
 			if bc == nil {
 				bc = &BCReq{Label: d.Label}
 			}

@@ -139,6 +139,23 @@ type Task struct {
 	// (cells × MPE per-cell time × weight). Zero means negligible cost.
 	MPECostWeight float64
 	Reduce        *ReduceSpec
+
+	// Patches restricts the task to the patches for which the predicate
+	// returns true; nil means every patch (the common case). The
+	// predicate must be a pure, rank-independent function of the patch
+	// ID: every rank evaluates it during compilation, and consistent
+	// answers are what keep send and recv edges matched. A ghost region
+	// whose source patch is excluded is filled from the label's boundary
+	// condition instead — each physics region is a Dirichlet-bounded
+	// subdomain, the way mixed-physics AMR levels couple through
+	// prescribed interface boundaries.
+	Patches func(patchID int) bool
+}
+
+// AppliesTo reports whether the task runs on the patch. A nil Patches
+// predicate applies everywhere.
+func (t *Task) AppliesTo(patchID int) bool {
+	return t.Patches == nil || t.Patches(patchID)
 }
 
 // Validate checks structural consistency of the declaration.

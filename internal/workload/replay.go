@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"sunuintah/internal/physics"
+	"sunuintah/internal/trace"
+)
+
+// ReplayOptions controls how a recorded trace folds back into a
+// synthetic scenario.
+type ReplayOptions struct {
+	// Bins is the number of time windows (= replay phases) the recorded
+	// timeline is cut into. Default 3.
+	Bins int
+	// TasksPerJob is how many observed kernel intervals correspond to
+	// one replayed job — the granularity knob converting task activity
+	// into job arrivals. Default 8.
+	TasksPerJob int
+	// Base is the job template of the replayed jobs (sizes, variant,
+	// steps). Physics is overridden per phase by the observed mix.
+	Base Template
+	// Seed seeds the replay scenario's expansion.
+	Seed uint64
+}
+
+// FromTrace converts a recorded run's event timeline into a synthetic
+// replay scenario: the timeline is cut into equal windows, each window
+// becomes a constant-arrival phase whose rate reproduces the observed
+// kernel-task completion rate (TasksPerJob intervals = one job) and
+// whose physics mix matches the observed share of each model's kernels
+// in that window. The result goes through Expand like any hand-written
+// scenario — a recorded workload replays through the same path.
+func FromTrace(events []trace.Event, opt ReplayOptions) (*Scenario, error) {
+	if opt.Bins <= 0 {
+		opt.Bins = 3
+	}
+	if opt.TasksPerJob <= 0 {
+		opt.TasksPerJob = 8
+	}
+	var end float64
+	type kernelEv struct {
+		at    float64
+		model string
+	}
+	var kernels []kernelEv
+	for _, e := range events {
+		if t := float64(e.End); t > end {
+			end = t
+		}
+		if e.Kind != trace.KindKernel && e.Kind != trace.KindMPEKern {
+			continue
+		}
+		m := physics.ModelForTask(e.Name)
+		if m == "" {
+			continue
+		}
+		kernels = append(kernels, kernelEv{at: float64(e.Start), model: m})
+	}
+	if len(kernels) == 0 || end <= 0 {
+		return nil, fmt.Errorf("workload: trace has no recognisable kernel intervals to replay")
+	}
+	sort.Slice(kernels, func(i, j int) bool { return kernels[i].at < kernels[j].at })
+
+	width := end / float64(opt.Bins)
+	sc := &Scenario{
+		Name: "replay",
+		Seed: opt.Seed,
+		Base: opt.Base,
+	}
+	for b := 0; b < opt.Bins; b++ {
+		lo, hi := float64(b)*width, float64(b+1)*width
+		counts := map[string]float64{}
+		total := 0
+		for _, k := range kernels {
+			// The last bin owns its upper edge so every interval lands
+			// somewhere.
+			if k.at >= lo && (k.at < hi || b == opt.Bins-1) {
+				counts[k.model]++
+				total++
+			}
+		}
+		ph := Phase{
+			Name:     fmt.Sprintf("replay-%d", b),
+			Duration: width,
+			Arrival:  Arrival{Pattern: PatternConstant},
+		}
+		if total > 0 {
+			jobs := float64(total) / float64(opt.TasksPerJob)
+			ph.Arrival.Rate = jobs / width
+			if len(counts) > 1 {
+				ph.Mix = counts
+			} else {
+				for m := range counts {
+					ph.Jobs = &Template{Physics: m}
+				}
+			}
+		}
+		sc.Phases = append(sc.Phases, ph)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: replay scenario invalid: %w", err)
+	}
+	return sc, nil
+}
