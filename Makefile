@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test examples race chaos workload bench benchgate cover clean
+.PHONY: check vet build test examples race chaos workload loadcheck bench benchgate cover clean
 
-check: vet build test examples race chaos workload benchgate cover
+check: vet build test examples race chaos workload loadcheck benchgate cover
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,7 @@ race:
 	$(GO) test -race -count=1 ./internal/rng/... ./internal/physics/... ./internal/heat3d/... ./internal/workload/...
 	$(GO) test -race -count=1 -run 'Resilient|Reoffload|MPEFallback|MessageFaults|ZeroPlan|Sharded|Shards|Coalesced' ./internal/core/
 	$(GO) test -race -short -count=1 ./internal/experiments/...
+	$(GO) test -race -count=1 ./internal/jobstore/... ./internal/admission/... ./internal/loadgen/... ./cmd/sunserver/
 
 # The chaos gate: run the short fault-matrix determinism test (byte-equal
 # artifact across worker counts, >= 95% of runs recovered at the default
@@ -52,6 +53,14 @@ chaos:
 # must render byte-identically across worker and shard counts.
 workload:
 	$(GO) test -run TestWorkloadArtifact -count=1 ./internal/experiments/
+
+# The load gate: the sunload harness (as a library) replays a compressed
+# workload scenario against an in-process sunserver and fails if any
+# submission errors, any accepted job never reaches a terminal state, or
+# the latency quantiles come back implausible. Bounded runtime: tiny
+# specs, instant executor, 60s hard deadline inside the test.
+loadcheck:
+	$(GO) test -run TestLoadCheck -count=1 ./cmd/sunserver/
 
 # Run every micro-benchmark, then refresh the committed performance
 # baseline. Commit the updated BENCH_baseline.json together with any
@@ -74,4 +83,4 @@ cover:
 		else { printf "observability coverage %.1f%% (floor 80%%)\n", $$3 } }'
 
 clean:
-	rm -rf .suncache cover.out
+	rm -rf .suncache .sunjobs cover.out

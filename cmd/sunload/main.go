@@ -1,0 +1,118 @@
+// Command sunload drives a live sunserver with a scheduled workload and
+// reports latency quantiles, 429 rates and — with -ramp — the measured
+// saturation point of the server's admission window. The schedule comes
+// from the workload package's deterministic scenario expansion, so runs
+// are reproducible: same scenario, same seed, same offered sequence.
+//
+// Examples:
+//
+//	sunload -url http://localhost:8177 -scale 0.01
+//	sunload -url http://localhost:8177 -scenario storm.json -clients 8 -tenant bench
+//	sunload -url http://localhost:8177 -ramp 0.1,0.03,0.01,0.003 -o saturation.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sunuintah/internal/loadgen"
+	"sunuintah/internal/workload"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8177", "sunserver base URL")
+	scenarioFlag := flag.String("scenario", "", "workload scenario JSON file (default: built-in mixed scenario)")
+	scale := flag.Float64("scale", 0.01, "wall seconds per virtual second (smaller = higher offered load)")
+	clients := flag.Int("clients", 4, "concurrent submitting clients")
+	tenant := flag.String("tenant", "", "X-Tenant header value (exercises per-tenant quotas)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline (per ramp rung when -ramp is set)")
+	poll := flag.Duration("poll", 25*time.Millisecond, "job status poll interval")
+	rampFlag := flag.String("ramp", "", "comma-separated descending time scales for a saturation search (overrides -scale)")
+	threshold := flag.Float64("reject-threshold", 0.05, "429 rate that marks saturation during -ramp")
+	sameSpecs := flag.Bool("same-specs", false, "submit specs verbatim (identical specs coalesce in the pool; default stamps distinct seeds)")
+	out := flag.String("o", "", "write the JSON report to this file instead of stdout")
+	flag.Parse()
+
+	var sc *workload.Scenario
+	if *scenarioFlag != "" {
+		data, err := os.ReadFile(*scenarioFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if sc, err = workload.Parse(data); err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:       strings.TrimRight(*url, "/"),
+		Scenario:      sc,
+		TimeScale:     *scale,
+		Clients:       *clients,
+		Tenant:        *tenant,
+		PollInterval:  *poll,
+		Timeout:       *timeout,
+		DistinctSeeds: !*sameSpecs,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var report any
+	if *rampFlag != "" {
+		scales, err := parseScales(*rampFlag)
+		if err != nil {
+			fatal(err)
+		}
+		rr, err := loadgen.Ramp(ctx, cfg, scales, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		report = rr
+	} else {
+		rep, err := loadgen.Run(ctx, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		report = rep
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "sunload: report written to", *out)
+		return
+	}
+	os.Stdout.Write(data)
+}
+
+func parseScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("sunload: bad ramp scale %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sunload:", err)
+	os.Exit(1)
+}

@@ -8,11 +8,19 @@
 //
 //	POST /run              submit a spec, returns {"id": "jN"}
 //	GET  /jobs/{id}        job state and, when done, the full result
+//	DELETE /jobs/{id}      cancel a pending job
 //	GET  /jobs/{id}/trace  Chrome/Perfetto trace of a job run with "trace":true
-//	GET  /jobs             job summaries
-//	GET  /metrics          Prometheus text: HTTP and pool counters, gauges
+//	GET  /jobs             job summaries, sorted by id
+//	GET  /metrics          Prometheus text: HTTP, pool and admission counters
 //	GET  /healthz          liveness probe
 //	GET  /artifacts/{name} render a paper table/figure (text)
+//
+// Accepted jobs are journaled to the -store directory, so a crash or
+// restart resumes incomplete jobs — near-instantly when the on-disk
+// result cache is warm. Every submission passes admission control:
+// a bounded outstanding window, optional per-tenant token buckets
+// (keyed on the X-Tenant header) and cost-based load shedding; rejected
+// requests get 429 with a Retry-After estimated from observed exec times.
 //
 // Requests run behind a per-request handler timeout; SIGINT/SIGTERM drains
 // in-flight jobs for -grace before cancelling them. A -faults plan is
@@ -25,7 +33,7 @@
 //	sunserver -addr :8177 &
 //	curl -s localhost:8177/run -d '{"cells":"32x32x64","layout":"2x2x1","cgs":2,"variant":"acc.async","steps":2,"functional":true}'
 //	curl -s localhost:8177/jobs/j1
-//	curl -s localhost:8177/run -d '{"cells":"64x64x128","layout":"2x2x2","cgs":2,"variant":"acc.async","steps":4,"faults":{"seed":1,"crash":1,"checkpointEvery":2}}'
+//	curl -s -X DELETE localhost:8177/jobs/j1
 package main
 
 import (
@@ -41,8 +49,10 @@ import (
 	"syscall"
 	"time"
 
+	"sunuintah/internal/admission"
 	"sunuintah/internal/experiments"
 	"sunuintah/internal/faults"
+	"sunuintah/internal/jobstore"
 	"sunuintah/internal/runner"
 )
 
@@ -50,6 +60,7 @@ func main() {
 	addr := flag.String("addr", ":8177", "listen address")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation jobs")
 	cacheFlag := flag.String("cache", runner.DefaultCacheDir, `result cache: "off" (memory only) or an on-disk store directory`)
+	storeFlag := flag.String("store", ".sunjobs", `persistent job store: "off" (jobs forgotten on restart) or a journal directory`)
 	steps := flag.Int("steps", experiments.Steps, "default timesteps for requests that omit steps")
 	shards := flag.Int("shards", 0, "default engine shards for requests that omit them (0 = serial engine)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 disables)")
@@ -57,6 +68,11 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "drain window for in-flight jobs on SIGINT/SIGTERM")
 	faultsFlag := flag.String("faults", "off", `default fault plan for specs that omit one: "off", "default", "default,scale=F" or "key=value,..."`)
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	maxQueued := flag.Int("max-queued", 256, "admission: max jobs waiting beyond the running window (<=0 uses the default)")
+	quotaRate := flag.Float64("quota-rate", 0, "admission: per-tenant sustained submissions/sec (0 disables tenant quotas)")
+	quotaBurst := flag.Float64("quota-burst", 0, "admission: per-tenant burst size (0 defaults to max(rate, 1))")
+	shedCost := flag.Float64("shed-cost", 0, "admission: estimated-cost threshold (seconds) above which specs are shed when the queue runs hot (0 disables)")
+	retain := flag.Int("retain", defaultRetain, "terminal jobs kept in memory and in the journal")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -82,6 +98,16 @@ func main() {
 		logger.Info("on-disk result cache", "dir", dc.Dir())
 	}
 
+	var store *jobstore.Store
+	if *storeFlag != "off" && *storeFlag != "" {
+		store, err = jobstore.Open(*storeFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunserver:", err)
+			os.Exit(1)
+		}
+		logger.Info("persistent job store", "dir", *storeFlag, "records", store.Len())
+	}
+
 	pool, err := runner.New(runner.Config{
 		Workers: *jobs,
 		Exec:    experiments.Exec,
@@ -95,7 +121,32 @@ func main() {
 	}
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: *steps, Shards: *shards}, pool)
 
-	srv := newServer(pool, sweep, *steps, *shards, plan, logger, *pprofFlag)
+	adm := admission.New(admission.Config{
+		MaxQueued:  *maxQueued,
+		MaxRunning: *jobs,
+		Quota:      admission.Quota{Rate: *quotaRate, Burst: *quotaBurst},
+		Cost:       experiments.EstimateCost,
+		ShedCost:   *shedCost,
+	})
+
+	// srvCtx is the collect-goroutine lifecycle: cancelled only after the
+	// pool has drained, so graceful shutdowns still record finished jobs;
+	// anything still waiting then bails out and is resumed from the
+	// journal by the next incarnation.
+	srvCtx, srvCancel := context.WithCancel(context.Background())
+	defer srvCancel()
+
+	srv := newServer(srvCtx, pool, sweep, serverConfig{
+		steps:  *steps,
+		shards: *shards,
+		faults: plan,
+		log:    logger,
+		pprof:  *pprofFlag,
+		cache:  cache,
+		store:  store,
+		adm:    adm,
+		retain: *retain,
+	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           http.TimeoutHandler(srv.handler(), *reqTimeout, "request timed out\n"),
@@ -132,8 +183,17 @@ func main() {
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			logger.Error("http shutdown", "err", err)
 		}
-		if err := pool.Shutdown(drainCtx); err != nil {
-			logger.Error("drain cut short", "err", err)
+		drainErr := pool.Shutdown(drainCtx)
+		// Collect goroutines either record their finished jobs or park on
+		// srvCtx; cancel it and wait so the journal is consistent before
+		// the store closes.
+		srvCancel()
+		srv.Drain()
+		if err := store.Close(); err != nil {
+			logger.Error("job store close", "err", err)
+		}
+		if drainErr != nil {
+			logger.Error("drain cut short", "err", drainErr)
 			os.Exit(1)
 		}
 		logger.Info("drained cleanly")

@@ -1,0 +1,521 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sunuintah/internal/admission"
+	"sunuintah/internal/experiments"
+	"sunuintah/internal/jobstore"
+	"sunuintah/internal/loadgen"
+	"sunuintah/internal/runner"
+	"sunuintah/internal/workload"
+)
+
+// instantExec completes immediately with a feasible result; the recorded
+// exec time feeds the admission EWMA and the cache.
+func instantExec(ctx context.Context, spec runner.Spec) (*runner.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &runner.Result{Feasible: true, ExecSeconds: 0.01}, nil
+}
+
+// gatedExec blocks every execution until release closes (or the attempt
+// context is cancelled), holding the server at a controlled saturation.
+func gatedExec(release <-chan struct{}) runner.ExecFunc {
+	return func(ctx context.Context, spec runner.Spec) (*runner.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return &runner.Result{Feasible: true, ExecSeconds: 0.01}, nil
+		}
+	}
+}
+
+// newRobustServer assembles a server around an arbitrary exec function so
+// tests control saturation directly. The returned cancel tears down the
+// collect-goroutine context (the test cleanup also runs it).
+func newRobustServer(t *testing.T, exec runner.ExecFunc, workers int, cfg serverConfig) (*httptest.Server, *server, *runner.Pool) {
+	t.Helper()
+	cache := cfg.cache
+	if cache == nil {
+		cache = runner.NewMemoryCache(0)
+		cfg.cache = cache
+	}
+	pool, err := runner.New(runner.Config{Workers: workers, Exec: exec, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: cfg.steps}, pool)
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := newServer(ctx, pool, sweep, cfg)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		pool.Close()
+		srv.Drain()
+	})
+	return ts, srv, pool
+}
+
+const smallSpec = `{"cells":"8x8x8","cgs":1,"variant":"acc.async","steps":1%s}`
+
+// postSpec submits a spec body and returns the status code, job id (202)
+// and Retry-After seconds (429).
+func postSpec(t *testing.T, base, body, tenant string) (int, string, int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	id, _ := out["id"].(string)
+	retryAfter := 0
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if v, err := strconv.Atoi(ra); err == nil {
+			retryAfter = v
+		}
+	}
+	return resp.StatusCode, id, retryAfter
+}
+
+// waitJobState polls a job until it reaches want (or any terminal state,
+// reported as an error if it isn't the wanted one).
+func waitJobState(t *testing.T, base, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var job struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if code := getJSON(t, base+"/jobs/"+id, &job); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", id, code)
+		}
+		if job.State == want {
+			return
+		}
+		switch job.State {
+		case "done", "failed", "canceled":
+			t.Fatalf("job %s reached %s (err=%q), want %s", id, job.State, job.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, job.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOverloadReturns429WithRetryAfter fills the admission window and
+// checks that overflow is rejected with 429, a positive Retry-After, and
+// a machine-readable reason — and that draining the queue reopens
+// admission (slots are released exactly once per job).
+func TestOverloadReturns429WithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	adm := admission.New(admission.Config{MaxRunning: 1, MaxQueued: 1})
+	ts, _, _ := newRobustServer(t, gatedExec(release), 1, serverConfig{steps: 1, adm: adm})
+	spec := func(i int) string {
+		return fmt.Sprintf(smallSpec, fmt.Sprintf(`,"seed":%d`, i))
+	}
+
+	// Window is 1 running + 1 queued: two accepted, third rejected.
+	for i := 1; i <= 2; i++ {
+		if code, _, _ := postSpec(t, ts.URL, spec(i), ""); code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d, want 202", i, code)
+		}
+	}
+	code, _, retryAfter := postSpec(t, ts.URL, spec(3), "")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-window submit = %d, want 429", code)
+	}
+	if retryAfter < 1 {
+		t.Fatalf("Retry-After = %d, want >= 1", retryAfter)
+	}
+
+	body, _ := getMetrics(t, ts.URL)
+	if v := promValue(t, body, `sunserver_admission_total{decision="queue_full"}`); v < 1 {
+		t.Fatalf("queue_full counter = %g", v)
+	}
+	if v := promValue(t, body, `sunserver_admission_total{decision="accepted"}`); v != 2 {
+		t.Fatalf("accepted counter = %g, want 2", v)
+	}
+
+	// Drain and verify the window reopens: released slots readmit.
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code, _, _ := postSpec(t, ts.URL, spec(4), ""); code == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission window never reopened after drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTenantQuotaExhaustion checks per-tenant token buckets: one tenant
+// exhausting its burst gets 429 reason "quota" while other tenants (and
+// the default tenant) are unaffected.
+func TestTenantQuotaExhaustion(t *testing.T) {
+	adm := admission.New(admission.Config{
+		MaxRunning: 8, MaxQueued: 64,
+		Quota: admission.Quota{Rate: 1e-9, Burst: 2},
+	})
+	ts, _, _ := newRobustServer(t, instantExec, 2, serverConfig{steps: 1, adm: adm})
+	spec := func(i int) string {
+		return fmt.Sprintf(smallSpec, fmt.Sprintf(`,"seed":%d`, i))
+	}
+
+	for i := 1; i <= 2; i++ {
+		if code, _, _ := postSpec(t, ts.URL, spec(i), "alice"); code != http.StatusAccepted {
+			t.Fatalf("alice submit %d = %d, want 202", i, code)
+		}
+	}
+	code, _, retryAfter := postSpec(t, ts.URL, spec(3), "alice")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("alice over-quota = %d, want 429", code)
+	}
+	if retryAfter < 1 {
+		t.Fatalf("quota Retry-After = %d, want >= 1", retryAfter)
+	}
+	// Other tenants are unaffected by alice's exhaustion.
+	if code, _, _ := postSpec(t, ts.URL, spec(4), "bob"); code != http.StatusAccepted {
+		t.Fatalf("bob = %d, want 202", code)
+	}
+	if code, _, _ := postSpec(t, ts.URL, spec(5), ""); code != http.StatusAccepted {
+		t.Fatalf("default tenant = %d, want 202", code)
+	}
+	body, _ := getMetrics(t, ts.URL)
+	if v := promValue(t, body, `sunserver_admission_total{decision="quota"}`); v < 1 {
+		t.Fatalf("quota counter = %g", v)
+	}
+}
+
+// TestDeleteCancelsJob cancels a queued and a running job through the
+// API and checks terminal states, idempotence answers, and that their
+// admission slots come back.
+func TestDeleteCancelsJob(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	adm := admission.New(admission.Config{MaxRunning: 1, MaxQueued: 2})
+	ts, _, _ := newRobustServer(t, gatedExec(release), 1, serverConfig{steps: 1, adm: adm})
+
+	_, running, _ := postSpec(t, ts.URL, fmt.Sprintf(smallSpec, `,"seed":1`), "")
+	_, queued, _ := postSpec(t, ts.URL, fmt.Sprintf(smallSpec, `,"seed":2`), "")
+	waitJobState(t, ts.URL, running, "running")
+
+	del := func(id string) int {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := del(queued); code != http.StatusAccepted {
+		t.Fatalf("DELETE queued = %d, want 202", code)
+	}
+	waitJobState(t, ts.URL, queued, "canceled")
+	if code := del(running); code != http.StatusAccepted {
+		t.Fatalf("DELETE running = %d, want 202", code)
+	}
+	waitJobState(t, ts.URL, running, "canceled")
+
+	if code := del(queued); code != http.StatusConflict {
+		t.Fatalf("DELETE terminal job = %d, want 409", code)
+	}
+	if code := del("j999"); code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job = %d, want 404", code)
+	}
+
+	// Both slots released: a window of 1+2 admits three fresh jobs.
+	for i := 10; i < 13; i++ {
+		code, _, _ := postSpec(t, ts.URL, fmt.Sprintf(smallSpec, fmt.Sprintf(`,"seed":%d`, i)), "")
+		if code != http.StatusAccepted {
+			t.Fatalf("post-cancel submit %d = %d, want 202", i, code)
+		}
+	}
+}
+
+// TestRestartRecovery is the crash-resume acceptance path: server A
+// journals two jobs (one finishes, one is killed mid-run), server B
+// opens the same store and cache, re-lists the finished job with its
+// cached result, resumes the incomplete one, and ends with every
+// journaled job terminal.
+func TestRestartRecovery(t *testing.T) {
+	storeDir := t.TempDir()
+	cache, err := runner.NewDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- incarnation A: j1 completes, j2 blocks "forever". ----
+	release := make(chan struct{}) // never closed: j2 dies with the server
+	blockSeed2 := func(ctx context.Context, spec runner.Spec) (*runner.Result, error) {
+		if spec.Seed == 2 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-release:
+			}
+		}
+		return &runner.Result{Feasible: true, ExecSeconds: 0.25}, nil
+	}
+	storeA, err := jobstore.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolA, err := runner.New(runner.Config{Workers: 2, Exec: blockSeed2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	srvA := newServer(ctxA, poolA, experiments.NewSweepWithPool(experiments.Options{Steps: 1}, poolA), serverConfig{
+		steps: 1, store: storeA, cache: cache,
+	})
+	tsA := httptest.NewServer(srvA.handler())
+
+	_, j1, _ := postSpec(t, tsA.URL, fmt.Sprintf(smallSpec, `,"seed":1`), "t1")
+	waitJobState(t, tsA.URL, j1, "done")
+	_, j2, _ := postSpec(t, tsA.URL, fmt.Sprintf(smallSpec, `,"seed":2`), "t1")
+	waitJobState(t, tsA.URL, j2, "running")
+
+	// "Kill" A: the lifecycle context dies first (so the collector parks
+	// out without journaling a verdict for j2), then the pool is torn
+	// down with an already-expired drain deadline — the abrupt path.
+	tsA.Close()
+	cancelA()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	poolA.Shutdown(shutCtx)
+	shutCancel()
+	srvA.Drain()
+	if err := storeA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- incarnation B over the same store and cache. ----
+	storeB, err := jobstore.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolB, err := runner.New(runner.Config{Workers: 2, Exec: instantExec, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxB, cancelB := context.WithCancel(context.Background())
+	srv := newServer(ctxB, poolB, experiments.NewSweepWithPool(experiments.Options{Steps: 1}, poolB), serverConfig{
+		steps: 1, store: storeB, cache: cache,
+	})
+	tsB := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		tsB.Close()
+		cancelB()
+		poolB.Close()
+		srv.Drain()
+		storeB.Close()
+	})
+
+	// j1 survived the restart terminal, with its Result straight from the
+	// content-addressed cache; j2 resumed and completes.
+	var job struct {
+		State  string          `json:"state"`
+		Tenant string          `json:"tenant"`
+		Result *map[string]any `json:"result"`
+	}
+	if code := getJSON(t, tsB.URL+"/jobs/"+j1, &job); code != http.StatusOK {
+		t.Fatalf("GET recovered %s = %d", j1, code)
+	}
+	if job.State != "done" || job.Result == nil {
+		t.Fatalf("recovered %s: state=%s result=%v, want done with cached result", j1, job.State, job.Result)
+	}
+	if job.Tenant != "t1" {
+		t.Fatalf("recovered %s tenant = %q", j1, job.Tenant)
+	}
+	waitJobState(t, tsB.URL, j2, "done")
+
+	// Acceptance: after kill-and-restart, 100% of journaled jobs reach a
+	// terminal state. The in-memory map is current; the journal catches up
+	// as collectors flush, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(storeB.Incomplete()) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal still has incomplete jobs: %+v", storeB.Incomplete())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShutdownDrainsCollectGoroutines asserts the collect-goroutine leak
+// fix: with a job parked on a never-finishing execution, cancelling the
+// server context and closing the pool lets Drain return promptly.
+func TestShutdownDrainsCollectGoroutines(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	pool, err := runner.New(runner.Config{Workers: 1, Exec: gatedExec(release), Cache: runner.NewMemoryCache(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := newServer(ctx, pool, experiments.NewSweepWithPool(experiments.Options{Steps: 1}, pool), serverConfig{steps: 1})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	_, id, _ := postSpec(t, ts.URL, fmt.Sprintf(smallSpec, `,"seed":1`), "")
+	waitJobState(t, ts.URL, id, "running")
+
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("collect goroutines leaked past shutdown")
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	pool.Shutdown(shutCtx)
+	shutCancel()
+}
+
+// TestJobsListSorted checks listings come back in ascending numeric job
+// ID order regardless of map iteration order.
+func TestJobsListSorted(t *testing.T) {
+	ts, _, _ := newRobustServer(t, instantExec, 2, serverConfig{steps: 1})
+	for i := 1; i <= 12; i++ {
+		code, _, _ := postSpec(t, ts.URL, fmt.Sprintf(smallSpec, fmt.Sprintf(`,"seed":%d`, i)), "")
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+	}
+	var list []struct {
+		ID string `json:"id"`
+	}
+	if code := getJSON(t, ts.URL+"/jobs", &list); code != http.StatusOK {
+		t.Fatalf("GET /jobs = %d", code)
+	}
+	if len(list) != 12 {
+		t.Fatalf("listed %d jobs, want 12", len(list))
+	}
+	for i, j := range list {
+		if want := fmt.Sprintf("j%d", i+1); j.ID != want {
+			t.Fatalf("position %d = %s, want %s", i, j.ID, want)
+		}
+	}
+}
+
+// TestRetentionGCDropsOldTerminalJobs checks the job-map cap: old
+// terminal jobs fall out of memory and the journal, newest survive.
+func TestRetentionGCDropsOldTerminalJobs(t *testing.T) {
+	store, err := jobstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _, _ := newRobustServer(t, instantExec, 2, serverConfig{steps: 1, store: store, retain: 3})
+	t.Cleanup(func() { store.Close() })
+
+	var last string
+	for i := 1; i <= 8; i++ {
+		code, id, _ := postSpec(t, ts.URL, fmt.Sprintf(smallSpec, fmt.Sprintf(`,"seed":%d`, i)), "")
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		waitJobState(t, ts.URL, id, "done")
+		last = id
+	}
+	var list []struct {
+		ID string `json:"id"`
+	}
+	getJSON(t, ts.URL+"/jobs", &list)
+	if len(list) != 3 {
+		t.Fatalf("retained %d jobs, want 3", len(list))
+	}
+	if list[len(list)-1].ID != last {
+		t.Fatalf("newest job %s missing from retained set %v", last, list)
+	}
+	if n := store.Len(); n != 3 {
+		t.Fatalf("journal retained %d records, want 3", n)
+	}
+}
+
+// TestLoadCheck is the `make loadcheck` smoke gate: a compressed workload
+// scenario replayed by the loadgen harness against an in-process server.
+// It passes when the server stays coherent under concurrent load — every
+// submission is answered, every accepted job reaches a terminal state,
+// and nothing errors.
+func TestLoadCheck(t *testing.T) {
+	adm := admission.New(admission.Config{MaxRunning: 4, MaxQueued: 256, Cost: experiments.EstimateCost})
+	ts, _, _ := newRobustServer(t, instantExec, 4, serverConfig{steps: 1, adm: adm})
+
+	sc := &workload.Scenario{
+		Name: "loadcheck",
+		Seed: 7,
+		Base: workload.Template{Cells: "8x8x8", CGs: 1, Variant: "acc.async", Steps: 1},
+		Phases: []workload.Phase{
+			{Name: "steady", Duration: 2, Arrival: workload.Arrival{Pattern: workload.PatternConstant, Rate: 20}},
+			{Name: "burst", Duration: 1, Arrival: workload.Arrival{Pattern: workload.PatternBurst, Burst: 8, Every: 0.5}},
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:       ts.URL,
+		Scenario:      sc,
+		TimeScale:     0.02,
+		Clients:       6,
+		PollInterval:  5 * time.Millisecond,
+		Timeout:       45 * time.Second,
+		DistinctSeeds: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs == 0 || rep.Submitted != rep.Jobs {
+		t.Fatalf("submitted %d of %d scheduled jobs", rep.Submitted, rep.Jobs)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport/protocol errors: %+v", rep.Errors, rep)
+	}
+	// Zero dropped accepted jobs: everything accepted reaches terminal.
+	if rep.Incomplete != 0 {
+		t.Fatalf("%d accepted jobs never finished: %+v", rep.Incomplete, rep)
+	}
+	if rep.Done == 0 {
+		t.Fatalf("no jobs completed: %+v", rep)
+	}
+	if rep.Failed != 0 || rep.Canceled != 0 {
+		t.Fatalf("unexpected failures under load: %+v", rep)
+	}
+	if rep.CompleteLatency.P50 <= 0 || rep.CompleteLatency.P99 < rep.CompleteLatency.P50 {
+		t.Fatalf("implausible latency quantiles: %+v", rep.CompleteLatency)
+	}
+	t.Logf("loadcheck: %d jobs, p50=%.3fs p99=%.3fs reject=%.1f%%",
+		rep.Jobs, rep.CompleteLatency.P50, rep.CompleteLatency.P99, 100*rep.RejectRate)
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 
 	"sunuintah/internal/experiments"
+	"sunuintah/internal/jobstore"
 	"sunuintah/internal/runner"
 	"sunuintah/internal/workload"
 )
@@ -32,28 +34,28 @@ type apiScenario struct {
 func (s *server) handleScenarioSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
 	sc, err := workload.Parse(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	jobs, err := sc.Expand()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if len(jobs) == 0 {
-		writeError(w, http.StatusBadRequest, "scenario %q expands to no jobs", sc.Name)
+		s.writeError(w, http.StatusBadRequest, "scenario %q expands to no jobs", sc.Name)
 		return
 	}
 	// Validate every expanded spec now so the submitter gets a 400, not a
 	// background failure, for unknown variants or problem names.
 	for i, j := range jobs {
 		if err := experiments.ValidateSpec(j.Spec); err != nil {
-			writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			s.writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
 			return
 		}
 	}
@@ -71,12 +73,14 @@ func (s *server) handleScenarioSubmit(w http.ResponseWriter, r *http.Request) {
 	s.scenarios[sj.ID] = sj
 	s.mu.Unlock()
 
+	s.wg.Add(1)
 	go s.collectScenario(sj.ID, sc)
 
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": sj.ID, "status": "/scenarios/" + sj.ID})
+	s.writeJSON(w, http.StatusAccepted, map[string]string{"id": sj.ID, "status": "/scenarios/" + sj.ID})
 }
 
 func (s *server) collectScenario(id string, sc *workload.Scenario) {
+	defer s.wg.Done()
 	rep, err := experiments.RunScenario(s.sweep, sc)
 	now := time.Now()
 	s.mu.Lock()
@@ -105,10 +109,10 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown scenario %q", id)
+		s.writeError(w, http.StatusNotFound, "unknown scenario %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, cp)
+	s.writeJSON(w, http.StatusOK, cp)
 }
 
 // handleScenarios lists scenario summaries (without the full reports).
@@ -126,5 +130,8 @@ func (s *server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		out = append(out, summary{ID: sj.ID, Name: sj.Name, Jobs: sj.Jobs, State: sj.State, Submitted: sj.Submitted})
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
+	sort.Slice(out, func(i, k int) bool {
+		return jobstore.NumericID(out[i].ID) < jobstore.NumericID(out[k].ID)
+	})
+	s.writeJSON(w, http.StatusOK, out)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,7 +28,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *runner.Pool) {
 		t.Fatal(err)
 	}
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: 1}, pool)
-	ts := httptest.NewServer(newServer(pool, sweep, 1, 0, nil, nil, false).handler())
+	ts := httptest.NewServer(newServer(context.Background(), pool, sweep, serverConfig{steps: 1}).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
@@ -192,7 +193,7 @@ func TestDefaultFaultPlanApplied(t *testing.T) {
 	}
 	sweep := experiments.NewSweepWithPool(experiments.Options{Steps: 2}, pool)
 	plan := &faults.Plan{Seed: 1, CrashAtStep: 3, CheckpointEvery: 2}
-	ts := httptest.NewServer(newServer(pool, sweep, 2, 0, plan, nil, false).handler())
+	ts := httptest.NewServer(newServer(context.Background(), pool, sweep, serverConfig{steps: 2, faults: plan}).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()

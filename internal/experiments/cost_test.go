@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"sunuintah/internal/runner"
+)
+
+// TestEstimateCostOrdersSpecs pins the properties the admission layer
+// relies on: monotonicity in cells, steps and (inversely) CGs, SIMD
+// discounting, and zero for unresolvable specs.
+func TestEstimateCostOrdersSpecs(t *testing.T) {
+	small := runner.Spec{Cells: "16x16x32", CGs: 1, Variant: "acc.async", Steps: 2}
+	big := runner.Spec{Cells: "64x64x128", CGs: 1, Variant: "acc.async", Steps: 2}
+	if cs, cb := EstimateCost(small), EstimateCost(big); cs <= 0 || cb <= cs {
+		t.Fatalf("cells monotonicity: small=%g big=%g", cs, cb)
+	}
+
+	short := runner.Spec{Cells: "16x16x32", CGs: 1, Variant: "acc.async", Steps: 2}
+	long := short
+	long.Steps = 20
+	if EstimateCost(long) <= EstimateCost(short) {
+		t.Fatal("steps monotonicity violated")
+	}
+
+	few := runner.Spec{Problem: "32x64x512", CGs: 1, Variant: "acc.async", Steps: 2}
+	many := few
+	many.CGs = 16
+	if EstimateCost(many) >= EstimateCost(few) {
+		t.Fatal("more CGs should lower per-CG cost")
+	}
+
+	scalar := runner.Spec{Cells: "32x32x64", CGs: 2, Variant: "acc.async", Steps: 2}
+	simd := scalar
+	simd.Variant = "acc_simd.async"
+	if EstimateCost(simd) >= EstimateCost(scalar) {
+		t.Fatal("SIMD variant should estimate cheaper")
+	}
+
+	if c := EstimateCost(runner.Spec{Variant: "acc.async", CGs: 1, Steps: 1}); c != 0 {
+		t.Fatalf("spec without problem/cells estimated %g, want 0", c)
+	}
+	if c := EstimateCost(runner.Spec{Problem: "nope", CGs: 1, Variant: "acc.async", Steps: 1}); c != 0 {
+		t.Fatalf("unknown problem estimated %g, want 0", c)
+	}
+
+	// A named problem uses its layout-scaled global grid: the paper's
+	// 8x8x2 default layout times the patch size.
+	named := runner.Spec{Problem: "16x16x512", CGs: 1, Variant: "acc.async", Steps: 1}
+	custom := runner.Spec{Cells: "128x128x1024", CGs: 1, Variant: "acc.async", Steps: 1}
+	if cn, cc := EstimateCost(named), EstimateCost(custom); cn != cc {
+		t.Fatalf("named vs equivalent custom cells: %g != %g", cn, cc)
+	}
+}

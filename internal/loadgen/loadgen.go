@@ -1,0 +1,380 @@
+// Package loadgen drives a live sunserver with a scheduled workload and
+// measures how it holds up: submit and completion latency quantiles,
+// 429 rates and Retry-After honesty, and — via a ramp of increasing
+// offered load — the saturation point where admission control starts
+// shedding. It reuses the workload package's deterministic scenario
+// expansion as the arrival schedule, so a load run is as reproducible
+// as the simulations it submits.
+//
+// The harness is a library so tests can point it at an in-process
+// httptest server; cmd/sunload is the thin CLI over it.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sunuintah/internal/workload"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the target server root, e.g. "http://localhost:8177".
+	BaseURL string
+	// Scenario supplies the arrival schedule and job mix; nil uses
+	// workload.DefaultScenario.
+	Scenario *workload.Scenario
+	// TimeScale maps virtual seconds to wall seconds: 1.0 replays in
+	// real time, 0.01 compresses 100x (default 0.01 — load harnesses
+	// want offered load, not realtime fidelity).
+	TimeScale float64
+	// Clients is the number of concurrent submitting clients (default 4).
+	Clients int
+	// Tenant is sent as the X-Tenant header when non-empty, exercising
+	// per-tenant quotas.
+	Tenant string
+	// PollInterval is the job-status poll period (default 25ms).
+	PollInterval time.Duration
+	// Timeout bounds the whole run including completion polling
+	// (default 2 minutes).
+	Timeout time.Duration
+	// DistinctSeeds stamps every submitted spec with a unique seed so
+	// the pool's content-addressed coalescing cannot collapse the run
+	// into one execution — a load harness wants N jobs, not 1 job and
+	// N-1 cache hits. Seeds change the spec hash but not the simulated
+	// result when the spec has no noise.
+	DistinctSeeds bool
+	// Client overrides the HTTP client (default: 30s timeout).
+	Client *http.Client
+}
+
+// Quantiles summarizes a latency population in seconds.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func quantiles(samples []float64) Quantiles {
+	if len(samples) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return Quantiles{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: s[len(s)-1]}
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Scenario  string `json:"scenario"`
+	Jobs      int    `json:"jobs"`      // schedule size
+	Submitted int    `json:"submitted"` // POSTs that got any HTTP response
+	Accepted  int    `json:"accepted"`  // 202s
+	Rejected  int    `json:"rejected"`  // 429s
+	Errors    int    `json:"errors"`    // transport failures and unexpected codes
+	Done      int    `json:"done"`
+	Failed    int    `json:"failed"`
+	Canceled  int    `json:"canceled"`
+	// Incomplete counts accepted jobs that never reached a terminal
+	// state before the run deadline — a healthy server reports zero.
+	Incomplete int     `json:"incomplete"`
+	RejectRate float64 `json:"rejectRate"` // rejected / submitted
+
+	// SubmitLatency is the POST /run round trip; CompleteLatency is
+	// submit to observed terminal state (accepted jobs only).
+	SubmitLatency   Quantiles `json:"submitLatency"`
+	CompleteLatency Quantiles `json:"completeLatency"`
+
+	// RetryAfterMinSeconds/Max summarize the Retry-After values carried
+	// by 429s (zero when nothing was rejected).
+	RetryAfterMinSeconds float64 `json:"retryAfterMinSeconds,omitempty"`
+	RetryAfterMaxSeconds float64 `json:"retryAfterMaxSeconds,omitempty"`
+
+	WallSeconds float64 `json:"wallSeconds"`
+	// OfferedRate is the schedule's mean submission rate after time
+	// scaling, jobs per wall second.
+	OfferedRate float64 `json:"offeredRate"`
+}
+
+type jobOutcome struct {
+	submitLatency   float64
+	completeLatency float64
+	status          int
+	retryAfter      float64
+	state           string
+	err             error
+}
+
+// Run replays cfg.Scenario's schedule against cfg.BaseURL and reports.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	sc := cfg.Scenario
+	if sc == nil {
+		sc = workload.DefaultScenario()
+	}
+	jobs, err := sc.Expand()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("loadgen: scenario %q expands to no jobs", sc.Name)
+	}
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 0.01
+	}
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 4
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	httpc := cfg.Client
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// The schedule is replayed faithfully: client g sleeps until job i's
+	// scaled arrival time before submitting. A shared index feed keeps
+	// clients load-balanced no matter how uneven the schedule is.
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	outcomes := make([]jobOutcome, len(jobs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				at := time.Duration(jobs[i].At * scale * float64(time.Second))
+				if d := time.Until(start.Add(at)); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+				outcomes[i] = submitAndWait(ctx, httpc, cfg, jobs[i], i, poll)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	rep := &Report{Scenario: sc.Name, Jobs: len(jobs), WallSeconds: wall}
+	var submitLat, completeLat []float64
+	for _, o := range outcomes {
+		if o.err != nil && o.status == 0 {
+			rep.Errors++
+			continue
+		}
+		rep.Submitted++
+		submitLat = append(submitLat, o.submitLatency)
+		switch o.status {
+		case http.StatusAccepted:
+			rep.Accepted++
+			switch o.state {
+			case "done":
+				rep.Done++
+				completeLat = append(completeLat, o.completeLatency)
+			case "failed":
+				rep.Failed++
+			case "canceled":
+				rep.Canceled++
+			default:
+				rep.Incomplete++
+			}
+		case http.StatusTooManyRequests:
+			rep.Rejected++
+			if o.retryAfter > 0 {
+				if rep.RetryAfterMinSeconds == 0 || o.retryAfter < rep.RetryAfterMinSeconds {
+					rep.RetryAfterMinSeconds = o.retryAfter
+				}
+				if o.retryAfter > rep.RetryAfterMaxSeconds {
+					rep.RetryAfterMaxSeconds = o.retryAfter
+				}
+			}
+		default:
+			rep.Errors++
+		}
+	}
+	if rep.Submitted > 0 {
+		rep.RejectRate = float64(rep.Rejected) / float64(rep.Submitted)
+	}
+	rep.SubmitLatency = quantiles(submitLat)
+	rep.CompleteLatency = quantiles(completeLat)
+	if wall > 0 {
+		rep.OfferedRate = float64(len(jobs)) / wall
+	}
+	return rep, nil
+}
+
+// submitAndWait POSTs one job and, when accepted, polls it to a terminal
+// state.
+func submitAndWait(ctx context.Context, httpc *http.Client, cfg Config, job workload.Job, i int, poll time.Duration) jobOutcome {
+	spec := job.Spec
+	if cfg.DistinctSeeds && spec.Seed == 0 {
+		spec.Seed = uint64(i + 1)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return jobOutcome{err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/run", bytes.NewReader(body))
+	if err != nil {
+		return jobOutcome{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if cfg.Tenant != "" {
+		req.Header.Set("X-Tenant", cfg.Tenant)
+	}
+	t0 := time.Now()
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return jobOutcome{err: err}
+	}
+	out := jobOutcome{status: resp.StatusCode, submitLatency: time.Since(t0).Seconds()}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if ra, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil {
+			out.retryAfter = ra
+		}
+		return out
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		out.err = fmt.Errorf("loadgen: POST /run: status %d", resp.StatusCode)
+		return out
+	}
+	if decErr != nil || accepted.ID == "" {
+		out.err = fmt.Errorf("loadgen: POST /run: bad accept body (%v)", decErr)
+		return out
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return out // incomplete: deadline beat the job
+		case <-time.After(poll):
+		}
+		state, err := jobState(ctx, httpc, cfg.BaseURL, accepted.ID)
+		if err != nil {
+			continue // transient poll failure; the deadline bounds us
+		}
+		switch state {
+		case "done", "failed", "canceled":
+			out.state = state
+			out.completeLatency = time.Since(t0).Seconds()
+			return out
+		}
+	}
+}
+
+func jobState(ctx context.Context, httpc *http.Client, base, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", fmt.Errorf("loadgen: GET /jobs/%s: status %d", id, resp.StatusCode)
+	}
+	var j struct {
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return "", err
+	}
+	return j.State, nil
+}
+
+// RampStep is one rung of a saturation ramp.
+type RampStep struct {
+	TimeScale float64 `json:"timeScale"`
+	Report    *Report `json:"report"`
+}
+
+// RampReport is the outcome of a saturation search.
+type RampReport struct {
+	Steps []RampStep `json:"steps"`
+	// SaturationScale is the first (largest) time scale whose reject
+	// rate crossed the threshold; 0 when the server absorbed every rung.
+	SaturationScale float64 `json:"saturationScale,omitempty"`
+	// SaturationRate is that rung's offered rate in jobs/sec.
+	SaturationRate float64 `json:"saturationRate,omitempty"`
+}
+
+// Ramp replays the scenario at each time scale in order (convention:
+// descending scales, i.e. rising offered load) and stops at the first
+// rung whose 429 rate reaches rejectThreshold — the measured saturation
+// point of the admission window.
+func Ramp(ctx context.Context, cfg Config, scales []float64, rejectThreshold float64) (*RampReport, error) {
+	if len(scales) == 0 {
+		return nil, fmt.Errorf("loadgen: ramp needs at least one time scale")
+	}
+	if rejectThreshold <= 0 {
+		rejectThreshold = 0.05
+	}
+	out := &RampReport{}
+	for _, scale := range scales {
+		stepCfg := cfg
+		stepCfg.TimeScale = scale
+		rep, err := Run(ctx, stepCfg)
+		if err != nil {
+			return out, err
+		}
+		out.Steps = append(out.Steps, RampStep{TimeScale: scale, Report: rep})
+		if rep.RejectRate >= rejectThreshold {
+			out.SaturationScale = scale
+			out.SaturationRate = rep.OfferedRate
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sunuintah/internal/workload"
+)
+
+func TestQuantiles(t *testing.T) {
+	q := quantiles([]float64{5, 1, 3, 2, 4})
+	if q.P50 != 3 || q.Max != 5 {
+		t.Fatalf("quantiles = %+v", q)
+	}
+	if q.P99 != 5 {
+		t.Fatalf("p99 of 5 samples = %g, want max", q.P99)
+	}
+	if z := (quantiles(nil)); z != (Quantiles{}) {
+		t.Fatalf("empty quantiles = %+v", z)
+	}
+}
+
+// stubServer accepts submissions up to a capacity, rejects the rest with
+// 429 + Retry-After, and reports every accepted job done on first poll.
+type stubServer struct {
+	mu       sync.Mutex
+	capacity int
+	accepted int
+	rejected int
+	tenants  map[string]int
+}
+
+func (st *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.tenants == nil {
+			st.tenants = map[string]int{}
+		}
+		st.tenants[r.Header.Get("X-Tenant")]++
+		if st.accepted >= st.capacity {
+			st.rejected++
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{"reason": "queue_full"})
+			return
+		}
+		st.accepted++
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": fmt.Sprintf("j%d", st.accepted)})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"state": "done"})
+	})
+	return mux
+}
+
+func scenario(rate float64, duration float64) *workload.Scenario {
+	return &workload.Scenario{
+		Name: "stub",
+		Seed: 3,
+		Base: workload.Template{Cells: "8x8x8", CGs: 1, Variant: "acc.async", Steps: 1},
+		Phases: []workload.Phase{
+			{Name: "p", Duration: duration, Arrival: workload.Arrival{Pattern: workload.PatternConstant, Rate: rate}},
+		},
+	}
+}
+
+func TestRunCountsAcceptsAndRejects(t *testing.T) {
+	st := &stubServer{capacity: 5}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       ts.URL,
+		Scenario:      scenario(10, 2),
+		TimeScale:     0.001,
+		Clients:       3,
+		Tenant:        "bench",
+		PollInterval:  time.Millisecond,
+		Timeout:       20 * time.Second,
+		DistinctSeeds: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs == 0 || rep.Submitted != rep.Jobs || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Accepted != 5 || rep.Done != 5 || rep.Incomplete != 0 {
+		t.Fatalf("accepted/done = %d/%d, want 5/5 (%+v)", rep.Accepted, rep.Done, rep)
+	}
+	if rep.Rejected != rep.Jobs-5 {
+		t.Fatalf("rejected = %d, want %d", rep.Rejected, rep.Jobs-5)
+	}
+	if rep.RetryAfterMinSeconds != 7 || rep.RetryAfterMaxSeconds != 7 {
+		t.Fatalf("retry-after bounds = %g..%g, want 7..7", rep.RetryAfterMinSeconds, rep.RetryAfterMaxSeconds)
+	}
+	if rep.CompleteLatency.P50 <= 0 {
+		t.Fatalf("no completion latency recorded: %+v", rep.CompleteLatency)
+	}
+	st.mu.Lock()
+	if st.tenants["bench"] != rep.Jobs {
+		t.Fatalf("tenant header on %d of %d requests", st.tenants["bench"], rep.Jobs)
+	}
+	st.mu.Unlock()
+}
+
+func TestRampStopsAtSaturation(t *testing.T) {
+	st := &stubServer{capacity: 4}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	// Every rung overloads the stub (capacity 4 across the whole server
+	// lifetime), so the very first scale saturates and the ramp stops.
+	rr, err := Ramp(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Scenario:     scenario(10, 2),
+		Clients:      2,
+		PollInterval: time.Millisecond,
+		Timeout:      20 * time.Second,
+	}, []float64{0.01, 0.001}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Steps) != 1 {
+		t.Fatalf("ramp ran %d rungs, want stop after 1", len(rr.Steps))
+	}
+	if rr.SaturationScale != 0.01 || rr.SaturationRate <= 0 {
+		t.Fatalf("saturation = scale %g rate %g", rr.SaturationScale, rr.SaturationRate)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := Ramp(context.Background(), Config{BaseURL: "http://x"}, nil, 0); err == nil {
+		t.Fatal("empty ramp accepted")
+	}
+}

@@ -12,6 +12,7 @@ type metrics struct {
 	running    int64 // jobs currently executing
 	done       int64 // jobs finished successfully (executed or cache hit)
 	failed     int64 // jobs finished with an error
+	canceled   int64 // jobs aborted via Pool.Cancel
 	executed   int64 // jobs that actually ran (cache misses)
 	cacheHits  int64
 	retries    int64
@@ -29,6 +30,7 @@ type Metrics struct {
 	Running   int64 `json:"running"`
 	Done      int64 `json:"done"`
 	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
 	Executed  int64 `json:"executed"`
 	CacheHits int64 `json:"cacheHits"`
 	Retries   int64 `json:"retries"`
@@ -47,6 +49,7 @@ func (m *metrics) snapshot() Metrics {
 		Running:   atomic.LoadInt64(&m.running),
 		Done:      atomic.LoadInt64(&m.done),
 		Failed:    atomic.LoadInt64(&m.failed),
+		Canceled:  atomic.LoadInt64(&m.canceled),
 		Executed:  atomic.LoadInt64(&m.executed),
 		CacheHits: atomic.LoadInt64(&m.cacheHits),
 		Retries:   atomic.LoadInt64(&m.retries),
@@ -54,7 +57,7 @@ func (m *metrics) snapshot() Metrics {
 	}
 	s.ExecSeconds = float64(atomic.LoadInt64(&m.execNanos)) / 1e9
 	s.SavedSeconds = float64(atomic.LoadInt64(&m.savedNanos)) / 1e9
-	s.Queued = s.Submitted - s.Done - s.Failed - s.Running
+	s.Queued = s.Submitted - s.Done - s.Failed - s.Canceled - s.Running
 	if s.Queued < 0 {
 		s.Queued = 0
 	}
@@ -63,7 +66,7 @@ func (m *metrics) snapshot() Metrics {
 
 // HitRate is the fraction of finished jobs served from the cache.
 func (s Metrics) HitRate() float64 {
-	finished := s.Done + s.Failed
+	finished := s.Done + s.Failed + s.Canceled
 	if finished == 0 {
 		return 0
 	}

@@ -29,6 +29,7 @@ const (
 	EventRetried
 	EventDone
 	EventFailed
+	EventCanceled
 )
 
 // Event is one progress notification. Done/Total/HitRate snapshot the
@@ -70,6 +71,9 @@ type Config struct {
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("runner: pool closed")
 
+// ErrCanceled is the terminal error of a job aborted via Pool.Cancel.
+var ErrCanceled = errors.New("runner: job canceled")
+
 // PanicError converts a crashed run into an ordinary, retryable job
 // error: the panic fails only its job, not the process.
 type PanicError struct {
@@ -86,10 +90,11 @@ type JobState string
 
 // Job lifecycle states.
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
 )
 
 // Job is one submitted Spec. Submitting the same Spec (by content hash)
@@ -103,6 +108,12 @@ type Job struct {
 	done   chan struct{}
 	result *Result
 	err    error
+
+	// canceled and cancelFn are guarded by the owning pool's mu: canceled
+	// marks a cancel request observed before the job registered its
+	// attempt context, cancelFn aborts a registered in-flight attempt.
+	canceled bool
+	cancelFn context.CancelFunc
 }
 
 // State reports the job's current lifecycle state.
@@ -250,10 +261,51 @@ func newJob(spec Spec, hash string) *Job {
 	return j
 }
 
-func (j *Job) fail(err error) {
+func (j *Job) fail(err error) { j.failState(StateFailed, err) }
+
+func (j *Job) failState(st JobState, err error) {
 	j.err = err
-	j.state.Store(StateFailed)
+	j.state.Store(st)
 	close(j.done)
+}
+
+// Cancel aborts a pending job: a still-queued job is removed from the
+// queue and finishes immediately with ErrCanceled in StateCanceled; a
+// running job has its attempt context cancelled and finishes canceled as
+// soon as the execution observes it. Cancel reports whether the job was
+// still pending (false once it has finished — including the race where
+// the execution completes while Cancel is in flight, in which case the
+// result stands). Note that jobs are coalesced by content hash: canceling
+// a job cancels it for every submitter that shares it.
+func (p *Pool) Cancel(j *Job) bool {
+	if j == nil {
+		return false
+	}
+	p.mu.Lock()
+	select {
+	case <-j.done:
+		p.mu.Unlock()
+		return false
+	default:
+	}
+	j.canceled = true
+	for i, q := range p.queue {
+		if q == j {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			delete(p.inflight, j.Hash)
+			p.mu.Unlock()
+			atomic.AddInt64(&p.m.canceled, 1)
+			j.failState(StateCanceled, ErrCanceled)
+			p.emit(EventCanceled, j.Spec, ErrCanceled)
+			return true
+		}
+	}
+	cancel := j.cancelFn
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
 }
 
 func (p *Pool) worker() {
@@ -277,6 +329,17 @@ func (p *Pool) worker() {
 // execute runs one job to completion: cache lookup, bounded attempts with
 // panic recovery and timeout, then result publication.
 func (p *Pool) execute(j *Job) {
+	// A cancel may have landed between dequeue and here (the worker holds
+	// no lock while picking the job up).
+	p.mu.Lock()
+	if j.canceled {
+		p.mu.Unlock()
+		p.finish(j, nil, ErrCanceled)
+		p.emit(EventCanceled, j.Spec, ErrCanceled)
+		return
+	}
+	p.mu.Unlock()
+
 	if p.cfg.Cache != nil {
 		if r, ok := p.cfg.Cache.Get(j.Hash); ok {
 			atomic.AddInt64(&p.m.cacheHits, 1)
@@ -288,6 +351,14 @@ func (p *Pool) execute(j *Job) {
 		}
 	}
 
+	// The job's own context layers per-job cancellation over the pool's
+	// base context; Cancel aborts this job alone, Shutdown aborts all.
+	jobCtx, jobCancel := context.WithCancel(p.baseCtx)
+	defer jobCancel()
+	p.mu.Lock()
+	j.cancelFn = jobCancel
+	p.mu.Unlock()
+
 	j.state.Store(StateRunning)
 	atomic.AddInt64(&p.m.running, 1)
 	p.emit(EventStarted, j.Spec, nil)
@@ -295,7 +366,7 @@ func (p *Pool) execute(j *Job) {
 	var res *Result
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, err = p.attempt(j.Spec)
+		res, err = p.attempt(jobCtx, j.Spec)
 		if err == nil || !p.retryable(j.Spec, err) || attempt >= p.cfg.Retries {
 			break
 		}
@@ -304,7 +375,7 @@ func (p *Pool) execute(j *Job) {
 		if p.cfg.Backoff > 0 {
 			select {
 			case <-time.After(backoffDelay(p.cfg.Backoff, j.Hash, attempt)):
-			case <-p.baseCtx.Done():
+			case <-jobCtx.Done():
 			}
 		}
 	}
@@ -313,7 +384,11 @@ func (p *Pool) execute(j *Job) {
 
 	if err != nil {
 		p.finish(j, nil, err)
-		p.emit(EventFailed, j.Spec, err)
+		if errors.Is(j.err, ErrCanceled) {
+			p.emit(EventCanceled, j.Spec, j.err)
+		} else {
+			p.emit(EventFailed, j.Spec, err)
+		}
 		return
 	}
 	if p.cfg.Cache != nil {
@@ -327,8 +402,8 @@ func (p *Pool) execute(j *Job) {
 // per-attempt timeout. The exec call runs in its own goroutine so a hung
 // run cannot wedge the worker past the deadline (the abandoned goroutine
 // finishes in the background and is discarded).
-func (p *Pool) attempt(spec Spec) (*Result, error) {
-	ctx := p.baseCtx
+func (p *Pool) attempt(jobCtx context.Context, spec Spec) (*Result, error) {
+	ctx := jobCtx
 	cancel := context.CancelFunc(func() {})
 	if p.cfg.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, p.cfg.Timeout)
@@ -406,8 +481,17 @@ func (p *Pool) retryable(spec Spec, err error) bool {
 func (p *Pool) finish(j *Job, res *Result, err error) {
 	p.mu.Lock()
 	delete(p.inflight, j.Hash)
+	canceled := j.canceled
 	p.mu.Unlock()
 	if err != nil {
+		// A failure after a cancel request — whether ErrCanceled directly
+		// or the attempt context's cancellation — finishes canceled, not
+		// failed.
+		if canceled {
+			atomic.AddInt64(&p.m.canceled, 1)
+			j.failState(StateCanceled, ErrCanceled)
+			return
+		}
 		atomic.AddInt64(&p.m.failed, 1)
 		j.fail(err)
 		return
@@ -426,7 +510,7 @@ func (p *Pool) emit(t EventType, spec Spec, err error) {
 	p.cfg.OnEvent(Event{
 		Type:    t,
 		Spec:    spec,
-		Done:    s.Done + s.Failed,
+		Done:    s.Done + s.Failed + s.Canceled,
 		Total:   s.Submitted,
 		HitRate: s.HitRate(),
 		Err:     err,
