@@ -18,6 +18,7 @@ import (
 
 	"sunuintah/internal/experiments"
 	"sunuintah/internal/runner"
+	"sunuintah/internal/sim"
 	"sunuintah/internal/workload"
 )
 
@@ -242,5 +243,53 @@ func BenchmarkFig10FloatingPointEfficiency(b *testing.B) {
 			}
 		}
 		b.ReportMetric(best*100, "best-efficiency-%")
+	}
+}
+
+// BenchmarkShardMailMerge measures the batched cross-shard mail path in
+// isolation: one source shard posts a window's worth of envelopes to a
+// destination shard, the barrier merge (Flush) sorts and bulk-injects
+// them, and the destination drains. Steady state must not allocate —
+// outboxes, merge buffers and event slots are all recycled.
+func BenchmarkShardMailMerge(b *testing.B) {
+	const batch = 1024
+	ss := sim.NewShardSet(2, sim.Microsecond)
+	src, dst := ss.Engine(0), ss.Engine(1)
+	sink := sim.NewCounter(dst, "mail-sink")
+	round := func() {
+		at := dst.Now() + 2*sim.Microsecond
+		for i := 0; i < batch; i++ {
+			// Spread over 64 instants: ties and distinct times both on
+			// the sort path.
+			ss.PostCall(src, dst, at+sim.Time(i%64)*sim.Microsecond/256, sink)
+		}
+		ss.Flush()
+		dst.Run()
+	}
+	round() // warm the arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkEventArena measures the engine's no-handle hot path: a
+// self-rescheduling Caller chain where every fired event's slot is
+// recycled through the arena. Zero allocs per event after warm-up.
+func BenchmarkEventArena(b *testing.B) {
+	e := sim.NewEngine()
+	cnt := sim.NewCounter(e, "arena")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.CallAfter(sim.Microsecond, cnt)
+		e.Run()
+	}
+	b.StopTimer()
+	if cnt.Value() != int64(b.N) {
+		b.Fatalf("fired %d events, want %d", cnt.Value(), b.N)
 	}
 }

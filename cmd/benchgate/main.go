@@ -56,31 +56,98 @@ type Baseline struct {
 	Metrics   map[string]float64 `json:"metrics"`
 }
 
-// measureRate returns the best-of-reps throughput of fn (units/second),
-// where fn performs n units of work per call. Best-of follows the
-// paper's repeat-and-keep-best measurement discipline: it rejects
-// scheduler noise, not variance we care about.
+// peakSpin is the fastest spin-probe rate observed so far in this process.
+// It approximates the host's unthrottled speed and lets measureRate detect
+// when an entire metric's sampling ran inside a scheduler-throttle burst.
+var peakSpin float64
+
+// spinProbe runs a short fixed FastExp loop (~2ms unthrottled) and returns
+// its rate. Measured immediately adjacent to each sample window, it tags
+// windows that ran while the host was being throttled.
+func spinProbe() float64 {
+	const n = 100000
+	x := -3.7
+	s := 0.0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		s += burgers.FastExp(x)
+		x += 1e-6
+	}
+	el := time.Since(start)
+	if s == 0 {
+		panic("spin probe underflow")
+	}
+	rate := float64(n) / el.Seconds()
+	if rate > peakSpin {
+		peakSpin = rate
+	}
+	return rate
+}
+
+// measureRate returns the throughput of fn (units/second), where fn performs
+// n units of work per call. Shared hosts hand out both throttled and lucky
+// scheduler windows, and a best-of estimator turns the recorded baseline
+// into an outlier every honest re-run then "regresses" against — so instead
+// each ≥20ms sample window is bracketed by spin probes, windows whose
+// adjacent probes fell well below the metric's fastest are discarded as
+// throttled, and the median of the survivors is reported. If the whole
+// metric sampled inside a throttle burst (its best probe is far below the
+// process-wide peak), sampling is retried a bounded number of times.
 func measureRate(n int, reps int, fn func()) float64 {
 	fn() // warm caches and pools
-	best := 0.0
-	for r := 0; r < reps; r++ {
-		iters := 1
-		for {
-			start := time.Now()
-			for i := 0; i < iters; i++ {
-				fn()
-			}
-			el := time.Since(start)
-			if el >= 20*time.Millisecond {
-				if rate := float64(n) * float64(iters) / el.Seconds(); rate > best {
-					best = rate
-				}
-				break
-			}
-			iters *= 4
+	for attempt := 0; ; attempt++ {
+		rate, best := sampleRate(n, reps, fn)
+		if best >= 0.7*peakSpin || attempt >= 2 {
+			return rate
 		}
 	}
-	return best
+}
+
+// oneWindow returns fn's throughput over a single timing window of at
+// least 20ms, growing the iteration count until the window is long enough
+// to time reliably.
+func oneWindow(n int, fn func()) float64 {
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		el := time.Since(start)
+		if el >= 20*time.Millisecond {
+			return float64(n) * float64(iters) / el.Seconds()
+		}
+		iters *= 4
+	}
+}
+
+func sampleRate(n int, reps int, fn func()) (rate, bestSpin float64) {
+	type sample struct{ rate, spin float64 }
+	samples := make([]sample, 0, reps)
+	for r := 0; r < reps; r++ {
+		before := spinProbe()
+		measured := oneWindow(n, fn)
+		after := spinProbe()
+		spin := before
+		if after < spin {
+			spin = after
+		}
+		samples = append(samples, sample{measured, spin})
+		if spin > bestSpin {
+			bestSpin = spin
+		}
+	}
+	rates := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s.spin >= 0.8*bestSpin {
+			rates = append(rates, s.rate)
+		}
+	}
+	sort.Float64s(rates)
+	if len(rates)%2 == 1 {
+		return rates[len(rates)/2], bestSpin
+	}
+	return (rates[len(rates)/2-1] + rates[len(rates)/2]) / 2, bestSpin
 }
 
 func collect() map[string]float64 {
@@ -183,8 +250,26 @@ func collect() map[string]float64 {
 			}
 		}
 	}
-	m["e2e.serial.steps_per_s"] = measureRate(e2eSteps, 3, e2e(0))
-	m["e2e.shards4.steps_per_s"] = measureRate(e2eSteps, 3, e2e(4))
+	m["e2e.serial.steps_per_s"] = measureRate(e2eSteps, 5, e2e(0))
+	m["e2e.shards4.steps_per_s"] = measureRate(e2eSteps, 5, e2e(4))
+	// The parallel engine's headline ratio, checked against an absolute
+	// floor that scales with the machine's parallelism (see speedupFloor).
+	// It is measured from interleaved windows — serial and sharded timed
+	// back-to-back within each rep and the ratio taken per pair — so a host
+	// throttle burst degrades both sides of one sample instead of biasing
+	// an entire side, which the two independent rates above are exposed to.
+	{
+		serialFn, shardFn := e2e(0), e2e(4)
+		const reps = 7
+		ratios := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			s := oneWindow(e2eSteps, serialFn)
+			p := oneWindow(e2eSteps, shardFn)
+			ratios = append(ratios, p/s)
+		}
+		sort.Float64s(ratios)
+		m["e2e.shards4.speedup_x"] = ratios[reps/2]
+	}
 
 	// Mixed-physics end-to-end throughput (steps/s): all three model
 	// problems partitioned across patches with per-patch task predicates
@@ -192,7 +277,7 @@ func collect() map[string]float64 {
 	mixedSpec := runner.Spec{Cells: "16x16x32", Layout: "2x2x4", CGs: 4,
 		Variant: "acc.async", Steps: e2eSteps,
 		Physics: "mix:burgers=1,advection=1,heat3d=1,seed=3"}
-	m["e2e.mixed.steps_per_s"] = measureRate(e2eSteps, 3, func() {
+	m["e2e.mixed.steps_per_s"] = measureRate(e2eSteps, 5, func() {
 		res, err := experiments.Exec(context.Background(), mixedSpec)
 		if err != nil {
 			panic(err)
@@ -215,7 +300,9 @@ func collect() map[string]float64 {
 		}
 	})
 
-	// Event-loop throughput (events/s): a self-rescheduling chain.
+	// Event-loop throughput (events/s): a self-rescheduling chain on the
+	// no-handle After path, so the arena's recycling is what is measured
+	// rather than per-event handle allocation.
 	m["sim.events_per_s"] = measureRate(100000, 5, func() {
 		e := sim.NewEngine()
 		n := 0
@@ -223,14 +310,56 @@ func collect() map[string]float64 {
 		tick = func() {
 			n++
 			if n < 100000 {
-				e.Schedule(sim.Microsecond, tick)
+				e.After(sim.Microsecond, tick)
 			}
 		}
-		e.Schedule(sim.Microsecond, tick)
+		e.After(sim.Microsecond, tick)
 		e.Run()
 	})
 
+	// Batched cross-shard mail (msgs/s and steady-state allocs): one
+	// source shard floods a destination through the post → Flush merge →
+	// bulk-inject path, the sharded engine's hot seam.
+	{
+		const mailBatch = 1024
+		runtime.GC() // flush earlier metrics' garbage; the round itself is alloc-free
+		ss := sim.NewShardSet(2, sim.Microsecond)
+		src, dst := ss.Engine(0), ss.Engine(1)
+		sink := sim.NewCounter(dst, "mail-sink")
+		round := func() {
+			at := dst.Now() + 2*sim.Microsecond
+			for i := 0; i < mailBatch; i++ {
+				ss.PostCall(src, dst, at+sim.Time(i%64)*sim.Microsecond/256, sink)
+			}
+			ss.Flush()
+			dst.Run()
+		}
+		round() // warm the arenas and merge buffers
+		// More reps than the other metrics: each round is short (~300µs),
+		// so the best-of search needs to span several scheduler throttle
+		// periods on shared hosts to find an undisturbed window.
+		m["sim.mail.msgs_per_s"] = measureRate(mailBatch, 12, round)
+		m["sim.mail.allocs_per_op"] = testing.AllocsPerRun(10, round)
+	}
+
 	return m
+}
+
+// speedupFloor is the minimum acceptable e2e.shards4.speedup_x for this
+// machine. Four shards can only express their parallelism when the host
+// gives the process at least four schedulable CPUs — there the tentpole
+// 1.8x target is enforced. With fewer CPUs the engine runs windows inline
+// on one thread, so the gate degrades to "sharding must not lose" (with
+// headroom for measurement noise on shared single-core runners).
+func speedupFloor() float64 {
+	switch p := runtime.GOMAXPROCS(0); {
+	case p >= 4:
+		return 1.8
+	case p >= 2:
+		return 1.1
+	default:
+		return 0.85
+	}
 }
 
 func record(path string) error {
@@ -278,6 +407,19 @@ func check(path string, tol float64, verbose bool) ([]string, error) {
 		}
 		if _, ok := cur[name]; !ok {
 			failures = append(failures, fmt.Sprintf("%s: metric no longer measured", name))
+			continue
+		}
+		if strings.HasSuffix(name, "speedup_x") {
+			// Absolute floor, parallelism-aware: the ratio is already
+			// machine-normalised (same host measures both sides).
+			floor := speedupFloor()
+			if c < floor {
+				failures = append(failures, fmt.Sprintf("%s: %.2fx, floor %.2fx (GOMAXPROCS=%d)",
+					name, c, floor, runtime.GOMAXPROCS(0)))
+			}
+			if verbose {
+				fmt.Printf("%-28s baseline %.2fx  current %.2fx  (floor %.2fx)\n", name, b, c, floor)
+			}
 			continue
 		}
 		if strings.HasSuffix(name, "allocs_per_op") {

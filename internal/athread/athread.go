@@ -316,8 +316,8 @@ type Offload struct {
 	// reaches the CPE count and the group stays busy until Abort.
 	Stalled bool
 
-	flagEvents []*sim.EventHandle
-	busyEvent  *sim.EventHandle
+	flagEvents []sim.EventHandle
+	busyEvent  sim.EventHandle
 	aborted    bool
 }
 
@@ -361,11 +361,16 @@ func (g *Group) Launch(spec KernelSpec, activeCPEs int, functional bool, flag *s
 	}
 
 	launch := sim.Time(p.OffloadCost)
-	off := &Offload{group: g, Stalled: stall}
+	off := &Offload{group: g, Stalled: stall,
+		flagEvents: make([]sim.EventHandle, 0, g.cpes)}
 	dmaBefore := g.cg.Counters.DMABytes
 	var last, lastHealthy sim.Time
+	// One CPE context is reused across the gang: bodies run to completion
+	// serially and never retain their context, so a single heap object
+	// stands in for all 64 CPEs.
+	cpe := new(CPE)
 	for id := 0; id < g.cpes; id++ {
-		cpe := &CPE{ID: id, group: g, spec: spec, active: activeCPEs, functional: functional, firstTile: true}
+		*cpe = CPE{ID: id, group: g, spec: spec, active: activeCPEs, functional: functional, firstTile: true}
 		body(cpe)
 		if cpe.ldmUsed != 0 {
 			panic(fmt.Sprintf("athread: CPE %d leaked %d B of LDM", id, cpe.ldmUsed))
@@ -387,7 +392,7 @@ func (g *Group) Launch(spec KernelSpec, activeCPEs int, functional bool, flag *s
 		}
 		g.cg.Counters.FaawOps++
 		off.flagEvents = append(off.flagEvents,
-			g.cg.Engine().Schedule(finish, func() { flag.Add(1) }))
+			g.cg.Engine().ScheduleCall(finish, flag))
 	}
 	off.Estimate = lastHealthy
 	// The CPE bodies accounted their memory<->LDM transfers above; feed

@@ -192,7 +192,7 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 	engs := make([]*sim.Engine, cfg.NumCGs)
 	var shards *sim.ShardSet
 	if nShards > 1 {
-		shards = sim.NewShardSet(nShards, shardLookahead(params, cfg.NumCGs, nShards))
+		shards = sim.NewShardSetLatencies(shardLatencies(params, cfg.NumCGs, nShards))
 		for r := range engs {
 			engs[r] = shards.Engine(r * nShards / cfg.NumCGs)
 		}
@@ -259,24 +259,38 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 	return s, nil
 }
 
-// shardLookahead is the conservative window width for a contiguous
-// partition of nCGs ranks into nShards: the minimum virtual latency of any
-// zero-byte message between ranks in different shards. No cross-shard
-// interaction — delivery, duplicate, collective completion — can take
-// effect sooner, which is what lets each shard run that far ahead alone.
-func shardLookahead(params perf.Params, nCGs, nShards int) sim.Time {
-	min := sim.Infinity
-	for a := 0; a < nCGs; a++ {
-		for b := 0; b < nCGs; b++ {
-			if a == b || a*nShards/nCGs == b*nShards/nCGs {
-				continue
-			}
-			if w := sim.Time(params.MessageTimeBetween(a, b, 0)); w < min {
-				min = w
+// shardLatencies builds the per-shard-pair lookahead matrix for a
+// contiguous partition of nCGs ranks into nShards: entry [sa][sb] is the
+// minimum virtual latency of any zero-byte message from a rank in shard sa
+// to a rank in shard sb. No interaction from sa — delivery, duplicate,
+// collective completion — can take effect at sb sooner, which is what lets
+// sb run that far past sa's clock alone. Pairs of shards whose ranks sit on
+// distinct nodes keep the full link latency even when some other shard
+// pair shares a node, so uneven partitions stop throttling everyone to the
+// single global minimum.
+func shardLatencies(params perf.Params, nCGs, nShards int) [][]sim.Time {
+	lat := make([][]sim.Time, nShards)
+	for i := range lat {
+		lat[i] = make([]sim.Time, nShards)
+		for j := range lat[i] {
+			if i != j {
+				lat[i][j] = sim.Infinity
 			}
 		}
 	}
-	return min
+	for a := 0; a < nCGs; a++ {
+		sa := a * nShards / nCGs
+		for b := 0; b < nCGs; b++ {
+			sb := b * nShards / nCGs
+			if sa == sb {
+				continue
+			}
+			if w := sim.Time(params.MessageTimeBetween(a, b, 0)); w < lat[sa][sb] {
+				lat[sa][sb] = w
+			}
+		}
+	}
+	return lat
 }
 
 // now returns the current virtual time (the global maximum under
@@ -415,7 +429,7 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 			// down, as on the machine). prevDur estimates the step length.
 			// Crash-capable plans force serial execution (NewSimulation),
 			// so p's engine is the engine here.
-			var crashEv *sim.EventHandle
+			var crashEv sim.EventHandle
 			var prevDur sim.Time
 			for i := 0; i < nSteps; i++ {
 				if p.Engine().Stopped() {

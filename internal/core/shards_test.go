@@ -92,7 +92,10 @@ func TestShardedBitIdentical(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			refJSON, refField := shardRun(t, tc.cfg, nSteps)
-			for _, shards := range []int{1, 2, 4} {
+			// shards=8 on the 8-CG cases puts exactly one rank in every
+			// shard — the single-rank-shard edge of the latency matrix
+			// (every pair crosses shards, none shares an engine).
+			for _, shards := range []int{1, 2, 4, 8} {
 				cfg := tc.cfg
 				cfg.Shards = shards
 				gotJSON, gotField := shardRun(t, cfg, nSteps)

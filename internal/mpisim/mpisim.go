@@ -148,6 +148,55 @@ type Rank struct {
 	// Touched only from this rank's engine events, so sharding never
 	// races on it.
 	probes *obs.RankProbes
+
+	// msgFree is this rank's envelope freelist. A sender issues envelopes
+	// from its own pool (on its own engine) and the receiver retires them
+	// into its pool (on its engine) once consumed, so neither end ever
+	// locks and halo-exchange traffic recycles envelopes steadily.
+	msgFree []*message
+	// reqFree is the request freelist (see Free).
+	reqFree []*Request
+}
+
+// getMsg issues an empty envelope from this rank's freelist.
+func (r *Rank) getMsg() *message {
+	if n := len(r.msgFree); n > 0 {
+		m := r.msgFree[n-1]
+		r.msgFree[n-1] = nil
+		r.msgFree = r.msgFree[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// putMsg retires a fully consumed envelope into this rank's freelist.
+func (r *Rank) putMsg(m *message) {
+	*m = message{}
+	r.msgFree = append(r.msgFree, m)
+}
+
+// getReq issues a zeroed request from this rank's freelist.
+func (r *Rank) getReq() *Request {
+	if n := len(r.reqFree); n > 0 {
+		q := r.reqFree[n-1]
+		r.reqFree[n-1] = nil
+		r.reqFree = r.reqFree[:n-1]
+		return q
+	}
+	return &Request{}
+}
+
+// Free retires a completed request into this rank's pool for reuse by a
+// later Isend/Irecv. Callers hand back a request only once they are done
+// with it entirely — completion observed, payload consumed, nobody left
+// waiting on its signal. Under fault injection requests stay heap-managed
+// (retry backstops may still reference them), so Free is a no-op there.
+func (r *Rank) Free(req *Request) {
+	if r.comm.inj != nil || req == nil {
+		return
+	}
+	*req = Request{}
+	r.reqFree = append(r.reqFree, req)
 }
 
 // RankID returns this endpoint's rank number.
@@ -156,20 +205,23 @@ func (r *Rank) RankID() int { return r.rank }
 // eng returns the engine owning this rank.
 func (r *Rank) eng() *sim.Engine { return r.comm.engs[r.rank] }
 
-// sendTo schedules fn on dst's engine after delay of this rank's virtual
-// time — directly when both ranks share an engine, as cross-shard mail
-// otherwise. The delay is a wire time, which core guarantees is at least
-// the shard lookahead for every cross-shard rank pair.
-func (r *Rank) sendTo(dst int, delay sim.Time, fn func()) {
+// sendCall schedules c on dst's engine after delay of this rank's virtual
+// time — directly when both ranks share an engine, as batched cross-shard
+// mail otherwise. The delay is a wire time, which core guarantees is at
+// least the shard-pair lookahead for every cross-shard rank pair, so the
+// staged item always clears the destination's window end. Taking a Caller
+// (the message envelope itself) keeps the whole path allocation-free.
+func (r *Rank) sendCall(dst int, delay sim.Time, c sim.Caller) {
 	se, de := r.eng(), r.comm.engs[dst]
 	if se == de {
-		se.Schedule(delay, fn)
+		se.CallAfter(delay, c)
 		return
 	}
-	r.comm.shards.Post(se, de, se.Now()+delay, fn)
+	r.comm.shards.PostCall(se, de, se.Now()+delay, c)
 }
 
 type message struct {
+	dst       *Rank
 	src, tag  int
 	bytes     int64
 	payload   []float64
@@ -178,6 +230,11 @@ type message struct {
 	// 0 when no injector is attached.
 	seq int64
 }
+
+// Call delivers the message at its destination: the envelope is its own
+// wire-arrival Caller, so a send schedules no closure. Envelopes are
+// freelist-managed per rank (getMsg/putMsg) and recycled once consumed.
+func (m *message) Call() { m.dst.deliver(m) }
 
 // Request is the handle of a non-blocking operation.
 type Request struct {
@@ -189,12 +246,12 @@ type Request struct {
 
 	matched bool
 	doneAt  sim.Time
-	sig     *sim.Signal
+	sig     sim.Signal
 
 	// Fault-plane state for dropped sends awaiting retransmission.
-	pending    *sendState       // non-nil while the last transmission was lost
-	retryEvent *sim.EventHandle // autonomous backstop resend
-	retryAfter sim.Time         // earliest Test/Wait-driven resend time
+	pending    *sendState      // non-nil while the last transmission was lost
+	retryEvent sim.EventHandle // autonomous backstop resend
+	retryAfter sim.Time        // earliest Test/Wait-driven resend time
 }
 
 // sendState is everything needed to retransmit a dropped send.
@@ -211,8 +268,10 @@ type sendState struct {
 func (q *Request) Payload() []float64 { return q.payload }
 
 // Signal returns the signal fired when the request completes, for callers
-// that want to block or register wake-ups instead of polling.
-func (q *Request) Signal() *sim.Signal { return q.sig }
+// that want to block or register wake-ups instead of polling. The signal is
+// embedded in the request, so a request costs one allocation even when the
+// per-rank pool is cold.
+func (q *Request) Signal() *sim.Signal { return &q.sig }
 
 // Bytes returns the message size.
 func (q *Request) Bytes() int64 { return q.bytes }
@@ -228,10 +287,9 @@ func (r *Rank) Isend(p *sim.Process, dst, tag int, payload []float64, bytes int6
 	p.Sleep(sim.Time(r.comm.params.MPIPostCost))
 	now := r.eng().Now()
 	wire := sim.Time(r.comm.params.MessageTimeBetween(r.rank, dst, bytes))
-	req := &Request{
-		isSend: true, src: dst, tag: tag, bytes: bytes,
-		sig: sim.NewSignal(r.eng(), fmt.Sprintf("send %d->%d tag %d", r.rank, dst, tag)),
-	}
+	req := r.getReq()
+	req.isSend, req.src, req.tag, req.bytes = true, dst, tag, bytes
+	req.sig.Init(r.eng(), "send")
 	r.BytesSent += bytes
 	r.MsgsSent++
 
@@ -246,10 +304,11 @@ func (r *Rank) Isend(p *sim.Process, dst, tag int, payload []float64, bytes int6
 
 	req.matched = true
 	req.doneAt = now + wire
-	r.eng().Schedule(wire, req.sig.Fire)
-	m := &message{src: r.rank, tag: tag, bytes: bytes, payload: payload, arrivesAt: now + wire}
-	dstRank := r.comm.Rank(dst)
-	r.sendTo(dst, wire, func() { dstRank.deliver(m) })
+	r.eng().CallAfter(wire, &req.sig)
+	m := r.getMsg()
+	*m = message{dst: r.comm.Rank(dst), src: r.rank, tag: tag, bytes: bytes,
+		payload: payload, arrivesAt: now + wire}
+	r.sendCall(dst, wire, m)
 	r.probes.MsgSent(now, bytes, now+wire)
 	return req
 }
@@ -290,19 +349,20 @@ func (r *Rank) transmit(req *Request, st *sendState) {
 
 	req.matched = true
 	req.doneAt = now + wire
-	r.eng().Schedule(wire, req.sig.Fire)
-	m := &message{src: r.rank, tag: st.tag, bytes: st.bytes, payload: st.payload,
-		arrivesAt: now + wire, seq: st.seq}
-	dstRank := c.Rank(st.dst)
-	r.sendTo(st.dst, wire, func() { dstRank.deliver(m) })
+	r.eng().CallAfter(wire, &req.sig)
+	m := r.getMsg()
+	*m = message{dst: c.Rank(st.dst), src: r.rank, tag: st.tag, bytes: st.bytes,
+		payload: st.payload, arrivesAt: now + wire, seq: st.seq}
+	r.sendCall(st.dst, wire, m)
 	r.probes.MsgSent(now, st.bytes, now+wire)
 	if dup {
 		// A duplicate of the same transmission lands a little later; the
 		// receiver suppresses it by sequence number.
 		c.traceFault(r.rank, "msg-dup", st)
-		d := *m
+		d := r.getMsg()
+		*d = *m
 		d.arrivesAt = now + wire*3/2
-		r.sendTo(st.dst, wire*3/2, func() { dstRank.deliver(&d) })
+		r.sendCall(st.dst, wire*3/2, d)
 		r.probes.MsgSent(now, st.bytes, now+wire*3/2)
 	}
 }
@@ -316,7 +376,7 @@ func (r *Rank) resend(req *Request) {
 	}
 	st := req.pending
 	req.pending = nil
-	req.retryEvent = nil
+	req.retryEvent = sim.EventHandle{}
 	st.attempt++
 	r.Resends++
 	r.comm.traceRecovery(r.rank, "msg-resend", st)
@@ -353,10 +413,9 @@ func (c *Comm) traceRecovery(rank int, name string, st *sendState) {
 // posting order for identical (src, tag) pairs.
 func (r *Rank) Irecv(p *sim.Process, src, tag int) *Request {
 	p.Sleep(sim.Time(r.comm.params.MPIPostCost))
-	req := &Request{
-		src: src, tag: tag,
-		sig: sim.NewSignal(r.eng(), fmt.Sprintf("recv %d<-%d tag %d", r.rank, src, tag)),
-	}
+	req := r.getReq()
+	req.src, req.tag = src, tag
+	req.sig.Init(r.eng(), "recv")
 	// Check the unexpected queue first (message already arrived or is in
 	// flight).
 	for i, m := range r.unexpected {
@@ -370,12 +429,16 @@ func (r *Rank) Irecv(p *sim.Process, src, tag int) *Request {
 	return req
 }
 
-// deliver matches an arriving message against posted receives.
+// deliver matches an arriving message against posted receives. It runs on
+// the receiving rank's engine; consumed envelopes retire into this rank's
+// freelist (unmatched ones wait on the unexpected queue and retire when a
+// receive claims them).
 func (r *Rank) deliver(m *message) {
 	if r.comm.inj != nil {
 		// Suppress duplicate deliveries of the same logical transmission.
 		if r.seen[m.seq] {
 			r.DupsDiscarded++
+			r.putMsg(m)
 			return
 		}
 		if r.seen == nil {
@@ -400,13 +463,14 @@ func (r *Rank) complete(req *Request, m *message) {
 	req.payload = m.payload
 	if m.arrivesAt > now {
 		req.doneAt = m.arrivesAt
-		r.eng().Schedule(m.arrivesAt-now, req.sig.Fire)
+		r.eng().CallAt(m.arrivesAt, &req.sig)
 	} else {
 		req.doneAt = now
 		req.sig.Fire()
 	}
 	r.BytesReceived += m.bytes
 	r.MsgsReceived++
+	r.putMsg(m)
 }
 
 // Test checks a request for completion, charging the calling process the
@@ -439,7 +503,16 @@ func (r *Rank) Test(p *sim.Process, req *Request) bool {
 // batched shortcut is disabled and the sweep degrades to per-request
 // polls.
 func (r *Rank) TestSweep(p *sim.Process, reqs []*Request) []bool {
-	res := make([]bool, len(reqs))
+	return r.TestSweepInto(p, reqs, nil)
+}
+
+// TestSweepInto is TestSweep writing its results into res (grown as
+// needed), letting steady-state pollers reuse one buffer across sweeps.
+func (r *Rank) TestSweepInto(p *sim.Process, reqs []*Request, res []bool) []bool {
+	for len(res) < len(reqs) {
+		res = append(res, false)
+	}
+	res = res[:len(reqs)]
 	if len(reqs) == 0 {
 		return res
 	}
@@ -548,7 +621,7 @@ func (r *Rank) Allreduce(p *sim.Process, x float64, op ReduceOp) float64 {
 		panic("mpisim: mismatched collective operations across ranks")
 	}
 	coll.contrib[r.rank] = x
-	coll.sigs[r.rank] = sim.NewSignal(r.eng(), fmt.Sprintf("allreduce#%d@%d", idx, r.rank))
+	coll.sigs[r.rank] = sim.NewSignal(r.eng(), "allreduce")
 	if now := r.eng().Now(); now > coll.lastAt {
 		coll.lastAt = now
 	}
@@ -576,7 +649,7 @@ func (r *Rank) Allreduce(p *sim.Process, x float64, op ReduceOp) float64 {
 			// Serial: the detecting rank executes at lastAt, the latest
 			// arrival. Fire every rank's signal then, in rank order.
 			for q := range coll.sigs {
-				r.eng().Schedule(delay, coll.sigs[q].Fire)
+				r.eng().CallAfter(delay, coll.sigs[q])
 			}
 		} else {
 			// Sharded: the wall-clock-last contributor is nondeterministic,
@@ -587,7 +660,7 @@ func (r *Rank) Allreduce(p *sim.Process, x float64, op ReduceOp) float64 {
 			// late (delay >= 2*LinkLatency > lookahead).
 			for q := range coll.sigs {
 				c.shards.PostTagged(r.eng(), c.engs[q], fireAt, coll.lastAt,
-					uint64(idx)*uint64(c.Size())+uint64(q), coll.sigs[q].Fire)
+					uint64(idx)*uint64(c.Size())+uint64(q), coll.sigs[q])
 			}
 		}
 	}

@@ -127,7 +127,7 @@ func (s *Rank) syncOffloadWait(p *sim.Process, step int, t, dt float64, sl *slot
 		}
 		wake := sim.NewSignal(eng, fmt.Sprintf("rank%d.syncwait", s.mpi.RankID()))
 		sl.flag.OnReach(n, wake.Fire)
-		var dl *sim.EventHandle
+		var dl sim.EventHandle
 		if sl.deadline > p.Now() {
 			dl = eng.Schedule(sl.deadline-p.Now(), wake.Fire)
 		} else {

@@ -186,8 +186,23 @@ type Rank struct {
 	inj *faults.Injector
 
 	// Per-step communication state.
-	recvs []*pendingRecv
-	sends []*pendingSend
+	recvs []pendingRecv
+	sends []pendingSend
+	// Scratch buffers for the coalesced send sweep, reused across polls so
+	// the steady-state step loop allocates nothing.
+	sweepIdx  []int
+	sweepReqs []*mpisim.Request
+	sweepOks  []bool
+	// wakeName is the precomputed diagnostic name for waitForEvent's
+	// one-shot wake signal; wake/wakeFire are the pooled signal and its
+	// method value, reused across parks in fault-free runs.
+	wakeName string
+	wake     *sim.Signal
+	wakeFire func()
+	// notes interns "prefix + label" trace annotations: the step loop
+	// emits the same few dozen strings every step, and building them once
+	// keeps the steady-state loop free of string allocation.
+	notes map[noteKey]string
 
 	// patchCost accumulates each local patch's kernel time, feeding the
 	// measurement-based load balancer.
@@ -203,6 +218,22 @@ type Rank struct {
 	consumers map[scrubKey]int
 
 	Stats Stats
+}
+
+type noteKey struct{ prefix, name string }
+
+// note returns the interned concatenation prefix+name.
+func (s *Rank) note(prefix, name string) string {
+	k := noteKey{prefix, name}
+	if v, ok := s.notes[k]; ok {
+		return v
+	}
+	if s.notes == nil {
+		s.notes = map[noteKey]string{}
+	}
+	v := prefix + name
+	s.notes[k] = v
+	return v
 }
 
 type pendingRecv struct {

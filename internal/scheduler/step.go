@@ -50,8 +50,8 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 	for _, e := range g.Recvs {
 		t0 := p.Now()
 		req := s.mpi.Irecv(p, e.SrcRank, tagOf(e))
-		s.noteComm(p, t0, step, "irecv "+e.Label.Name())
-		s.recvs = append(s.recvs, &pendingRecv{edge: e, req: req})
+		s.noteComm(p, t0, step, s.note("irecv ", e.Label.Name()))
+		s.recvs = append(s.recvs, pendingRecv{edge: e, req: req})
 	}
 
 	// Post sends: the data they carry was completed by the previous
@@ -71,11 +71,11 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 			}
 		}
 		s.charge(p, sim.Time(s.params.LocalCopyTime(e.Bytes)), &s.Stats.MPEWorkTime,
-			trace.KindMPEWork, step, "pack "+e.Label.Name())
+			trace.KindMPEWork, step, s.note("pack ", e.Label.Name()))
 		t0 := p.Now()
 		req := s.mpi.Isend(p, e.DstRank, tagOf(e), payload, e.Bytes)
-		s.noteComm(p, t0, step, "isend "+e.Label.Name())
-		s.sends = append(s.sends, &pendingSend{req: req})
+		s.noteComm(p, t0, step, s.note("isend ", e.Label.Name()))
+		s.sends = append(s.sends, pendingSend{req: req})
 	}
 
 	completed := 0
@@ -213,7 +213,8 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 
 		// Step 3c: test posted receives and sends; completed receives are
 		// unpacked and release their dependent tasks.
-		for _, r := range s.recvs {
+		for i := range s.recvs {
+			r := &s.recvs[i]
 			if r.done {
 				continue
 			}
@@ -225,6 +226,10 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 			}
 			r.done = true
 			s.unpackRecv(p, step, r)
+			// The request is fully consumed (payload unpacked above):
+			// hand it back to the rank's pool.
+			s.mpi.Free(r.req)
+			r.req = nil
 			progressed = true
 		}
 		// The send sweep only retires request handles — completed sends
@@ -232,25 +237,28 @@ func (s *Rank) ExecuteStep(p *sim.Process, step int, t, dt float64) error {
 		// (one engine event instead of one per request). The per-request
 		// spans are synthesized at the exact instants the serial polls
 		// would have occupied, so accounting and traces are unchanged.
-		var pendingSends []*pendingSend
-		for _, sd := range s.sends {
-			if !sd.done {
-				pendingSends = append(pendingSends, sd)
+		s.sweepIdx = s.sweepIdx[:0]
+		s.sweepReqs = s.sweepReqs[:0]
+		for i := range s.sends {
+			if !s.sends[i].done {
+				s.sweepIdx = append(s.sweepIdx, i)
+				s.sweepReqs = append(s.sweepReqs, s.sends[i].req)
 			}
 		}
-		if len(pendingSends) > 0 {
-			reqs := make([]*mpisim.Request, len(pendingSends))
-			for i, sd := range pendingSends {
-				reqs[i] = sd.req
-			}
+		if len(s.sweepReqs) > 0 {
 			// Span boundaries accumulate the per-test cost exactly as the
 			// serial polls' clock did, so times and CommTime stay bitwise
 			// identical whether or not the sweep was coalesced.
 			start := p.Now()
-			oks := s.mpi.TestSweep(p, reqs)
-			for i, sd := range pendingSends {
-				if oks[i] {
+			s.sweepOks = s.mpi.TestSweepInto(p, s.sweepReqs, s.sweepOks[:0])
+			for k, i := range s.sweepIdx {
+				sd := &s.sends[i]
+				if s.sweepOks[k] {
 					sd.done = true
+					// Send requests carry no payload to read back: retire
+					// the handle into the rank's pool right away.
+					s.mpi.Free(sd.req)
+					sd.req = nil
 				}
 				end := start + sim.Time(s.params.MPITestCost)
 				s.noteCommSpan(start, end, step, "test send")
@@ -364,7 +372,7 @@ func (s *Rank) completeObject(o *taskgraph.Object, completed *int) {
 // same-rank ghost regions, and filling physical-boundary ghosts.
 func (s *Rank) processMPEPart(p *sim.Process, step int, t float64, obj *taskgraph.Object) error {
 	s.charge(p, sim.Time(s.params.TaskFixedCost), &s.Stats.MPEWorkTime,
-		trace.KindMPEWork, step, "select "+obj.Task.Name)
+		trace.KindMPEWork, step, s.note("select ", obj.Task.Name))
 
 	for _, d := range obj.Task.Computes {
 		if s.DWs.New.Exists(d.Label, obj.Patch) {
@@ -375,7 +383,7 @@ func (s *Rank) processMPEPart(p *sim.Process, step int, t float64, obj *taskgrap
 		}
 		bytes := s.DWs.New.Bytes(d.Label, obj.Patch)
 		s.charge(p, sim.Time(s.params.TouchTime(bytes)), &s.Stats.MPEWorkTime,
-			trace.KindMPEWork, step, "touch "+d.Label.Name())
+			trace.KindMPEWork, step, s.note("touch ", d.Label.Name()))
 	}
 
 	for _, cr := range obj.LocalCopies {
@@ -387,7 +395,7 @@ func (s *Rank) processMPEPart(p *sim.Process, step int, t float64, obj *taskgrap
 			}
 		}
 		s.charge(p, sim.Time(s.params.LocalCopyTime(2*cr.Bytes)), &s.Stats.MPEWorkTime,
-			trace.KindMPEWork, step, "ghost copy "+cr.Label.Name())
+			trace.KindMPEWork, step, s.note("ghost copy ", cr.Label.Name()))
 	}
 
 	for _, bc := range obj.BCFills {
@@ -407,7 +415,7 @@ func (s *Rank) processMPEPart(p *sim.Process, step int, t float64, obj *taskgrap
 			}
 		}
 		s.charge(p, sim.Time(s.params.BCFillTime(bc.Cells)), &s.Stats.MPEWorkTime,
-			trace.KindMPEWork, step, "bc fill "+bc.Label.Name())
+			trace.KindMPEWork, step, s.note("bc fill ", bc.Label.Name()))
 		s.cg.Counters.MPEFlops += bc.Cells * bcFlopsPerCell
 	}
 	return nil
@@ -436,7 +444,7 @@ func (s *Rank) unpackRecv(p *sim.Process, step int, r *pendingRecv) {
 		field.PutSlice(payload)
 	}
 	s.charge(p, sim.Time(s.params.LocalCopyTime(e.Bytes)), &s.Stats.MPEWorkTime,
-		trace.KindMPEWork, step, "unpack "+e.Label.Name())
+		trace.KindMPEWork, step, s.note("unpack ", e.Label.Name()))
 	for _, o := range e.DstObjs {
 		o.PendingDeps--
 		if o.PendingDeps == 0 && o.State == taskgraph.StateWaiting {
@@ -519,7 +527,7 @@ func (s *Rank) runReduction(p *sim.Process, step int, obj *taskgraph.Object) err
 		}
 	}
 	s.charge(p, sim.Time(s.params.LocalCopyTime(bytes)), &s.Stats.MPEWorkTime,
-		trace.KindReduce, step, "local reduce "+task.Name)
+		trace.KindReduce, step, s.note("local reduce ", task.Name))
 	t0 := p.Now()
 	result := s.mpi.Allreduce(p, partial, task.Reduce.Op)
 	s.Stats.CommTime += p.Now() - t0
@@ -534,13 +542,13 @@ func (s *Rank) runReduction(p *sim.Process, step int, obj *taskgraph.Object) err
 // commDrained reports whether every posted send and receive has been
 // observed complete.
 func (s *Rank) commDrained() bool {
-	for _, r := range s.recvs {
-		if !r.done {
+	for i := range s.recvs {
+		if !s.recvs[i].done {
 			return false
 		}
 	}
-	for _, sd := range s.sends {
-		if !sd.done {
+	for i := range s.sends {
+		if !s.sends[i].done {
 			return false
 		}
 	}
@@ -553,40 +561,63 @@ func (s *Rank) commDrained() bool {
 // scheduler's idle polling.
 func (s *Rank) waitForEvent(p *sim.Process, step int) {
 	eng := s.cg.Engine()
-	wake := sim.NewSignal(eng, fmt.Sprintf("rank%d.wake", s.mpi.RankID()))
+	if s.wakeName == "" {
+		s.wakeName = fmt.Sprintf("rank%d.wake", s.mpi.RankID())
+	}
+	// In fault-free runs the one-shot wake signal is pooled: stale
+	// registrations only live on still-unfired request signals and flag
+	// counters that this park re-arms anyway, so an extra Fire from an old
+	// registration is an idempotent no-op at the exact instant a fresh
+	// registration would have fired. Under fault injection aborted
+	// offloads can leave registrations on counters that reach their
+	// threshold much later, so each park gets a fresh signal there.
+	var wake *sim.Signal
+	var fire func()
+	if s.inj == nil {
+		if s.wake == nil {
+			s.wake = sim.NewSignal(eng, s.wakeName)
+			s.wakeFire = s.wake.Fire
+		} else {
+			s.wake.Init(eng, s.wakeName)
+		}
+		wake, fire = s.wake, s.wakeFire
+	} else {
+		wake = sim.NewSignal(eng, s.wakeName)
+		fire = wake.Fire
+	}
 	armed := false
 	// Cancellable timer wake-ups (offload deadlines, retry backoffs) so
 	// stale timers don't linger once the rank is awake again.
-	var timers []*sim.EventHandle
+	var timers []sim.EventHandle
 	for _, sl := range s.slots {
 		if sl.obj != nil {
-			sl.flag.OnReach(int64(sl.group.NumCPEs()), wake.Fire)
+			sl.flag.OnReach(int64(sl.group.NumCPEs()), fire)
 			armed = true
 			if s.inj != nil {
 				// A stalled gang never fires the flag: the deadline is the
 				// guaranteed wake-up that lets the scheduler recover.
-				timers = append(timers, eng.Schedule(sl.deadline-p.Now(), wake.Fire))
+				timers = append(timers, eng.Schedule(sl.deadline-p.Now(), fire))
 			}
 		}
 		if s.inj != nil && sl.pending != nil {
 			if sl.unhealthy {
 				// Handled immediately on the next loop pass.
-				timers = append(timers, eng.Schedule(0, wake.Fire))
+				timers = append(timers, eng.Schedule(0, fire))
 			} else {
-				timers = append(timers, eng.Schedule(sl.retryAt-p.Now(), wake.Fire))
+				timers = append(timers, eng.Schedule(sl.retryAt-p.Now(), fire))
 			}
 			armed = true
 		}
 	}
-	for _, r := range s.recvs {
-		if !r.done {
-			r.req.Signal().OnFire(wake.Fire)
+	for i := range s.recvs {
+		if !s.recvs[i].done {
+			s.recvs[i].req.Signal().OnFire(fire)
 			armed = true
 		}
 	}
-	for _, sd := range s.sends {
-		if !sd.done {
-			sd.req.Signal().OnFire(wake.Fire)
+	for i := range s.sends {
+		if !s.sends[i].done {
+			s.sends[i].req.Signal().OnFire(fire)
 			armed = true
 		}
 	}

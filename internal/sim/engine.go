@@ -30,15 +30,29 @@ const (
 	Second      Time = 1
 )
 
-// event is a single entry in the engine's calendar queue.
+// Caller is an allocation-free event target: scheduling a Caller instead of
+// a func() closure lets a long-lived actor (a process, a signal, a message
+// envelope) be its own callback, so the hot paths — process wake-ups,
+// signal fires, message deliveries — schedule millions of events without
+// allocating a fresh func value per event.
+type Caller interface{ Call() }
+
+// event is a single entry in the engine's calendar queue. Exactly one of
+// fn and c is set. Events are arena-managed: the engine recycles them
+// through a freelist, and gen invalidates stale EventHandles when a slot
+// is reused (see EventHandle.Cancel).
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: schedule order
 	fn  func()
+	c   Caller
 	// index in the queue, maintained by the heap operations; -1 when
-	// popped (used by Cancel to detect already-fired events).
+	// popped.
 	index     int
 	cancelled bool
+	// gen counts reuses of this slot; an EventHandle carries the gen it
+	// was issued under and goes inert once they diverge.
+	gen uint32
 }
 
 // eventQueue is a typed, slice-backed 4-ary min-heap on (at, seq). It
@@ -133,6 +147,18 @@ func (q *eventQueue) siftDown(i int) {
 	ev.index = i
 }
 
+// reinit restores the heap property over the whole slice — used after a
+// bulk append, where one O(n) pass beats m individual O(log n) sifts.
+func (q *eventQueue) reinit() {
+	n := len(q.evs)
+	for i, ev := range q.evs {
+		ev.index = i
+	}
+	for i := (n - 2) / 4; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
 // Engine is a discrete-event simulation kernel.
 //
 // The zero value is not usable; construct with NewEngine.
@@ -151,15 +177,21 @@ type Engine struct {
 	// executed counts events run, for measuring event-loop pressure.
 	executed uint64
 
+	// free is the event arena: fired and cancelled events return here and
+	// are reissued by the schedule calls, so a steady-state simulation
+	// allocates no calendar entries at all.
+	free []*event
+
 	// shardSet is non-nil when this engine is one shard of a ShardSet. An
 	// empty calendar then means "waiting for cross-shard mail", not
 	// deadlock — the coordinator owns the global deadlock check — and the
 	// engine executes only inside the windows the coordinator grants.
 	shardSet *ShardSet
 	shardID  int
-	// outbox stages cross-shard events posted during the current window;
-	// the coordinator drains it at the barrier. mailSeq orders the items.
-	outbox  []mailItem
+	// outbox[d] stages cross-shard events addressed to shard d posted
+	// during the current window; the coordinator drains every box at the
+	// barrier. mailSeq orders the items of one source.
+	outbox  [][]mailItem
 	mailSeq uint64
 	// selfMailAt caps the running window at the earliest outbox item
 	// addressed to this same engine (PostTagged routes even self-sends
@@ -176,44 +208,141 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// getEvent issues a calendar entry at the given time from the arena,
+// assigning the next sequence number.
+func (e *Engine) getEvent(at Time) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.cancelled = false
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	return ev
+}
+
+// putEvent returns a popped event to the arena. Bumping gen turns any
+// outstanding handle to the old incarnation inert before the slot is
+// reissued.
+func (e *Engine) putEvent(ev *event) {
+	ev.fn = nil
+	ev.c = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
 // Schedule registers fn to run at now+delay. Negative delays are clamped to
 // zero (the event runs "now", after currently pending same-time events).
 // The returned handle may be used to cancel the event before it fires.
-func (e *Engine) Schedule(delay Time, fn func()) *EventHandle {
+// Hot paths that never cancel should prefer After or CallAfter, which skip
+// the handle allocation.
+func (e *Engine) Schedule(delay Time, fn func()) EventHandle {
 	if delay < 0 {
 		delay = 0
 	}
-	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
-	e.seq++
+	ev := e.getEvent(e.now + delay)
+	ev.fn = fn
 	e.queue.push(ev)
-	return &EventHandle{ev: ev}
+	return EventHandle{ev: ev, gen: ev.gen}
 }
 
 // ScheduleAt registers fn to run at the absolute virtual time at, which
 // must not lie in the past. It is the barrier-time injection primitive of
 // the sharded engine: cross-shard mail carries absolute delivery times,
 // and the receiving engine's clock may trail the sender's.
-func (e *Engine) ScheduleAt(at Time, fn func()) *EventHandle {
+func (e *Engine) ScheduleAt(at Time, fn func()) EventHandle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) is before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
+	ev := e.getEvent(at)
+	ev.fn = fn
 	e.queue.push(ev)
-	return &EventHandle{ev: ev}
+	return EventHandle{ev: ev, gen: ev.gen}
+}
+
+// ScheduleCall registers c to run at now+delay, like Schedule without the
+// closure: the Caller itself is the callback.
+func (e *Engine) ScheduleCall(delay Time, c Caller) EventHandle {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := e.getEvent(e.now + delay)
+	ev.c = c
+	e.queue.push(ev)
+	return EventHandle{ev: ev, gen: ev.gen}
+}
+
+// After registers fn to run at now+delay without issuing a cancel handle —
+// the allocation-free form of Schedule for fire-and-forget events.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := e.getEvent(e.now + delay)
+	ev.fn = fn
+	e.queue.push(ev)
+}
+
+// CallAfter registers c to run at now+delay: no handle, no closure. This is
+// the engine's cheapest scheduling primitive and the one every built-in
+// synchronisation object (Process sleeps, Signal fires, Mailbox sends,
+// Resource releases, Counter thresholds) runs on.
+func (e *Engine) CallAfter(delay Time, c Caller) {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := e.getEvent(e.now + delay)
+	ev.c = c
+	e.queue.push(ev)
+}
+
+// CallAt registers c to run at the absolute time at (which must not lie in
+// the past), the handle-free, closure-free form of ScheduleAt.
+func (e *Engine) CallAt(at Time, c Caller) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: CallAt(%v) is before now %v", at, e.now))
+	}
+	ev := e.getEvent(at)
+	ev.c = c
+	e.queue.push(ev)
 }
 
 // EventHandle allows cancelling a scheduled callback.
-type EventHandle struct{ ev *event }
+type EventHandle struct {
+	ev  *event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. Reports whether the event was live.
-func (h *EventHandle) Cancel() bool {
-	if h == nil || h.ev == nil || h.ev.cancelled || h.ev.index == -1 {
+// already-cancelled event is a no-op: a fired event's slot returns to the
+// engine's arena under a new generation, so a stale handle can never
+// cancel the slot's next occupant — and the zero-value handle cancels
+// nothing. Reports whether the event was live. Handles are small values;
+// issuing one never allocates.
+func (h EventHandle) Cancel() bool {
+	if h.ev == nil || h.gen != h.ev.gen || h.ev.cancelled || h.ev.index == -1 {
 		return false
 	}
 	h.ev.cancelled = true
 	return true
+}
+
+// fire runs a just-popped event's callback after recycling the slot: the
+// callback routinely schedules new events, and handing the slot back first
+// lets that schedule reuse it immediately.
+func (e *Engine) fire(ev *event) {
+	fn, c := ev.fn, ev.c
+	e.putEvent(ev)
+	if c != nil {
+		c.Call()
+	} else {
+		fn()
+	}
 }
 
 // Run drives the simulation until no events remain or Stop is called.
@@ -234,6 +363,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		}
 		e.queue.pop()
 		if next.cancelled {
+			e.putEvent(next)
 			continue
 		}
 		if next.at < e.now {
@@ -241,7 +371,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		}
 		e.now = next.at
 		e.executed++
-		next.fn()
+		e.fire(next)
 	}
 	if e.active > 0 && !e.stopped && e.shardSet == nil {
 		// Every runnable process is blocked and no event can wake any of
@@ -256,7 +386,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // RunWindow executes every event strictly before end, leaving the clock at
 // the last executed event (not at end): the sharded coordinator needs the
 // true event times to compute the next lookahead window, and mail is
-// injected with absolute times via ScheduleAt.
+// injected with absolute times at the barrier.
 func (e *Engine) RunWindow(end Time) {
 	for !e.stopped && e.queue.Len() > 0 {
 		if e.selfMailAt < end {
@@ -268,6 +398,7 @@ func (e *Engine) RunWindow(end Time) {
 		}
 		e.queue.pop()
 		if next.cancelled {
+			e.putEvent(next)
 			continue
 		}
 		if next.at < e.now {
@@ -275,7 +406,35 @@ func (e *Engine) RunWindow(end Time) {
 		}
 		e.now = next.at
 		e.executed++
-		next.fn()
+		e.fire(next)
+	}
+}
+
+// injectMail appends a batch of barrier mail, already in canonical merge
+// order, to the calendar in one pass: each item takes the next sequence
+// number in batch order, so same-time ties at the receiver resolve
+// identically for every shard count. Large batches (relative to the
+// resident calendar) are appended raw and re-heapified in O(n); small
+// ones go through ordinary pushes.
+func (e *Engine) injectMail(items []mailItem) {
+	bulk := len(items) > e.queue.Len()
+	for i := range items {
+		it := &items[i]
+		if it.at < e.now {
+			panic(fmt.Sprintf("sim: mail at %v is before now %v", it.at, e.now))
+		}
+		ev := e.getEvent(it.at)
+		ev.fn = it.fn
+		ev.c = it.c
+		if bulk {
+			ev.index = len(e.queue.evs)
+			e.queue.evs = append(e.queue.evs, ev)
+		} else {
+			e.queue.push(ev)
+		}
+	}
+	if bulk {
+		e.queue.reinit()
 	}
 }
 
@@ -285,8 +444,7 @@ func (e *Engine) RunWindow(end Time) {
 func (e *Engine) NextEventTime() Time {
 	for e.queue.Len() > 0 {
 		if e.queue.evs[0].cancelled {
-			ev := e.queue.pop()
-			_ = ev
+			e.putEvent(e.queue.pop())
 			continue
 		}
 		return e.queue.evs[0].at

@@ -187,7 +187,7 @@ func TestPropertyCancelNeverFires(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		e := NewEngine()
 		type rec struct {
-			h     *EventHandle
+			h     EventHandle
 			fired *bool
 		}
 		var recs []rec

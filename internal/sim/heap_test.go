@@ -72,7 +72,7 @@ func TestEventQueueInterleavedPushPop(t *testing.T) {
 func TestCancelledEventsSkippedAndCancelSemantics(t *testing.T) {
 	e := NewEngine()
 	var fired []int
-	var handles []*EventHandle
+	var handles []EventHandle
 	for i := 0; i < 100; i++ {
 		i := i
 		handles = append(handles, e.Schedule(Time(i%10), func() { fired = append(fired, i) }))

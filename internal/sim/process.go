@@ -20,6 +20,10 @@ type Process struct {
 	doneSig   *Signal
 }
 
+// Call resumes the process: a Process is its own wake-up Caller, so
+// sleeps and signal fires schedule it without allocating a closure.
+func (p *Process) Call() { p.run() }
+
 // Spawn starts a new process executing body. The body begins running at the
 // current virtual time, after the currently executing event/process yields.
 // The name appears in deadlock diagnostics.
@@ -45,7 +49,7 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 		p.parked <- struct{}{}
 	}()
 
-	e.Schedule(0, func() { p.run() })
+	e.CallAfter(0, p)
 	return p
 }
 
@@ -82,8 +86,8 @@ func (p *Process) Name() string { return p.name }
 // events run in the interim. A non-positive d yields the processor for the
 // current instant (other same-time events run) and resumes.
 func (p *Process) Sleep(d Time) {
-	p.eng.Schedule(d, func() { p.run() })
-	p.yield(fmt.Sprintf("sleep(%g)", float64(d)))
+	p.eng.CallAfter(d, p)
+	p.yield("sleep")
 }
 
 // SleepUntil suspends the process until the absolute virtual time at.
@@ -91,8 +95,8 @@ func (p *Process) Sleep(d Time) {
 // from the subtract-then-add round trip — which batched operations rely on
 // to land on the same instant as the equivalent sequence of Sleeps.
 func (p *Process) SleepUntil(at Time) {
-	p.eng.ScheduleAt(at, func() { p.run() })
-	p.yield(fmt.Sprintf("sleepUntil(%g)", float64(at)))
+	p.eng.CallAt(at, p)
+	p.yield("sleep-until")
 }
 
 // Done returns a signal fired when the process body returns. Other
@@ -107,6 +111,7 @@ func (p *Process) Finished() bool { return p.finished }
 type Signal struct {
 	eng       *Engine
 	name      string
+	waitTag   string // precomputed yield diagnostic, built once per signal
 	fired     bool
 	waiters   []*Process
 	callbacks []func()
@@ -116,6 +121,36 @@ type Signal struct {
 func NewSignal(e *Engine, name string) *Signal {
 	return &Signal{eng: e, name: name}
 }
+
+// Init (re)initialises a signal in place to the unfired state, for callers
+// that embed Signals in pooled structures instead of allocating with
+// NewSignal. The caller must only reuse a signal after it has fired and its
+// waiters have drained; the drained waiter/callback capacity is kept, so a
+// pooled request's signal stops allocating once warm.
+func (s *Signal) Init(e *Engine, name string) {
+	if s.name != name {
+		s.waitTag = ""
+	}
+	s.eng = e
+	s.name = name
+	s.fired = false
+	s.waiters = s.waiters[:0]
+	s.callbacks = s.callbacks[:0]
+}
+
+// tag returns the yield diagnostic for Wait, built on first use: most
+// signals fire without ever blocking a process, and skipping the eager
+// concatenation keeps signal setup allocation-free.
+func (s *Signal) tag() string {
+	if s.waitTag == "" {
+		s.waitTag = "signal:" + s.name
+	}
+	return s.waitTag
+}
+
+// Call fires the signal: a Signal is its own completion Caller, so
+// "schedule this signal to fire after the wire time" costs no closure.
+func (s *Signal) Call() { s.Fire() }
 
 // Fired reports whether Fire has been called.
 func (s *Signal) Fired() bool { return s.fired }
@@ -127,17 +162,23 @@ func (s *Signal) Fire() {
 		return
 	}
 	s.fired = true
-	waiters := s.waiters
-	s.waiters = nil
-	for _, w := range waiters {
-		w := w
-		s.eng.Schedule(0, func() { w.run() })
+	for _, w := range s.waiters {
+		s.eng.CallAfter(0, w)
 	}
-	callbacks := s.callbacks
-	s.callbacks = nil
-	for _, fn := range callbacks {
-		s.eng.Schedule(0, fn)
+	for _, fn := range s.callbacks {
+		s.eng.After(0, fn)
 	}
+	// Drop the references but keep the capacity: once fired, Wait and
+	// OnFire never append again (they act immediately), and a pooled
+	// owner's Init reuses the drained storage.
+	for i := range s.waiters {
+		s.waiters[i] = nil
+	}
+	s.waiters = s.waiters[:0]
+	for i := range s.callbacks {
+		s.callbacks[i] = nil
+	}
+	s.callbacks = s.callbacks[:0]
 }
 
 // Wait blocks the calling process until the signal fires.
@@ -146,14 +187,14 @@ func (s *Signal) Wait(p *Process) {
 		return
 	}
 	s.waiters = append(s.waiters, p)
-	p.yield("signal:" + s.name)
+	p.yield(s.tag())
 }
 
 // OnFire schedules fn to run when the signal fires (immediately, at the
 // current time, if it already has). Each registered callback runs once.
 func (s *Signal) OnFire(fn func()) {
 	if s.fired {
-		s.eng.Schedule(0, fn)
+		s.eng.After(0, fn)
 		return
 	}
 	s.callbacks = append(s.callbacks, fn)
@@ -164,13 +205,14 @@ func (s *Signal) OnFire(fn func()) {
 type Mailbox[T any] struct {
 	eng     *Engine
 	name    string
+	waitTag string
 	items   []T
 	waiters []*Process
 }
 
 // NewMailbox creates an empty mailbox.
 func NewMailbox[T any](e *Engine, name string) *Mailbox[T] {
-	return &Mailbox[T]{eng: e, name: name}
+	return &Mailbox[T]{eng: e, name: name, waitTag: "mailbox:" + name}
 }
 
 // Len returns the number of queued messages.
@@ -182,7 +224,7 @@ func (m *Mailbox[T]) Send(v T) {
 	if len(m.waiters) > 0 {
 		w := m.waiters[0]
 		m.waiters = m.waiters[1:]
-		m.eng.Schedule(0, func() { w.run() })
+		m.eng.CallAfter(0, w)
 	}
 }
 
@@ -191,7 +233,7 @@ func (m *Mailbox[T]) Send(v T) {
 func (m *Mailbox[T]) Recv(p *Process) T {
 	for len(m.items) == 0 {
 		m.waiters = append(m.waiters, p)
-		p.yield("mailbox:" + m.name)
+		p.yield(m.waitTag)
 	}
 	v := m.items[0]
 	m.items = m.items[1:]
@@ -214,6 +256,7 @@ func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
 type Resource struct {
 	eng      *Engine
 	name     string
+	waitTag  string
 	capacity int
 	inUse    int
 	waiters  []*Process
@@ -225,14 +268,14 @@ func NewResource(e *Engine, name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive: " + name)
 	}
-	return &Resource{eng: e, name: name, capacity: capacity}
+	return &Resource{eng: e, name: name, waitTag: "resource:" + name, capacity: capacity}
 }
 
 // Acquire claims one unit, blocking until available.
 func (r *Resource) Acquire(p *Process) {
 	for r.inUse >= r.capacity {
 		r.waiters = append(r.waiters, p)
-		p.yield("resource:" + r.name)
+		p.yield(r.waitTag)
 	}
 	r.inUse++
 }
@@ -246,7 +289,7 @@ func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		r.waiters = r.waiters[1:]
-		r.eng.Schedule(0, func() { w.run() })
+		r.eng.CallAfter(0, w)
 	}
 }
 
@@ -273,10 +316,15 @@ func (r *Resource) Use(p *Process, serviceTime Time, fn func()) {
 type Counter struct {
 	eng      *Engine
 	name     string
+	waitTag  string
 	value    int64
 	waiters  []counterWaiter
 	reachCBs []counterCallback
 }
+
+// Call increments the counter by one: a Counter is its own faaw-style
+// Caller, so per-CPE completion-flag updates schedule without a closure.
+func (c *Counter) Call() { c.Add(1) }
 
 type counterWaiter struct {
 	threshold int64
@@ -290,32 +338,39 @@ type counterCallback struct {
 
 // NewCounter creates a counter at zero.
 func NewCounter(e *Engine, name string) *Counter {
-	return &Counter{eng: e, name: name}
+	return &Counter{eng: e, name: name, waitTag: "counter:" + name}
 }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.value }
 
 // Add increments the counter and wakes waiters whose threshold is reached.
+// Unreached waiters are compacted in place, so the steady-state faaw path
+// (64 CPE flag updates per offload, one waiter) never allocates.
 func (c *Counter) Add(delta int64) {
 	c.value += delta
-	var keep []counterWaiter
+	keep := c.waiters[:0]
 	for _, w := range c.waiters {
 		if c.value >= w.threshold {
-			w := w
-			c.eng.Schedule(0, func() { w.proc.run() })
+			c.eng.CallAfter(0, w.proc)
 		} else {
 			keep = append(keep, w)
 		}
 	}
+	for i := len(keep); i < len(c.waiters); i++ {
+		c.waiters[i] = counterWaiter{}
+	}
 	c.waiters = keep
-	var keepCB []counterCallback
+	keepCB := c.reachCBs[:0]
 	for _, cb := range c.reachCBs {
 		if c.value >= cb.threshold {
-			c.eng.Schedule(0, cb.fn)
+			c.eng.After(0, cb.fn)
 		} else {
 			keepCB = append(keepCB, cb)
 		}
+	}
+	for i := len(keepCB); i < len(c.reachCBs); i++ {
+		c.reachCBs[i] = counterCallback{}
 	}
 	c.reachCBs = keepCB
 }
@@ -331,14 +386,14 @@ func (c *Counter) WaitFor(p *Process, threshold int64) {
 		return
 	}
 	c.waiters = append(c.waiters, counterWaiter{threshold: threshold, proc: p})
-	p.yield(fmt.Sprintf("counter:%s>=%d", c.name, threshold))
+	p.yield(c.waitTag)
 }
 
 // OnReach schedules fn once the counter value reaches threshold
 // (immediately if it already has). Each registered callback runs once.
 func (c *Counter) OnReach(threshold int64, fn func()) {
 	if c.value >= threshold {
-		c.eng.Schedule(0, fn)
+		c.eng.After(0, fn)
 		return
 	}
 	c.reachCBs = append(c.reachCBs, counterCallback{threshold: threshold, fn: fn})

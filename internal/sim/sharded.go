@@ -1,53 +1,110 @@
 package sim
 
 import (
-	"sort"
+	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 )
 
-// mailItem is one staged cross-shard event: a callback to run at an
-// absolute virtual time on another shard's engine. Items are merged at
-// every barrier in the canonical (at, postTime, srcShard, seq) order, so
-// the destination engine sees the same tie-break order regardless of how
-// ranks are partitioned into shards.
+// mailItem is one staged cross-shard event: a callback (a closure or an
+// allocation-free Caller) to run at an absolute virtual time on another
+// shard's engine. Each destination's items are merged at every barrier in
+// the canonical (at, postTime, srcShard, seq) order, so the destination
+// engine sees the same tie-break order regardless of how ranks are
+// partitioned into shards.
 type mailItem struct {
 	at       Time
 	postTime Time
 	srcShard int
 	seq      uint64
-	dst      *Engine
 	fn       func()
+	c        Caller
+}
+
+// mailLess is the canonical merge order.
+func mailLess(a, b *mailItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.postTime != b.postTime {
+		return a.postTime < b.postTime
+	}
+	if a.srcShard != b.srcShard {
+		return a.srcShard < b.srcShard
+	}
+	return a.seq < b.seq
+}
+
+// sortMail orders a batch by mailLess with an in-place heapsort: zero
+// allocations (the generic sort packages escape a closure or an interface
+// per call), deterministic because the key is a total order — no two items
+// share (at, postTime, srcShard, seq).
+func sortMail(items []mailItem) {
+	n := len(items)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownMail(items, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		items[0], items[i] = items[i], items[0]
+		siftDownMail(items, 0, i)
+	}
+}
+
+// siftDownMail maintains a max-heap on mailLess over items[i:n).
+func siftDownMail(items []mailItem, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && mailLess(&items[c], &items[c+1]) {
+			c++
+		}
+		if !mailLess(&items[i], &items[c]) {
+			return
+		}
+		items[i], items[c] = items[c], items[i]
+		i = c
+	}
 }
 
 // ShardSet is a conservative parallel discrete-event coordinator: it owns
 // S engines (shards), each with its own calendar and process set, and
-// advances them in lookahead windows. The lookahead is the minimum virtual
-// latency of any cross-shard interaction (for the simulated Sunway, the
-// interconnect's first-byte time): an event executed at time t can only
-// affect another shard at t+lookahead or later, so every shard may safely
-// run ahead to the earliest event of any other shard plus the lookahead.
-// Cross-shard effects are staged in per-shard outboxes and exchanged at a
-// deterministic barrier between windows.
+// advances them in lookahead windows. The lookahead is a per-shard-pair
+// latency matrix: lat[j][i] is the minimum virtual latency of any
+// interaction from shard j to shard i (for the simulated Sunway, the
+// interconnect's first-byte time between the closest rank pair crossing
+// that shard boundary). An event executed on shard j at time t can only
+// affect shard i at t+lat[j][i] or later, so shard i may safely run ahead
+// to min over j of (next_j + lat[j][i]) — throttling only on neighbours
+// that can actually reach it inside the window, not on a single global
+// minimum. Cross-shard effects are staged in per-destination outboxes and
+// exchanged at a deterministic barrier between windows.
 //
 // The contract is bit-identical results: for a model whose only cross-
-// shard channel is Post/PostTagged with delivery delays of at least the
-// lookahead, a ShardSet run produces the same virtual timestamps, the
-// same event outcomes, and the same final state as the single-engine run,
-// for every shard count.
+// shard channels are Post/PostCall/PostTagged with delivery delays of at
+// least the pair's lookahead, a ShardSet run produces the same virtual
+// timestamps, the same event outcomes, and the same final state as the
+// single-engine run, for every shard count.
 type ShardSet struct {
-	engines   []*Engine
-	lookahead Time
-	stopReq   atomic.Bool
+	engines []*Engine
+	// lat[i][j] is the minimum latency of an i -> j interaction. The
+	// diagonal is unused (same-shard effects are ordinary calendar
+	// events). Entries may be Infinity (that pair never interacts).
+	lat     [][]Time
+	minLat  Time
+	stopReq atomic.Bool
 
-	// scratch for Run.
-	mail []mailItem
-	next []Time
-	ends []Time
+	// inbox[d] is shard d's reusable merge buffer at the barrier.
+	inbox [][]mailItem
+	next  []Time
+	ends  []Time
 }
 
-// NewShardSet creates n engines coordinated with the given lookahead.
+// NewShardSet creates n engines coordinated with one uniform lookahead for
+// every shard pair — the conservative special case of the latency matrix.
 func NewShardSet(n int, lookahead Time) *ShardSet {
 	if n < 1 {
 		panic("sim: shard set needs at least one engine")
@@ -55,12 +112,55 @@ func NewShardSet(n int, lookahead Time) *ShardSet {
 	if lookahead <= 0 {
 		panic("sim: shard lookahead must be positive")
 	}
-	ss := &ShardSet{lookahead: lookahead,
-		next: make([]Time, n), ends: make([]Time, n)}
+	lat := make([][]Time, n)
+	for i := range lat {
+		lat[i] = make([]Time, n)
+		for j := range lat[i] {
+			lat[i][j] = lookahead
+		}
+	}
+	return NewShardSetLatencies(lat)
+}
+
+// NewShardSetLatencies creates len(lat) engines coordinated by a
+// per-shard-pair latency matrix: lat[i][j] is the minimum virtual latency
+// of any interaction from shard i to shard j. The matrix must be square
+// and every off-diagonal entry positive (a zero or negative pair lookahead
+// admits no window and would livelock the coordinator); Infinity marks a
+// pair that never interacts. The diagonal is ignored.
+func NewShardSetLatencies(lat [][]Time) *ShardSet {
+	n := len(lat)
+	if n < 1 {
+		panic("sim: shard set needs at least one engine")
+	}
+	min := Infinity
+	own := make([][]Time, n)
+	for i, row := range lat {
+		if len(row) != n {
+			panic(fmt.Sprintf("sim: latency matrix row %d has %d entries, want %d", i, len(row), n))
+		}
+		own[i] = make([]Time, n)
+		copy(own[i], row)
+		for j, l := range row {
+			if i == j {
+				continue
+			}
+			if l <= 0 {
+				panic(fmt.Sprintf("sim: non-positive lookahead %v for shard pair (%d,%d)", l, i, j))
+			}
+			if l < min {
+				min = l
+			}
+		}
+	}
+	ss := &ShardSet{lat: own, minLat: min,
+		inbox: make([][]mailItem, n),
+		next:  make([]Time, n), ends: make([]Time, n)}
 	for i := 0; i < n; i++ {
 		e := NewEngine()
 		e.shardSet = ss
 		e.shardID = i
+		e.outbox = make([][]mailItem, n)
 		ss.engines = append(ss.engines, e)
 	}
 	return ss
@@ -72,23 +172,50 @@ func (ss *ShardSet) NumShards() int { return len(ss.engines) }
 // Engine returns shard i's engine.
 func (ss *ShardSet) Engine(i int) *Engine { return ss.engines[i] }
 
-// Lookahead returns the window width.
-func (ss *ShardSet) Lookahead() Time { return ss.lookahead }
+// Lookahead returns the narrowest pair lookahead — the uniform window
+// width a matrix-free coordinator would have used.
+func (ss *ShardSet) Lookahead() Time { return ss.minLat }
+
+// PairLookahead returns the minimum latency of an i -> j interaction.
+func (ss *ShardSet) PairLookahead(i, j int) Time { return ss.lat[i][j] }
 
 // Post schedules fn to run at absolute time at on dst. With dst the
 // posting engine it is a plain ScheduleAt; otherwise the event is staged
-// in src's outbox and injected at the next barrier, which requires
-// at >= src.Now() + Lookahead(). Must be called from src's executing
-// event (or before Run starts).
+// in src's per-destination outbox and injected at the next barrier, which
+// requires at >= src.Now() + PairLookahead(src, dst). Must be called from
+// src's executing event (or before Run starts).
 func (ss *ShardSet) Post(src, dst *Engine, at Time, fn func()) {
 	if src == dst {
 		src.ScheduleAt(at, fn)
 		return
 	}
-	src.outbox = append(src.outbox, mailItem{
-		at: at, postTime: src.now, srcShard: src.shardID, seq: src.mailSeq,
-		dst: dst, fn: fn})
+	ss.checkMailTime(src, dst, at)
+	src.outbox[dst.shardID] = append(src.outbox[dst.shardID], mailItem{
+		at: at, postTime: src.now, srcShard: src.shardID, seq: src.mailSeq, fn: fn})
 	src.mailSeq++
+}
+
+// PostCall is Post with an allocation-free Caller in place of a closure —
+// the batched-mail fast path of the simulated MPI library.
+func (ss *ShardSet) PostCall(src, dst *Engine, at Time, c Caller) {
+	if src == dst {
+		src.CallAt(at, c)
+		return
+	}
+	ss.checkMailTime(src, dst, at)
+	src.outbox[dst.shardID] = append(src.outbox[dst.shardID], mailItem{
+		at: at, postTime: src.now, srcShard: src.shardID, seq: src.mailSeq, c: c})
+	src.mailSeq++
+}
+
+// checkMailTime enforces the conservative contract at the source: mail
+// that could arrive inside the current window would already have been
+// missed by the destination's window end.
+func (ss *ShardSet) checkMailTime(src, dst *Engine, at Time) {
+	if la := ss.lat[src.shardID][dst.shardID]; at < src.now+la {
+		panic(fmt.Sprintf("sim: cross-shard mail at %v from shard %d (now %v) violates the pair lookahead %v to shard %d",
+			at, src.shardID, src.now, la, dst.shardID))
+	}
 }
 
 // PostTagged stages a globally-ordered cross-shard event: items with the
@@ -97,9 +224,9 @@ func (ss *ShardSet) Post(src, dst *Engine, at Time, fn func()) {
 // it so the completion events they fan out to every rank are injected in
 // rank order no matter which contributor arrived last. Unlike Post it
 // always goes through the barrier, even to the posting shard itself.
-func (ss *ShardSet) PostTagged(src, dst *Engine, at, postTime Time, tag uint64, fn func()) {
-	src.outbox = append(src.outbox, mailItem{
-		at: at, postTime: postTime, srcShard: -1, seq: tag, dst: dst, fn: fn})
+func (ss *ShardSet) PostTagged(src, dst *Engine, at, postTime Time, tag uint64, c Caller) {
+	src.outbox[dst.shardID] = append(src.outbox[dst.shardID], mailItem{
+		at: at, postTime: postTime, srcShard: -1, seq: tag, c: c})
 	if dst == src && at < src.selfMailAt {
 		// The window must not run past the undelivered self-send.
 		src.selfMailAt = at
@@ -149,35 +276,36 @@ func (ss *ShardSet) AlignNow() Time {
 	return max
 }
 
-// deliverMail merges every outbox in canonical order and injects the
-// items into their destination calendars. The destination assigns its
-// event sequence numbers in merge order, so same-time ties at a receiver
-// resolve identically for every shard count.
-func (ss *ShardSet) deliverMail() {
-	ss.mail = ss.mail[:0]
+// Flush merges every outbox in canonical per-destination order and
+// injects the items into their destination calendars: one sorted batch
+// append per destination instead of a per-message post. The destination
+// assigns its event sequence numbers in merge order, so same-time ties at
+// a receiver resolve identically for every shard count. Run performs the
+// same exchange at every barrier; Flush is exported for staging mail
+// before Run starts (setup phases, measurements).
+func (ss *ShardSet) Flush() {
 	for _, e := range ss.engines {
-		ss.mail = append(ss.mail, e.outbox...)
-		e.outbox = e.outbox[:0]
 		e.selfMailAt = Infinity
 	}
-	if len(ss.mail) == 0 {
-		return
-	}
-	sort.Slice(ss.mail, func(i, j int) bool {
-		a, b := ss.mail[i], ss.mail[j]
-		if a.at != b.at {
-			return a.at < b.at
+	for d, de := range ss.engines {
+		batch := ss.inbox[d][:0]
+		for _, e := range ss.engines {
+			batch = append(batch, e.outbox[d]...)
+			e.outbox[d] = e.outbox[d][:0]
 		}
-		if a.postTime != b.postTime {
-			return a.postTime < b.postTime
+		ss.inbox[d] = batch
+		if len(batch) == 0 {
+			continue
 		}
-		if a.srcShard != b.srcShard {
-			return a.srcShard < b.srcShard
+		if len(batch) > 1 {
+			sortMail(batch)
 		}
-		return a.seq < b.seq
-	})
-	for _, m := range ss.mail {
-		m.dst.ScheduleAt(m.at, m.fn)
+		de.injectMail(batch)
+		// Drop the callback references so the reusable buffer does not
+		// pin closures or envelopes until the next barrier overwrites it.
+		for i := range batch {
+			batch[i].fn, batch[i].c = nil, nil
+		}
 	}
 }
 
@@ -186,13 +314,42 @@ func (ss *ShardSet) deliverMail() {
 // It returns the latest virtual time reached.
 //
 // Each iteration delivers staged mail, computes per-shard window ends —
-// shard i may run to min over other shards j of (next_j + lookahead), so
-// a shard that is alone in a stretch of virtual time crosses it in one
-// window — and executes the eligible shards concurrently, one goroutine
-// per shard (inline when only one shard has work).
+// shard i may run to min over other shards j of (next_j + lat[j][i]), so
+// a shard only throttles on neighbours that can reach it, and a shard
+// that is alone in a stretch of virtual time crosses it in one window —
+// and executes the eligible shards concurrently. The workers are
+// persistent for the duration of Run and park on their work channel
+// between windows, so a window costs two channel operations per shard
+// rather than a goroutine spawn.
 func (ss *ShardSet) Run() Time {
+	n := len(ss.engines)
+	// With a single OS-schedulable thread, fanning a window out to worker
+	// goroutines only buys context switches: run every window's shards
+	// inline instead. Results are identical either way — shards within a
+	// window are independent by construction — so parallel dispatch is
+	// purely a wall-clock choice.
+	inline := runtime.GOMAXPROCS(0) == 1
+	var work []chan Time
+	var wg sync.WaitGroup
+	if n > 1 && !inline {
+		work = make([]chan Time, n)
+		for i := range work {
+			work[i] = make(chan Time, 1)
+			go func(e *Engine, ch chan Time) {
+				for end := range ch {
+					e.RunWindow(end)
+					wg.Done()
+				}
+			}(ss.engines[i], work[i])
+		}
+		defer func() {
+			for _, ch := range work {
+				close(ch)
+			}
+		}()
+	}
 	for {
-		ss.deliverMail()
+		ss.Flush()
 
 		// Propagate stops and interrupts recorded during the last window.
 		reason := ss.Interrupted()
@@ -212,49 +369,48 @@ func (ss *ShardSet) Run() Time {
 			return ss.Now()
 		}
 
-		min1, min2 := Infinity, Infinity
-		argmin := -1
+		idle := true
 		for i, e := range ss.engines {
 			t := e.NextEventTime()
 			ss.next[i] = t
-			if t < min1 {
-				min2 = min1
-				min1 = t
-				argmin = i
-			} else if t < min2 {
-				min2 = t
+			if t < Infinity {
+				idle = false
 			}
 		}
-		if min1 == Infinity {
+		if idle {
 			active := 0
 			for _, e := range ss.engines {
 				active += e.active
 			}
 			if active > 0 {
 				var rosters []string
-				for i, e := range ss.engines {
+				for _, e := range ss.engines {
 					if e.active > 0 {
 						rosters = append(rosters, e.blockedRoster())
 					}
-					_ = i
 				}
 				panic("sim: deadlock: " + strings.Join(rosters, ", "))
 			}
 			return ss.Now()
 		}
 
+		// The shard holding the globally earliest event is always
+		// runnable (its window end exceeds its next event by at least the
+		// smallest positive pair lookahead), so progress is guaranteed.
 		runnable := 0
 		last := -1
 		for i := range ss.engines {
-			minOther := min1
-			if i == argmin {
-				minOther = min2
+			end := Infinity
+			for j := range ss.engines {
+				if j == i || ss.next[j] == Infinity {
+					continue
+				}
+				if w := ss.next[j] + ss.lat[j][i]; w < end {
+					end = w
+				}
 			}
-			ss.ends[i] = Infinity
-			if minOther < Infinity {
-				ss.ends[i] = minOther + ss.lookahead
-			}
-			if ss.next[i] < ss.ends[i] {
+			ss.ends[i] = end
+			if ss.next[i] < end {
 				runnable++
 				last = i
 			}
@@ -265,16 +421,19 @@ func (ss *ShardSet) Run() Time {
 			ss.engines[last].RunWindow(ss.ends[last])
 			continue
 		}
-		var wg sync.WaitGroup
-		for i, e := range ss.engines {
-			if ss.next[i] >= ss.ends[i] {
-				continue
+		if inline {
+			for i := range ss.engines {
+				if ss.next[i] < ss.ends[i] {
+					ss.engines[i].RunWindow(ss.ends[i])
+				}
 			}
-			wg.Add(1)
-			go func(e *Engine, end Time) {
-				defer wg.Done()
-				e.RunWindow(end)
-			}(e, ss.ends[i])
+			continue
+		}
+		wg.Add(runnable)
+		for i := range ss.engines {
+			if ss.next[i] < ss.ends[i] {
+				work[i] <- ss.ends[i]
+			}
 		}
 		wg.Wait()
 	}
