@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test examples race chaos workload loadcheck shardcheck bench benchgate cover clean
+.PHONY: check vet build test examples race chaos workload loadcheck shardcheck optcheck bench benchgate cover clean
 
-check: vet build test examples race chaos workload loadcheck shardcheck benchgate cover
+check: vet build test examples race chaos workload loadcheck shardcheck optcheck benchgate cover
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,18 @@ race:
 shardcheck:
 	$(GO) test -race -count=1 -run 'TestShardedBitIdentical' ./internal/core/
 	$(GO) test -race -count=1 -run 'TestShardSet' ./internal/sim/
+
+# The optimistic (Time-Warp) gate: speculative coordination must produce
+# results byte-identical to the serial engine at every shard count and
+# speculation depth (1/2/4/8 x depths 1/4 via TestOptimisticBitIdentical,
+# with real rollbacks, anti-messages and cascades exercised), the
+# committed event trace must match the serial order exactly, core's
+# end-to-end cases must stay bit-identical with Optimistic set (including
+# the crash-plan force-serial and process-degrade rules), and the rank
+# rewind savers must round-trip — all under the race detector.
+optcheck:
+	$(GO) test -race -count=1 -run 'TestOptimistic' ./internal/sim/
+	$(GO) test -race -count=1 -run 'TestCoreOptimistic|TestOptimisticDegradeReported|TestOptimisticCrashPlanForcesSerial|TestRankRewindRoundTrip' ./internal/core/
 
 # The chaos gate: run the short fault-matrix determinism test (byte-equal
 # artifact across worker counts, >= 95% of runs recovered at the default

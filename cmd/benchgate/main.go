@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -48,12 +49,24 @@ import (
 // normalised by in check mode.
 const calibName = "calib.iters_per_s"
 
+// schemaVersion is the baseline file format this benchgate reads and
+// writes. Schema 2 added the recorded GOMAXPROCS and the Time-Warp
+// metrics (sim.opt.*, e2e.opt4.speedup_x); a schema-1 baseline fails the
+// gate with a re-record instruction instead of silently skipping the new
+// metrics.
+const schemaVersion = 2
+
 // Baseline is the persisted gate file.
 type Baseline struct {
-	Schema    int                `json:"schema"`
-	Go        string             `json:"go"`
-	Generated string             `json:"generated"`
-	Metrics   map[string]float64 `json:"metrics"`
+	Schema int    `json:"schema"`
+	Go     string `json:"go"`
+	// GoMaxProcs records the parallelism the baseline was measured under.
+	// Rate metrics are calibration-normalised so this is informational, but
+	// the speedup floors are parallelism-dependent — a baseline recorded on
+	// a single-core runner explains a 0.9x shards4 ratio at a glance.
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Generated  string             `json:"generated"`
+	Metrics    map[string]float64 `json:"metrics"`
 }
 
 // peakSpin is the fastest spin-probe rate observed so far in this process.
@@ -271,6 +284,36 @@ func collect() map[string]float64 {
 		m["e2e.shards4.speedup_x"] = ratios[reps/2]
 	}
 
+	// The Time-Warp knob's e2e ratio: optimistic versus conservative shard
+	// coordination on the same shards-4 case, interleaved like the speedup
+	// pair above. Rank drivers are processes, so at e2e level the optimistic
+	// coordinator takes its documented conservative fallback — the gate is
+	// "requesting -optimistic must not cost wall-clock", a flat must-not-lose
+	// floor rather than the parallelism floor (see floorFor).
+	{
+		consFn := e2e(4)
+		optFn := func() {
+			spec := runner.Spec{Cells: "64x64x128", Layout: "4x4x2", CGs: 32,
+				Variant: "acc_simd.async", Steps: e2eSteps, Shards: 4, Optimistic: true}
+			res, err := experiments.Exec(context.Background(), spec)
+			if err != nil {
+				panic(err)
+			}
+			if !res.Feasible {
+				panic("benchgate: e2e opt case infeasible")
+			}
+		}
+		const reps = 7
+		ratios := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			c := oneWindow(e2eSteps, consFn)
+			p := oneWindow(e2eSteps, optFn)
+			ratios = append(ratios, p/c)
+		}
+		sort.Float64s(ratios)
+		m["e2e.opt4.speedup_x"] = ratios[reps/2]
+	}
+
 	// Mixed-physics end-to-end throughput (steps/s): all three model
 	// problems partitioned across patches with per-patch task predicates
 	// and physics-interface BC fills — the workload scenarios' hot path.
@@ -342,7 +385,118 @@ func collect() map[string]float64 {
 		m["sim.mail.allocs_per_op"] = testing.AllocsPerRun(10, round)
 	}
 
+	// Time-Warp optimistic coordination (events/s, and the rollback
+	// fraction the adaptive throttle is minimising) on a PHOLD-style model
+	// with real speculation: cross-shard sends land one lookahead away, so
+	// deep windows mis-speculate and roll back. Both the event count and
+	// the rollback fraction are deterministic functions of the model (the
+	// engine's bit-identity contract), so the fraction is gated absolutely
+	// (see check) and the count can calibrate the rate denominator.
+	{
+		ref := runTimeWarpModel()
+		if ref.Rollbacks == 0 || ref.AntiMessages == 0 {
+			panic("benchgate: Time-Warp metric model never rolled back — speculation is not being measured")
+		}
+		m["sim.opt.rollback_frac"] = ref.RollbackFrac()
+		m["sim.opt.events_per_s"] = measureRate(int(ref.EventsExecuted), 5, func() {
+			runTimeWarpModel()
+		})
+	}
+
 	return m
+}
+
+// twNode is a PHOLD-style actor for the Time-Warp metrics: each job folds
+// (time, payload) into an order-sensitive hash and schedules one
+// successor, locally (sub-lookahead delay) or on a pseudo-random peer one
+// lookahead away. It mirrors the sim package's bit-identity test model —
+// the metric needs genuine speculation with genuine rollbacks, not a
+// straight-line event chain.
+type twNode struct {
+	id    int
+	nodes []*twNode
+	eng   *sim.Engine
+	post  func(dst int, at sim.Time, fn func())
+
+	rng    uint64
+	hash   uint64
+	budget int64
+}
+
+type twState struct {
+	rng, hash uint64
+	budget    int64
+}
+
+func (nd *twNode) SaveState() any { return twState{nd.rng, nd.hash, nd.budget} }
+
+func (nd *twNode) RestoreState(s any) {
+	st := s.(twState)
+	nd.rng, nd.hash, nd.budget = st.rng, st.hash, st.budget
+}
+
+// twMix is a splitmix64 step: the model's deterministic jitter source.
+func twMix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+const twLookahead = 5 * sim.Nanosecond
+
+func (nd *twNode) job(payload uint64) {
+	t := nd.eng.Now()
+	nd.hash = nd.hash*1099511628211 ^ math.Float64bits(float64(t)) ^ payload
+	if nd.budget <= 0 {
+		return
+	}
+	nd.budget--
+	r := twMix(&nd.rng)
+	next := twMix(&nd.rng)
+	jitter := sim.Time(r%1000) * 1e-12
+	if (r>>32)%100 < 30 {
+		dst := int(next % uint64(len(nd.nodes)))
+		dn := nd.nodes[dst]
+		nd.post(dst, t+twLookahead+sim.Nanosecond+jitter, func() { dn.job(next) })
+	} else {
+		at := t + 2e-10 + jitter
+		nd.eng.ScheduleAt(at, func() { nd.job(next) })
+	}
+}
+
+// runTimeWarpModel builds and runs the PHOLD model on a 4-shard
+// OptimisticShardSet at full speculation depth and returns the run's
+// stats. The run is deterministic, so its EventsExecuted and rollback
+// fraction are stable across invocations.
+func runTimeWarpModel() sim.OptStats {
+	const nNodes, nShards, budget = 8, 4, 1000
+	o := sim.NewOptimisticShardSet(nShards, twLookahead, sim.OptConfig{MaxDepth: 4})
+	nodes := make([]*twNode, nNodes)
+	for i := range nodes {
+		nodes[i] = &twNode{id: i, rng: uint64(i)*2654435761 + 12345, budget: budget}
+	}
+	for i, nd := range nodes {
+		nd.nodes = nodes
+		nd.eng = o.Engine(i % nShards)
+		src := nd.eng
+		nd.post = func(dst int, at sim.Time, fn func()) {
+			o.Post(src, o.Engine(dst%nShards), at, fn)
+		}
+		o.Register(i%nShards, nd)
+	}
+	for i, nd := range nodes {
+		nd := nd
+		payload := uint64(i) * 7777
+		nd.eng.ScheduleAt(sim.Time(i+1)*sim.Nanosecond, func() { nd.job(payload) })
+	}
+	o.Run()
+	st := o.Stats()
+	if st.Degraded {
+		panic("benchgate: Time-Warp metric model degraded to the conservative path")
+	}
+	return st
 }
 
 // speedupFloor is the minimum acceptable e2e.shards4.speedup_x for this
@@ -362,12 +516,33 @@ func speedupFloor() float64 {
 	}
 }
 
+// floorFor maps a speedup metric to its floor. e2e.opt4.speedup_x is
+// optimistic-versus-conservative on the same shard count — at e2e level
+// the optimistic coordinator takes its documented conservative fallback
+// (rank drivers are processes), so the honest gate is "the knob must not
+// cost wall-clock" at any parallelism, not the shards-versus-serial
+// parallelism floor.
+func floorFor(name string) float64 {
+	if name == "e2e.opt4.speedup_x" {
+		return 0.85
+	}
+	return speedupFloor()
+}
+
+// fracSlack is the absolute headroom for *_frac metrics. They are
+// deterministic functions of the gate's models (the optimistic engine's
+// bit-identity contract), so any drift is a behaviour change: either a
+// regression in the adaptive throttle or an intentional change that must
+// re-record the baseline.
+const fracSlack = 0.01
+
 func record(path string) error {
 	b := Baseline{
-		Schema:    1,
-		Go:        runtime.Version(),
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Metrics:   collect(),
+		Schema:     schemaVersion,
+		Go:         runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Metrics:    collect(),
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -386,6 +561,10 @@ func check(path string, tol float64, verbose bool) ([]string, error) {
 	var base Baseline
 	if err := json.Unmarshal(data, &base); err != nil {
 		return nil, fmt.Errorf("parse baseline: %w", err)
+	}
+	if base.Schema != schemaVersion {
+		return nil, fmt.Errorf("baseline %s has schema %d, this benchgate requires schema %d (run `make bench` to re-record)",
+			path, base.Schema, schemaVersion)
 	}
 	cur := collect()
 	baseCalib, curCalib := base.Metrics[calibName], cur[calibName]
@@ -412,13 +591,25 @@ func check(path string, tol float64, verbose bool) ([]string, error) {
 		if strings.HasSuffix(name, "speedup_x") {
 			// Absolute floor, parallelism-aware: the ratio is already
 			// machine-normalised (same host measures both sides).
-			floor := speedupFloor()
+			floor := floorFor(name)
 			if c < floor {
 				failures = append(failures, fmt.Sprintf("%s: %.2fx, floor %.2fx (GOMAXPROCS=%d)",
 					name, c, floor, runtime.GOMAXPROCS(0)))
 			}
 			if verbose {
 				fmt.Printf("%-28s baseline %.2fx  current %.2fx  (floor %.2fx)\n", name, b, c, floor)
+			}
+			continue
+		}
+		if strings.HasSuffix(name, "_frac") {
+			// Absolute must-not-exceed: the fraction is deterministic, so
+			// growth means the speculation/rollback balance changed.
+			if c > b+fracSlack {
+				failures = append(failures, fmt.Sprintf("%s: %.3f, baseline %.3f (must not exceed by >%.2f)",
+					name, c, b, fracSlack))
+			}
+			if verbose {
+				fmt.Printf("%-28s baseline %.3f  current %.3f  (must-not-exceed)\n", name, b, c)
 			}
 			continue
 		}
@@ -448,6 +639,20 @@ func check(path string, tol float64, verbose bool) ([]string, error) {
 			failures = append(failures, fmt.Sprintf("%s: %.3g vs baseline %.3g (>%.0f%% regression, calibration-adjusted)",
 				name, c, b, tol*100))
 		}
+	}
+
+	// A metric measured now but absent from the baseline is a hard failure,
+	// not a silent skip: a newly added gate metric must land together with
+	// its recorded baseline, or it would never actually gate anything.
+	var extra []string
+	for name := range cur {
+		if _, ok := base.Metrics[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		failures = append(failures, fmt.Sprintf("%s: measured but missing from baseline (run `make bench` to re-record)", name))
 	}
 	return failures, nil
 }

@@ -10,11 +10,16 @@ import (
 	"sunuintah/internal/taskgraph"
 )
 
-// checkpointFile is the serialised form of a simulation's persistent state:
-// the step counter, simulated time level, and every old-warehouse
-// variable's interior values (ghosts are rebuilt each step). The format is
-// gob — the Uintah analogue is the UDA data archive.
-type checkpointFile struct {
+// MemCheckpoint is a simulation's persistent state held in memory: the
+// step counter, simulated time level, and every old-warehouse variable's
+// interior values (ghosts are rebuilt each step). It is the incremental
+// sibling of the on-disk checkpoint — RunResilient restarts from it
+// without ever serialising, and WriteCheckpoint/RestoreCheckpoint are
+// thin gob wrappers around the same structure (the Uintah analogue is
+// the UDA data archive).
+//
+// The exported fields exist for gob; treat the value as opaque.
+type MemCheckpoint struct {
 	Cells       grid.IVec
 	PatchCounts grid.IVec
 	StepsDone   int
@@ -48,17 +53,17 @@ func (s *Simulation) persistentLabels() ([]*taskgraph.Label, error) {
 	return labels, nil
 }
 
-// WriteCheckpoint serialises the simulation's state. Functional mode only
-// (a timing-only run has no field data to preserve).
-func (s *Simulation) WriteCheckpoint(w io.Writer) error {
+// Checkpoint captures the simulation's persistent state in memory.
+// Functional mode only (a timing-only run has no field data to preserve).
+func (s *Simulation) Checkpoint() (*MemCheckpoint, error) {
 	if !s.Cfg.Scheduler.Functional {
-		return fmt.Errorf("core: checkpointing requires functional mode")
+		return nil, fmt.Errorf("core: checkpointing requires functional mode")
 	}
 	labels, err := s.persistentLabels()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	f := checkpointFile{
+	f := &MemCheckpoint{
 		Cells:       s.Cfg.Cells,
 		PatchCounts: s.Cfg.PatchCounts,
 		StepsDone:   s.stepsDone,
@@ -71,7 +76,7 @@ func (s *Simulation) WriteCheckpoint(w io.Writer) error {
 		for _, rk := range s.Ranks {
 			for _, p := range rk.Graph().LocalPatches {
 				// Patch-filtered tasks leave the label unallocated on
-				// foreign patches; their slots stay nil in the file.
+				// foreign patches; their slots stay nil in the checkpoint.
 				if !rk.DWs.Old.Exists(l, p) {
 					continue
 				}
@@ -80,24 +85,20 @@ func (s *Simulation) WriteCheckpoint(w io.Writer) error {
 		}
 		f.Data = append(f.Data, perPatch)
 	}
-	return gob.NewEncoder(w).Encode(&f)
+	return f, nil
 }
 
-// RestoreCheckpoint loads state written by WriteCheckpoint into this
+// RestoreFromMemory loads state captured by Checkpoint into this
 // simulation, which must have the same grid, patch layout and label set
 // (the rank count and scheduler variant may differ). The simulation must
 // not have run yet; after restoring, Run continues from the checkpointed
 // step.
-func (s *Simulation) RestoreCheckpoint(r io.Reader) error {
+func (s *Simulation) RestoreFromMemory(f *MemCheckpoint) error {
 	if !s.Cfg.Scheduler.Functional {
 		return fmt.Errorf("core: checkpointing requires functional mode")
 	}
 	if s.stepsDone != 0 {
 		return fmt.Errorf("core: restore into a freshly constructed simulation (already ran %d steps)", s.stepsDone)
-	}
-	var f checkpointFile
-	if err := gob.NewDecoder(r).Decode(&f); err != nil {
-		return fmt.Errorf("core: reading checkpoint: %w", err)
 	}
 	if f.Cells != s.Cfg.Cells || f.PatchCounts != s.Cfg.PatchCounts {
 		return fmt.Errorf("core: checkpoint grid %v/%v does not match simulation %v/%v",
@@ -139,4 +140,27 @@ func (s *Simulation) RestoreCheckpoint(r io.Reader) error {
 	s.stepsDone = f.StepsDone
 	s.timeDone = f.TimeDone
 	return nil
+}
+
+// WriteCheckpoint serialises the simulation's state (gob-encoded
+// Checkpoint). Functional mode only.
+func (s *Simulation) WriteCheckpoint(w io.Writer) error {
+	f, err := s.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// RestoreCheckpoint loads state written by WriteCheckpoint (gob-decoded
+// RestoreFromMemory); see RestoreFromMemory for the matching rules.
+func (s *Simulation) RestoreCheckpoint(r io.Reader) error {
+	if !s.Cfg.Scheduler.Functional {
+		return fmt.Errorf("core: checkpointing requires functional mode")
+	}
+	var f MemCheckpoint
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	return s.RestoreFromMemory(&f)
 }

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sunuintah/internal/field"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/taskgraph"
+)
+
+// copyTask builds an MPE task that carries label l through the step
+// unchanged — the minimal persistent-state problem.
+func copyTask(name string, l *taskgraph.Label) *taskgraph.Task {
+	return &taskgraph.Task{
+		Name: name, Kind: taskgraph.KindMPE,
+		Requires: []taskgraph.Dep{{Label: l, DW: taskgraph.OldDW}},
+		Computes: []taskgraph.Dep{{Label: l, DW: taskgraph.NewDW}},
+		MPERun: func(patch *grid.Patch, in, out map[*taskgraph.Label]*field.Cell) {
+			out[l].CopyRegion(in[l], patch.Box)
+		},
+	}
+}
+
+// checkpointSim builds a small functional simulation around the given
+// tasks and initial conditions.
+func checkpointSim(t *testing.T, tasks []*taskgraph.Task, initial map[*taskgraph.Label]func(x, y, z float64) float64) *Simulation {
+	t.Helper()
+	cfg := functionalCfg(grid.IV(8, 8, 8), grid.IV(2, 1, 1), 2, scheduler.ModeMPEOnly, false)
+	s, err := NewSimulation(cfg, Problem{Tasks: tasks, Initial: initial, Dt: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wantErrContaining(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error containing %q, got nil", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("want error containing %q, got: %v", frag, err)
+	}
+}
+
+// TestCheckpointDuplicateLabelRejected: two distinct labels sharing a
+// name cannot be checkpointed — the format identifies labels by name, and
+// both Checkpoint and RestoreFromMemory must reject the ambiguity.
+func TestCheckpointDuplicateLabelRejected(t *testing.T) {
+	a := taskgraph.NewLabel("dup", nil)
+	b := taskgraph.NewLabel("dup", nil)
+	flat := func(x, y, z float64) float64 { return 1 }
+	s := checkpointSim(t, []*taskgraph.Task{copyTask("copyA", a), copyTask("copyB", b)},
+		map[*taskgraph.Label]func(x, y, z float64) float64{a: flat, b: flat})
+
+	_, err := s.Checkpoint()
+	wantErrContaining(t, err, "duplicate label name")
+
+	// The restore side hits the same validation before touching any data.
+	good := simpleCheckpointSource(t)
+	ckpt, err := good.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrContaining(t, s.RestoreFromMemory(ckpt), "duplicate label name")
+}
+
+// simpleCheckpointSource builds a one-label functional simulation and
+// returns it (for producing valid checkpoints to corrupt).
+func simpleCheckpointSource(t *testing.T) *Simulation {
+	t.Helper()
+	l := taskgraph.NewLabel("v", nil)
+	return checkpointSim(t, []*taskgraph.Task{copyTask("copy", l)},
+		map[*taskgraph.Label]func(x, y, z float64) float64{l: func(x, y, z float64) float64 { return x + 2*y + 3*z }})
+}
+
+// TestCheckpointGridMismatchRejected: a checkpoint restores only into a
+// simulation with the identical grid and patch layout.
+func TestCheckpointGridMismatchRejected(t *testing.T) {
+	src := simpleCheckpointSource(t)
+	ckpt, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongCells := *ckpt
+	wrongCells.Cells = grid.IV(16, 16, 16)
+	wantErrContaining(t, simpleCheckpointSource(t).RestoreFromMemory(&wrongCells), "does not match simulation")
+
+	wrongPatches := *ckpt
+	wrongPatches.PatchCounts = grid.IV(1, 2, 1)
+	wantErrContaining(t, simpleCheckpointSource(t).RestoreFromMemory(&wrongPatches), "does not match simulation")
+}
+
+// TestCheckpointLabelCountRejected: a checkpoint carrying more or fewer
+// labels than the problem's persistent set is rejected, as is a matching
+// count with an unknown name.
+func TestCheckpointLabelCountRejected(t *testing.T) {
+	src := simpleCheckpointSource(t)
+	ckpt, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	extra := *ckpt
+	extra.Labels = append(append([]string(nil), ckpt.Labels...), "ghostlabel")
+	extra.Data = append(append([][][]float64(nil), ckpt.Data...), nil)
+	wantErrContaining(t, simpleCheckpointSource(t).RestoreFromMemory(&extra), "labels")
+
+	renamed := *ckpt
+	renamed.Labels = []string{"nosuch"}
+	wantErrContaining(t, simpleCheckpointSource(t).RestoreFromMemory(&renamed), "not in this problem")
+}
+
+// TestCheckpointUnpackMismatchRejected: per-patch data whose length does
+// not match the patch's cell count is rejected before any value lands in
+// a warehouse.
+func TestCheckpointUnpackMismatchRejected(t *testing.T) {
+	src := simpleCheckpointSource(t)
+	ckpt, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := *ckpt
+	corrupt.Data = append([][][]float64(nil), ckpt.Data...)
+	corrupt.Data[0] = append([][]float64(nil), ckpt.Data[0]...)
+	corrupt.Data[0][0] = corrupt.Data[0][0][:len(corrupt.Data[0][0])-1]
+	wantErrContaining(t, simpleCheckpointSource(t).RestoreFromMemory(&corrupt), "values, want")
+}
+
+// TestCheckpointTimingOnlyRejected: both directions of the in-memory path
+// require functional mode (a timing-only run has no field data).
+func TestCheckpointTimingOnlyRejected(t *testing.T) {
+	src := simpleCheckpointSource(t)
+	ckpt, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := functionalCfg(grid.IV(8, 8, 8), grid.IV(2, 1, 1), 2, scheduler.ModeMPEOnly, false)
+	cfg.Scheduler.Functional = false
+	l := taskgraph.NewLabel("v", nil)
+	s, err := NewSimulation(cfg, Problem{
+		Tasks: []*taskgraph.Task{copyTask("copy", l)},
+		Dt:    1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Checkpoint()
+	wantErrContaining(t, err, "functional mode")
+	wantErrContaining(t, s.RestoreFromMemory(ckpt), "functional mode")
+}
+
+// TestCheckpointMemoryRoundTrip: the in-memory path RunResilient now
+// uses — Checkpoint into RestoreFromMemory with no serialisation —
+// reproduces the uninterrupted run's field bytes.
+func TestCheckpointMemoryRoundTrip(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	prob, u := burgersProblem(cells, patches, false)
+	cfg := functionalCfg(cells, patches, 4, scheduler.ModeAsync, false)
+
+	s1, err := NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := s1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s1.GatherField(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.RestoreFromMemory(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.GatherField(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPacked := ref.Pack(s1.Level.Layout.Domain, nil)
+	gotPacked := got.Pack(s2.Level.Layout.Domain, nil)
+	for i := range refPacked {
+		if refPacked[i] != gotPacked[i] {
+			t.Fatalf("restored run diverges at cell %d: %g != %g", i, gotPacked[i], refPacked[i])
+		}
+	}
+}

@@ -44,6 +44,21 @@ type Config struct {
 	// Plans that can crash a core group force serial execution (a crash is
 	// an immediate global teardown, incompatible with lookahead).
 	Shards int
+	// Optimistic coordinates the shards with the Time-Warp engine
+	// (sim.OptimisticShardSet) instead of the conservative one: every
+	// rank's warehouse pair, scheduler counters and MPI counters are
+	// registered as rewindable state, so shards may speculate past their
+	// lookahead windows and roll back on stragglers. Like Shards it is a
+	// wall-clock knob only — results stay bit-identical for every setting
+	// and it never enters the runner's spec hash. The rank drivers are
+	// process-based today, so the coordinator takes its documented
+	// conservative fallback (OptStats().Degraded) until they become
+	// event-driven; crash-capable fault plans force serial execution
+	// exactly as they do for Shards. No-op unless Shards > 1.
+	Optimistic bool
+	// OptMaxDepth bounds speculation depth (quanta past the conservative
+	// window); 0 means the default (4). Ignored unless Optimistic.
+	OptMaxDepth int
 	// Scheduler picks the variant (mode, SIMD, tile size, extensions).
 	Scheduler scheduler.Config
 	// Params is the machine model; zero value means perf.DefaultParams.
@@ -89,6 +104,10 @@ type Simulation struct {
 	eng    *sim.Engine
 	engs   []*sim.Engine
 	shards *sim.ShardSet
+	// opt is the Time-Warp coordinator over shards (nil unless
+	// Cfg.Optimistic took effect); shardOf[r] is rank r's shard index.
+	opt     *sim.OptimisticShardSet
+	shardOf []int
 	// runMu guards the error/crash fields written by concurrently
 	// executing shard goroutines.
 	runMu  sync.Mutex
@@ -191,10 +210,24 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 
 	engs := make([]*sim.Engine, cfg.NumCGs)
 	var shards *sim.ShardSet
+	var opt *sim.OptimisticShardSet
+	var shardOf []int
 	if nShards > 1 {
-		shards = sim.NewShardSetLatencies(shardLatencies(params, cfg.NumCGs, nShards))
+		if cfg.Optimistic {
+			depth := cfg.OptMaxDepth
+			if depth <= 0 {
+				depth = 4
+			}
+			opt = sim.NewOptimisticLatencies(shardLatencies(params, cfg.NumCGs, nShards),
+				sim.OptConfig{MaxDepth: depth})
+			shards = opt.ShardSet
+		} else {
+			shards = sim.NewShardSetLatencies(shardLatencies(params, cfg.NumCGs, nShards))
+		}
+		shardOf = make([]int, cfg.NumCGs)
 		for r := range engs {
-			engs[r] = shards.Engine(r * nShards / cfg.NumCGs)
+			shardOf[r] = r * nShards / cfg.NumCGs
+			engs[r] = shards.Engine(shardOf[r])
 		}
 	} else {
 		eng := sim.NewEngine()
@@ -228,7 +261,8 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 	s := &Simulation{
 		Cfg: cfg, Prob: prob, Level: level,
 		Machine: machine, Comm: comm,
-		eng: engs[0], engs: engs, shards: shards, assign: assign,
+		eng: engs[0], engs: engs, shards: shards, opt: opt, shardOf: shardOf,
+		assign:  assign,
 		sampler: sampler,
 	}
 	// Attach the fault plane before the schedulers are built (they capture
@@ -252,6 +286,13 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 			return nil, err
 		}
 		s.Ranks = append(s.Ranks, rk)
+		if opt != nil {
+			// Everything a rollback must rewind: the rank saver covers the
+			// warehouse pair, scheduler counters and core-group state; the
+			// MPI rank saver covers the traffic counters.
+			opt.Register(shardOf[r], rk)
+			opt.Register(shardOf[r], comm.Rank(r))
+		}
 	}
 	if err := s.allocateInitial(); err != nil {
 		return nil, err
@@ -307,12 +348,27 @@ func (s *Simulation) now() sim.Time {
 // segment starts every rank at the same instant, as the serial engine
 // does.
 func (s *Simulation) drive() {
+	if s.opt != nil {
+		s.opt.Run()
+		s.shards.AlignNow()
+		return
+	}
 	if s.shards != nil {
 		s.shards.Run()
 		s.shards.AlignNow()
 		return
 	}
 	s.eng.Run()
+}
+
+// OptStats returns the Time-Warp coordinator's counters, or false when
+// the run is not optimistic. Degraded reports the conservative fallback
+// (today always taken: the rank drivers are processes).
+func (s *Simulation) OptStats() (sim.OptStats, bool) {
+	if s.opt == nil {
+		return sim.OptStats{}, false
+	}
+	return s.opt.Stats(), true
 }
 
 // stopFrom stops the run from inside p's executing event: p's own engine

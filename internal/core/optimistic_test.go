@@ -1,0 +1,248 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sunuintah/internal/faults"
+	"sunuintah/internal/grid"
+	"sunuintah/internal/obs"
+	"sunuintah/internal/scheduler"
+	"sunuintah/internal/sim"
+	"sunuintah/internal/taskgraph"
+)
+
+// TestCoreOptimisticBitIdentical extends the sharded engine's determinism
+// contract to the Time-Warp coordinator: with Optimistic set, every shard
+// count produces the same bytes — Result JSON and every field value — as
+// the serial engine. The rank drivers are processes, so the coordinator
+// reports its conservative fallback; bit-identity must hold either way.
+func TestCoreOptimisticBitIdentical(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	const nSteps = 3
+
+	base := func(mode scheduler.Mode, functional bool, cgs int) Config {
+		return Config{
+			Cells:       cells,
+			PatchCounts: patches,
+			NumCGs:      cgs,
+			Scheduler: scheduler.Config{
+				Mode:       mode,
+				TileSize:   grid.IV(8, 8, 4),
+				Functional: functional,
+			},
+		}
+	}
+	noCrash := &faults.Plan{Seed: 7, Drop: 0.1, Dup: 0.1, Delay: 0.1, Straggle: 0.1}
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"functional-async-8cg", base(scheduler.ModeAsync, true, 8)},
+		{"timing-async-8cg", base(scheduler.ModeAsync, false, 8)},
+		{"faulted-async-8cg", func() Config {
+			c := base(scheduler.ModeAsync, true, 8)
+			c.Faults = noCrash
+			return c
+		}()},
+		{"obs-trace-async-8cg", func() Config {
+			c := base(scheduler.ModeAsync, true, 8)
+			c.Obs = &obs.Options{Trace: true}
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			refJSON, refField := shardRun(t, tc.cfg, nSteps)
+			for _, shards := range []int{1, 2, 4, 8} {
+				cfg := tc.cfg
+				cfg.Shards = shards
+				cfg.Optimistic = true
+				gotJSON, gotField := shardRun(t, cfg, nSteps)
+				if string(gotJSON) != string(refJSON) {
+					t.Fatalf("shards=%d optimistic: result JSON differs from serial engine\nserial:     %s\noptimistic: %s",
+						shards, refJSON, gotJSON)
+				}
+				if len(gotField) != len(refField) {
+					t.Fatalf("shards=%d optimistic: field length %d != %d", shards, len(gotField), len(refField))
+				}
+				for i := range gotField {
+					if gotField[i] != refField[i] {
+						t.Fatalf("shards=%d optimistic: field[%d] = %g != %g (must be bit-identical)",
+							shards, i, gotField[i], refField[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOptimisticDegradeReported: process-based rank drivers take the
+// conservative fallback and the coordinator says so, rather than
+// silently pretending to speculate.
+func TestOptimisticDegradeReported(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	prob, _ := burgersProblem(cells, patches, false)
+	cfg := Config{
+		Cells:       cells,
+		PatchCounts: patches,
+		NumCGs:      4,
+		Shards:      4,
+		Optimistic:  true,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 4), Functional: true},
+	}
+	s, err := NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.opt == nil {
+		t.Fatal("Optimistic config did not build the Time-Warp coordinator")
+	}
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.OptStats()
+	if !ok {
+		t.Fatal("OptStats reports no optimistic coordinator")
+	}
+	if !st.Degraded {
+		t.Error("process-based rank drivers must take the documented conservative fallback")
+	}
+}
+
+// TestOptimisticCrashPlanForcesSerial: the rule crash-capable plans
+// already impose on Shards extends to Optimistic — the run is serial (no
+// coordinator at all), and the resilient result is byte-identical to the
+// plain serial run.
+func TestOptimisticCrashPlanForcesSerial(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	prob, _ := burgersProblem(cells, patches, false)
+	cfg := Config{
+		Cells:       cells,
+		PatchCounts: patches,
+		NumCGs:      4,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 4), Functional: true},
+		Faults:      &faults.Plan{Seed: 3, CrashAtStep: 2, CheckpointEvery: 2},
+	}
+
+	s, err := NewSimulation(func() Config {
+		c := cfg
+		c.Shards = 4
+		c.Optimistic = true
+		return c
+	}(), prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.shards != nil || s.opt != nil {
+		t.Fatal("crash-capable plan must force the serial engine, optimistic or not")
+	}
+
+	serial, err := RunResilient(cfg, prob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	cfg.Optimistic = true
+	optimistic, err := RunResilient(cfg, prob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(optimistic)
+	if string(a) != string(b) {
+		t.Fatalf("crash-plan results differ:\nserial:     %s\noptimistic: %s", a, b)
+	}
+}
+
+// rankFingerprint packs everything the rank savers claim to rewind into
+// comparable bytes: scheduler stats, measured patch costs, MPI traffic
+// counters, machine counters, memory accounting, and the full field
+// state of both warehouses.
+func rankFingerprint(t *testing.T, s *Simulation, u *taskgraph.Label) []byte {
+	t.Helper()
+	type mpiCounters struct {
+		BytesSent, BytesReceived, MsgsSent, MsgsReceived, TestCalls int64
+		Resends, DupsDiscarded                                      int64
+	}
+	fp := struct {
+		Stats      []scheduler.Stats
+		PatchCosts []map[int]sim.Time
+		MPI        []mpiCounters
+		Counters   any
+		PeakBytes  []int64
+		Field      []float64
+	}{Counters: s.Machine.TotalCounters()}
+	for r, rk := range s.Ranks {
+		fp.Stats = append(fp.Stats, rk.Stats)
+		fp.PatchCosts = append(fp.PatchCosts, rk.PatchCosts())
+		mr := s.Comm.Rank(r)
+		fp.MPI = append(fp.MPI, mpiCounters{mr.BytesSent, mr.BytesReceived,
+			mr.MsgsSent, mr.MsgsReceived, mr.TestCalls, mr.Resends, mr.DupsDiscarded})
+		fp.PeakBytes = append(fp.PeakBytes, s.Machine.CG(r).PeakBytes())
+	}
+	f, err := s.GatherField(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp.Field = f.Pack(s.Level.Layout.Domain, nil)
+	blob, err := json.Marshal(&fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestRankRewindRoundTrip drives the in-memory StateSaver path end to
+// end on real runtime state: after one step every rank's state is saved,
+// a further step mutates everything (fields, counters, traffic, memory
+// accounting), and restoring rewinds each layer byte-identically to the
+// saved fingerprint — no serialisation anywhere.
+func TestRankRewindRoundTrip(t *testing.T) {
+	cells := grid.IV(16, 16, 16)
+	patches := grid.IV(2, 2, 2)
+	cfg := Config{
+		Cells:       cells,
+		PatchCounts: patches,
+		NumCGs:      4,
+		Scheduler:   scheduler.Config{Mode: scheduler.ModeAsync, TileSize: grid.IV(8, 8, 4), Functional: true},
+		// A fault plan exercises the deep-copied FaultStats and the MPI
+		// duplicate-detection window.
+		Faults: &faults.Plan{Seed: 7, Drop: 0.1, Dup: 0.1, Delay: 0.1, Straggle: 0.1},
+	}
+	prob, u := burgersProblem(cells, patches, false)
+	s, err := NewSimulation(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+
+	var rankSnaps, mpiSnaps []any
+	for r, rk := range s.Ranks {
+		rankSnaps = append(rankSnaps, rk.SaveState())
+		mpiSnaps = append(mpiSnaps, s.Comm.Rank(r).SaveState())
+	}
+	want := rankFingerprint(t, s, u)
+
+	if _, err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if mutated := rankFingerprint(t, s, u); string(mutated) == string(want) {
+		t.Fatal("second step left the fingerprint unchanged; the rewind test is vacuous")
+	}
+
+	for r, rk := range s.Ranks {
+		rk.RestoreState(rankSnaps[r])
+		s.Comm.Rank(r).RestoreState(mpiSnaps[r])
+	}
+	got := rankFingerprint(t, s, u)
+	if string(got) != string(want) {
+		t.Fatalf("rank rewind is not byte-identical\nsaved:    %s\nrestored: %s", want, got)
+	}
+}

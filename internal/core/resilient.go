@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 
@@ -178,8 +177,8 @@ func runResilient(cfg Config, prob Problem, nSteps int) (*Result, *Simulation, e
 	plan := cfg.Faults.Normalized()
 
 	// build constructs incarnation inc resumed at the given progress (ckpt
-	// is the functional checkpoint archive; nil before the first one).
-	build := func(inc, stepsDone int, timeDone float64, ckpt []byte) (*Simulation, error) {
+	// is the in-memory checkpoint; nil before the first one).
+	build := func(inc, stepsDone int, timeDone float64, ckpt *MemCheckpoint) (*Simulation, error) {
 		c := cfg
 		fp := plan
 		fp.Seed = plan.Seed + uint64(inc)*incarnationStride
@@ -190,7 +189,7 @@ func runResilient(cfg Config, prob Problem, nSteps int) (*Result, *Simulation, e
 		}
 		if stepsDone > 0 {
 			if cfg.Scheduler.Functional {
-				if err := s.RestoreCheckpoint(bytes.NewReader(ckpt)); err != nil {
+				if err := s.RestoreFromMemory(ckpt); err != nil {
 					return nil, err
 				}
 			} else {
@@ -214,7 +213,7 @@ func runResilient(cfg Config, prob Problem, nSteps int) (*Result, *Simulation, e
 	timeDone := 0.0
 	restarts := 0
 	inc := 0
-	var ckpt []byte
+	var ckpt *MemCheckpoint
 
 	s, err := build(inc, stepsDone, timeDone, ckpt)
 	if err != nil {
@@ -268,11 +267,11 @@ func runResilient(cfg Config, prob Problem, nSteps int) (*Result, *Simulation, e
 		timeDone += float64(seg) * prob.Dt
 		if stepsDone < nSteps {
 			if cfg.Scheduler.Functional {
-				var buf bytes.Buffer
-				if err := s.WriteCheckpoint(&buf); err != nil {
+				c, err := s.Checkpoint()
+				if err != nil {
 					return nil, nil, err
 				}
-				ckpt = buf.Bytes()
+				ckpt = c
 			}
 			rec.Checkpoints++
 			rec.CheckpointOverhead += sim.Time(plan.CheckpointCost)

@@ -36,6 +36,9 @@ type varEntry struct {
 	data  *field.Cell // nil in timing-only mode
 	bytes int64
 	ghost int
+	// box is the ungrown interior the variable was allocated over, kept so
+	// a snapshot can re-create the entry without the originating patch.
+	box grid.Box
 }
 
 // Warehouse stores one timestep's variables for one rank.
@@ -65,7 +68,7 @@ func (w *Warehouse) Allocate(label *taskgraph.Label, patch *grid.Patch, ghost in
 	if err := w.cg.Allocate(bytes); err != nil {
 		return err
 	}
-	e := &varEntry{bytes: bytes, ghost: ghost}
+	e := &varEntry{bytes: bytes, ghost: ghost, box: patch.Box}
 	if w.mode == Functional {
 		// Pooled storage: Free/FreeAll recycle the backing array, so the
 		// per-step allocate/free churn of the warehouse swap is

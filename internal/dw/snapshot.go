@@ -1,0 +1,89 @@
+package dw
+
+import (
+	"fmt"
+
+	"sunuintah/internal/field"
+)
+
+// Warehouse and Pair implement the sim.StateSaver shape (SaveState /
+// RestoreState) so a rank's field state can be snapshotted and rewound
+// in memory — no gob, no []byte round trip. A snapshot deep-copies every
+// variable's backing array; restoring frees the live variables and
+// rebuilds the saved set, so the warehouse ends byte-identical to the
+// moment of the save, including the core group's memory accounting.
+
+// varSnap is one saved variable (box/ghost suffice to re-create it; the
+// data slice is a private copy, nil in timing-only mode).
+type varSnap struct {
+	entry varEntry
+	data  []float64
+}
+
+type warehouseSnap struct {
+	vars map[varKey]varSnap
+}
+
+// SaveState deep-copies the warehouse's variables.
+func (w *Warehouse) SaveState() any {
+	s := warehouseSnap{vars: make(map[varKey]varSnap, len(w.vars))}
+	for k, e := range w.vars {
+		vs := varSnap{entry: *e}
+		if e.data != nil {
+			vs.data = append([]float64(nil), e.data.Data()...)
+		}
+		s.vars[k] = vs
+	}
+	return s
+}
+
+// RestoreState frees every live variable and rebuilds the saved set.
+func (w *Warehouse) RestoreState(state any) {
+	s := state.(warehouseSnap)
+	w.FreeAll()
+	w.restoreInto(s)
+}
+
+// restoreInto rebuilds the saved variables into an empty warehouse (the
+// caller has freed the live set — possibly across several warehouses
+// first, so a pair restore never transiently overshoots the core group's
+// memory cap).
+func (w *Warehouse) restoreInto(s warehouseSnap) {
+	for k, vs := range s.vars {
+		if err := w.cg.Allocate(vs.entry.bytes); err != nil {
+			// The snapshot's footprint was accounted when it was taken and
+			// everything since has been freed; failure here is a memory
+			// accounting bug, not a user error.
+			panic(fmt.Sprintf("dw: restoring snapshot: %v", err))
+		}
+		e := &varEntry{bytes: vs.entry.bytes, ghost: vs.entry.ghost, box: vs.entry.box}
+		if w.mode == Functional {
+			e.data = field.NewCellPooledWithGhost(e.box, e.ghost)
+			copy(e.data.Data(), vs.data)
+		}
+		w.vars[k] = e
+	}
+}
+
+type pairSnap struct {
+	old, new warehouseSnap
+}
+
+// SaveState deep-copies both warehouses of the pair.
+func (p *Pair) SaveState() any {
+	return pairSnap{
+		old: p.Old.SaveState().(warehouseSnap),
+		new: p.New.SaveState().(warehouseSnap),
+	}
+}
+
+// RestoreState rewinds both warehouses. Both are emptied before either
+// is refilled, so the core group's accounted footprint never exceeds
+// max(live, saved) during the swap.
+func (p *Pair) RestoreState(state any) {
+	s := state.(pairSnap)
+	p.Old.FreeAll()
+	p.New.FreeAll()
+	p.Old.restoreInto(s.old)
+	p.New.restoreInto(s.new)
+}

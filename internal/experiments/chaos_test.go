@@ -33,6 +33,25 @@ func TestChaos(t *testing.T) {
 		t.Fatalf("unexpected artifact shape:\n%s", serial)
 	}
 
+	// Composing the matrix with the engine knobs must change nothing: the
+	// crash-capable cells force serial execution (core applies the same
+	// fallback rule to Shards and Optimistic — a CG crash is a
+	// zero-lookahead global teardown no speculation window can roll back),
+	// and the fault-free baseline runs the engines under their bit-identity
+	// contract. Byte-equality of the rendered artifact is the gate.
+	optimistic := func() string {
+		s := NewSweepWithPool(Options{Shards: 4, Optimistic: true}, NewPool(4, runner.NewMemoryCache(0), nil))
+		defer s.Pool().Close()
+		out, err := Chaos(s, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}()
+	if optimistic != serial {
+		t.Fatalf("chaos artifact depends on the engine knobs:\n--- serial ---\n%s\n--- shards=4 optimistic ---\n%s", serial, optimistic)
+	}
+
 	s := NewSweepWithPool(Options{}, NewPool(0, runner.NewMemoryCache(0), nil))
 	defer s.Pool().Close()
 	rows, err := ChaosRows(s, steps)

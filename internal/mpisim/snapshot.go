@@ -1,0 +1,58 @@
+package mpisim
+
+// rankSnap is an MPI rank's rewindable step-boundary state: the traffic
+// and fault counters plus the collective cursor and duplicate-detection
+// window. In-flight requests (posted receives, unexpected messages) are
+// not captured — at an aligned step boundary every request has completed
+// and both lists are empty.
+type rankSnap struct {
+	bytesSent     int64
+	bytesReceived int64
+	msgsSent      int64
+	msgsReceived  int64
+	testCalls     int64
+	resends       int64
+	dupsDiscarded int64
+	sendSeq       int64
+	nextColl      int
+	seen          map[int64]bool
+}
+
+// SaveState captures the rank's counters (the sim.StateSaver shape, for
+// optimistic rollback and in-memory rank rewind). Call it only at step
+// boundaries with no requests outstanding.
+func (r *Rank) SaveState() any {
+	s := rankSnap{
+		bytesSent: r.BytesSent, bytesReceived: r.BytesReceived,
+		msgsSent: r.MsgsSent, msgsReceived: r.MsgsReceived,
+		testCalls: r.TestCalls, resends: r.Resends,
+		dupsDiscarded: r.DupsDiscarded,
+		sendSeq:       r.sendSeq, nextColl: r.nextColl,
+	}
+	if r.seen != nil {
+		s.seen = make(map[int64]bool, len(r.seen))
+		for k, v := range r.seen {
+			s.seen[k] = v
+		}
+	}
+	return s
+}
+
+// RestoreState rewinds the rank's counters to a SaveState snapshot.
+func (r *Rank) RestoreState(state any) {
+	s := state.(rankSnap)
+	r.BytesSent, r.BytesReceived = s.bytesSent, s.bytesReceived
+	r.MsgsSent, r.MsgsReceived = s.msgsSent, s.msgsReceived
+	r.TestCalls, r.Resends = s.testCalls, s.resends
+	r.DupsDiscarded = s.dupsDiscarded
+	r.sendSeq, r.nextColl = s.sendSeq, s.nextColl
+	r.seen = nil
+	if s.seen != nil {
+		r.seen = make(map[int64]bool, len(s.seen))
+		for k, v := range s.seen {
+			r.seen[k] = v
+		}
+	}
+	r.recvs = r.recvs[:0]
+	r.unexpected = r.unexpected[:0]
+}

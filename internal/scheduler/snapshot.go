@@ -1,0 +1,57 @@
+package scheduler
+
+import "sunuintah/internal/sim"
+
+// rankSnap is the scheduler's rewindable cross-step state: the stats
+// buckets, the measured per-patch costs, the warehouse pair and the core
+// group's counters. Intra-step machinery (pending sends/receives, offload
+// slots, work-ahead queue) is transient and empty at step boundaries,
+// which is where snapshots are taken.
+type rankSnap struct {
+	stats     Stats
+	faults    *FaultStats
+	patchCost map[int]sim.Time
+	dws       any
+	cg        any
+}
+
+// SaveState deep-copies the rank's step-boundary state (the
+// sim.StateSaver shape). It must be called between steps — with tasks in
+// flight the transient queues are not captured.
+func (s *Rank) SaveState() any {
+	snap := rankSnap{
+		stats:     s.Stats,
+		patchCost: make(map[int]sim.Time, len(s.patchCost)),
+		dws:       s.DWs.SaveState(),
+		cg:        s.cg.SaveState(),
+	}
+	if s.Stats.Faults != nil {
+		f := *s.Stats.Faults
+		snap.faults = &f
+	}
+	for k, v := range s.patchCost {
+		snap.patchCost[k] = v
+	}
+	return snap
+}
+
+// RestoreState rewinds the rank to a SaveState snapshot: warehouses
+// first (their free/allocate churn moves the core group's accounting),
+// then the core group overwrite that makes the accounting exact, then
+// the scheduler's own counters.
+func (s *Rank) RestoreState(state any) {
+	snap := state.(rankSnap)
+	s.DWs.RestoreState(snap.dws)
+	s.cg.RestoreState(snap.cg)
+	s.Stats = snap.stats
+	s.Stats.Faults = nil
+	if snap.faults != nil {
+		f := *snap.faults
+		s.Stats.Faults = &f
+	}
+	s.patchCost = make(map[int]sim.Time, len(snap.patchCost))
+	for k, v := range snap.patchCost {
+		s.patchCost[k] = v
+	}
+	s.prepared = s.prepared[:0]
+}

@@ -53,6 +53,11 @@ type event struct {
 	// gen counts reuses of this slot; an EventHandle carries the gen it
 	// was issued under and goes inert once they diverge.
 	gen uint32
+	// external marks an event injected as cross-shard mail by the
+	// optimistic coordinator: calendar snapshots exclude it (the
+	// coordinator's input log re-injects surviving mail after a rollback,
+	// refreshing the anti-message handles).
+	external bool
 }
 
 // eventQueue is a typed, slice-backed 4-ary min-heap on (at, seq). It
@@ -151,6 +156,9 @@ func (q *eventQueue) siftDown(i int) {
 // bulk append, where one O(n) pass beats m individual O(log n) sifts.
 func (q *eventQueue) reinit() {
 	n := len(q.evs)
+	if n == 0 {
+		return
+	}
 	for i, ev := range q.evs {
 		ev.index = i
 	}
@@ -198,11 +206,21 @@ type Engine struct {
 	// through the barrier for deterministic ordering): the clock must not
 	// pass an undelivered item's time. Infinity when none is pending.
 	selfMailAt Time
+	// outMailAt caps the running window at the earliest instant a response
+	// to this window's own outbound mail could arrive: a post waking shard
+	// d at time a can provoke a reply at a + lat[d][src], which the window
+	// ends — computed before the post existed — know nothing about. In the
+	// busy regime windows are at most one lookahead wide and the cap
+	// (>= two lookaheads out) never binds; it matters when a wide window
+	// wakes an idle shard. Infinity when nothing was posted. The
+	// optimistic coordinator leaves it unset while speculating — a late
+	// reply there is an ordinary straggler, repaired by rollback.
+	outMailAt Time
 }
 
 // NewEngine returns an empty simulation at time zero.
 func NewEngine() *Engine {
-	return &Engine{selfMailAt: Infinity}
+	return &Engine{selfMailAt: Infinity, outMailAt: Infinity}
 }
 
 // Now returns the current virtual time.
@@ -232,6 +250,7 @@ func (e *Engine) getEvent(at Time) *event {
 func (e *Engine) putEvent(ev *event) {
 	ev.fn = nil
 	ev.c = nil
+	ev.external = false
 	ev.gen++
 	e.free = append(e.free, ev)
 }
@@ -391,6 +410,9 @@ func (e *Engine) RunWindow(end Time) {
 	for !e.stopped && e.queue.Len() > 0 {
 		if e.selfMailAt < end {
 			end = e.selfMailAt
+		}
+		if e.outMailAt < end {
+			end = e.outMailAt
 		}
 		next := e.queue.evs[0]
 		if next.at >= end {

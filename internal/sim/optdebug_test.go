@@ -1,0 +1,95 @@
+package sim
+
+import "testing"
+
+// optTraceLog is a rollback-aware per-node execution log: entries append on
+// job execution and truncate back on rollback via the saver mechanism
+// (earlier entries are never mutated, so restoring the length restores the
+// committed prefix).
+type optTraceRec struct {
+	at      Time
+	payload uint64
+}
+
+type optTraceLog struct{ recs []optTraceRec }
+
+func (l *optTraceLog) SaveState() any     { return len(l.recs) }
+func (l *optTraceLog) RestoreState(s any) { l.recs = l.recs[:s.(int)] }
+
+// TestOptimisticCommittedTrace checks a property stronger than final-state
+// equality: the committed per-node execution sequence — every (time,
+// payload) pair that survives rollback — matches the serial run event for
+// event. A speculative execution that was undone and exactly repeated
+// would pass the final-hash test; this catches ordering and duplicate
+// delivery bugs directly.
+func TestOptimisticCommittedTrace(t *testing.T) {
+	const nNodes, budget = 8, 1500
+	const nShards = 2
+
+	runSerial := func() [][]optTraceRec {
+		eng := NewEngine()
+		nodes := newOptNodes(nNodes, budget)
+		logs := make([]*optTraceLog, nNodes)
+		for i, nd := range nodes {
+			logs[i] = &optTraceLog{}
+			ln := logs[i]
+			nd.trace = func(at Time, p uint64) { ln.recs = append(ln.recs, optTraceRec{at, p}) }
+			nd.eng = eng
+			nd.post = func(src *Engine, dst int, at Time, fn func()) { eng.ScheduleAt(at, fn) }
+		}
+		kickOptNodes(nodes)
+		eng.Run()
+		out := make([][]optTraceRec, nNodes)
+		for i, l := range logs {
+			out[i] = l.recs
+		}
+		return out
+	}
+
+	runOpt := func() [][]optTraceRec {
+		o := NewOptimisticShardSet(nShards, optModelLat, OptConfig{MaxDepth: 1})
+		ss := o.ShardSet
+		nodes := newOptNodes(nNodes, budget)
+		logs := make([]*optTraceLog, nNodes)
+		for i, nd := range nodes {
+			logs[i] = &optTraceLog{}
+			ln := logs[i]
+			nd.trace = func(at Time, p uint64) { ln.recs = append(ln.recs, optTraceRec{at, p}) }
+			nd.eng = ss.Engine(i % nShards)
+			nd.post = func(src *Engine, dst int, at Time, fn func()) {
+				ss.Post(src, ss.Engine(dst%nShards), at, fn)
+			}
+			o.Register(i%nShards, nd)
+			o.Register(i%nShards, ln)
+		}
+		kickOptNodes(nodes)
+		o.Run()
+		out := make([][]optTraceRec, nNodes)
+		for i, l := range logs {
+			out[i] = l.recs
+		}
+		return out
+	}
+
+	want := runSerial()
+	got := runOpt()
+	for i := range want {
+		n := len(want[i])
+		if len(got[i]) < n {
+			n = len(got[i])
+		}
+		diverged := false
+		for k := 0; k < n; k++ {
+			if want[i][k] != got[i][k] {
+				t.Errorf("node %d: first divergence at index %d: got {at=%.17g payload=%d}, want {at=%.17g payload=%d}",
+					i, k, float64(got[i][k].at), got[i][k].payload, float64(want[i][k].at), want[i][k].payload)
+				diverged = true
+				break
+			}
+		}
+		if !diverged && len(want[i]) != len(got[i]) {
+			t.Errorf("node %d: committed event counts differ: got %d, want %d (common prefix matches)",
+				i, len(got[i]), len(want[i]))
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mix64 is a splitmix64 step: the model's deterministic jitter source.
+func mix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+const optModelLat Time = 5 * Nanosecond
+
+// optNode is an event-driven PHOLD-style actor: each job folds (time,
+// payload) into an order-sensitive hash and schedules one successor,
+// locally (sub-lookahead delay) or on a random peer (>= lookahead away).
+// Jittered sub-nanosecond offsets keep event times globally distinct, the
+// optimistic engine's determinism precondition.
+type optNode struct {
+	id    int
+	nodes []*optNode
+	eng   *Engine
+	post  func(src *Engine, dst int, at Time, fn func())
+
+	rng    uint64
+	hash   uint64
+	count  int64
+	budget int64
+
+	// trace, when set, observes every job execution (diagnostics only).
+	trace func(at Time, payload uint64)
+}
+
+type optNodeState struct {
+	rng, hash     uint64
+	count, budget int64
+}
+
+func (nd *optNode) SaveState() any {
+	return optNodeState{nd.rng, nd.hash, nd.count, nd.budget}
+}
+
+func (nd *optNode) RestoreState(s any) {
+	st := s.(optNodeState)
+	nd.rng, nd.hash, nd.count, nd.budget = st.rng, st.hash, st.count, st.budget
+}
+
+func (nd *optNode) job(payload uint64) {
+	t := nd.eng.Now()
+	if nd.trace != nil {
+		nd.trace(t, payload)
+	}
+	nd.hash = nd.hash*1099511628211 ^ math.Float64bits(float64(t)) ^ payload
+	nd.count++
+	if nd.budget <= 0 {
+		return
+	}
+	nd.budget--
+	r := mix64(&nd.rng)
+	next := mix64(&nd.rng)
+	jitter := Time(r%1000) * 1e-12
+	if (r>>32)%100 < 30 {
+		dst := int(next % uint64(len(nd.nodes)))
+		dn := nd.nodes[dst]
+		nd.post(nd.eng, dst, t+optModelLat+Nanosecond+jitter, func() { dn.job(next) })
+	} else {
+		at := t + 2e-10 + jitter
+		nd.eng.ScheduleAt(at, func() { nd.job(next) })
+	}
+}
+
+type optNodeRes struct {
+	hash, rng uint64
+	count     int64
+}
+
+func newOptNodes(nNodes int, budget int64) []*optNode {
+	nodes := make([]*optNode, nNodes)
+	for i := range nodes {
+		nodes[i] = &optNode{id: i, rng: uint64(i)*2654435761 + 12345, budget: budget}
+	}
+	for _, nd := range nodes {
+		nd.nodes = nodes
+	}
+	return nodes
+}
+
+func kickOptNodes(nodes []*optNode) {
+	for i, nd := range nodes {
+		nd := nd
+		payload := uint64(i) * 7777
+		nd.eng.ScheduleAt(nd.eng.Now()+Time(i+1)*Nanosecond, func() { nd.job(payload) })
+	}
+}
+
+func collectOptNodes(nodes []*optNode) []optNodeRes {
+	out := make([]optNodeRes, len(nodes))
+	for i, nd := range nodes {
+		out[i] = optNodeRes{nd.hash, nd.rng, nd.count}
+	}
+	return out
+}
+
+// runOptSerial runs the model on a single engine: the reference result.
+func runOptSerial(nNodes int, budget int64) ([]optNodeRes, Time) {
+	eng := NewEngine()
+	nodes := newOptNodes(nNodes, budget)
+	for _, nd := range nodes {
+		nd.eng = eng
+		nd.post = func(src *Engine, dst int, at Time, fn func()) { eng.ScheduleAt(at, fn) }
+	}
+	kickOptNodes(nodes)
+	end := eng.Run()
+	return collectOptNodes(nodes), end
+}
+
+// runOptSharded runs the model on nShards engines, optimistically when
+// cfg.MaxDepth > 0 via an OptimisticShardSet, else conservatively.
+func runOptSharded(nNodes, nShards int, budget int64, cfg OptConfig, optimistic bool) ([]optNodeRes, Time, OptStats) {
+	var ss *ShardSet
+	var o *OptimisticShardSet
+	if optimistic {
+		o = NewOptimisticShardSet(nShards, optModelLat, cfg)
+		ss = o.ShardSet
+	} else {
+		ss = NewShardSet(nShards, optModelLat)
+	}
+	nodes := newOptNodes(nNodes, budget)
+	shardOf := func(node int) int { return node % nShards }
+	for i, nd := range nodes {
+		nd.eng = ss.Engine(shardOf(i))
+		nd.post = func(src *Engine, dst int, at Time, fn func()) {
+			ss.Post(src, ss.Engine(shardOf(dst)), at, fn)
+		}
+		if o != nil {
+			o.Register(shardOf(i), nd)
+		}
+	}
+	kickOptNodes(nodes)
+	var end Time
+	if o != nil {
+		end = o.Run()
+		return collectOptNodes(nodes), end, o.Stats()
+	}
+	end = ss.Run()
+	return collectOptNodes(nodes), end, OptStats{}
+}
+
+func requireSameModel(t *testing.T, label string, want, got []optNodeRes, wantEnd, gotEnd Time) {
+	t.Helper()
+	if wantEnd != gotEnd {
+		t.Errorf("%s: final time %v, want %v", label, gotEnd, wantEnd)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s: node %d state %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestOptimisticBitIdentical is the optimistic engine's core contract: for
+// an event-driven model with registered state, the Time-Warp run matches
+// the single-engine run exactly — hashes, counts, rng cursors and final
+// virtual time — at every shard count and speculation depth, with real
+// rollbacks occurring along the way.
+func TestOptimisticBitIdentical(t *testing.T) {
+	const nNodes, budget = 8, 1500
+	want, wantEnd := runOptSerial(nNodes, budget)
+
+	var sawRollback, sawAnti, sawCascade bool
+	for _, shards := range []int{1, 2, 4, 8} {
+		// Conservative sanity first: the substrate must agree before the
+		// speculative layers are worth debugging.
+		got, end, _ := runOptSharded(nNodes, shards, budget, OptConfig{}, false)
+		requireSameModel(t, "conservative", want, got, wantEnd, end)
+
+		for _, depth := range []int{1, 4} {
+			got, end, st := runOptSharded(nNodes, shards, budget, OptConfig{MaxDepth: depth}, true)
+			label := "optimistic"
+			requireSameModel(t, label, want, got, wantEnd, end)
+			if st.Degraded {
+				t.Errorf("shards=%d depth=%d unexpectedly degraded", shards, depth)
+			}
+			if st.Rollbacks > 0 {
+				sawRollback = true
+			}
+			if st.AntiMessages > 0 {
+				sawAnti = true
+			}
+			if st.CascadeRollbacks > 0 {
+				sawCascade = true
+			}
+			t.Logf("shards=%d depth=%d: windows=%d spec=%d snaps=%d rollbacks=%d cascades=%d anti=%d dup=%d exec=%d undone=%d frac=%.3f",
+				shards, depth, st.Windows, st.SpecWindows, st.Snapshots, st.Rollbacks,
+				st.CascadeRollbacks, st.AntiMessages, st.DupSends,
+				st.EventsExecuted, st.EventsRolledBack, st.RollbackFrac())
+		}
+	}
+	if !sawRollback {
+		t.Error("no configuration triggered a rollback: speculation was never exercised")
+	}
+	if !sawAnti {
+		t.Error("no configuration annihilated a sent message: anti-messages were never exercised")
+	}
+	if !sawCascade {
+		t.Error("no configuration cascaded a rollback: late anti-messages were never exercised")
+	}
+}
+
+// TestOptimisticDepthZeroConservative: MaxDepth 0 is the conservative
+// coordinator's exact code path (Degraded is recorded), still bit-identical.
+func TestOptimisticDepthZeroConservative(t *testing.T) {
+	const nNodes, budget = 8, 400
+	want, wantEnd := runOptSerial(nNodes, budget)
+	got, end, st := runOptSharded(nNodes, 4, budget, OptConfig{MaxDepth: 0}, true)
+	requireSameModel(t, "depth0", want, got, wantEnd, end)
+	if !st.Degraded {
+		t.Error("MaxDepth 0 should report Degraded (conservative fallback)")
+	}
+}
+
+// TestOptimisticProcessesDegrade: live processes force the conservative
+// path — goroutine stacks cannot roll back — and the run still completes
+// with the same model results.
+func TestOptimisticProcessesDegrade(t *testing.T) {
+	const nNodes, budget = 8, 400
+	want, wantEnd := runOptSerial(nNodes, budget)
+
+	o := NewOptimisticShardSet(4, optModelLat, OptConfig{MaxDepth: 4})
+	ss := o.ShardSet
+	nodes := newOptNodes(nNodes, budget)
+	for i, nd := range nodes {
+		nd.eng = ss.Engine(i % 4)
+		nd.post = func(src *Engine, dst int, at Time, fn func()) {
+			ss.Post(src, ss.Engine(dst%4), at, fn)
+		}
+		o.Register(i%4, nd)
+	}
+	kickOptNodes(nodes)
+	ss.Engine(0).Spawn("idler", func(p *Process) { p.Sleep(3 * Nanosecond) })
+	end := o.Run()
+	requireSameModel(t, "processes", want, collectOptNodes(nodes), wantEnd, end)
+	if !o.Stats().Degraded {
+		t.Error("a live process should degrade the run to the conservative path")
+	}
+}
+
+// TestOptimisticSpawnWhileSpeculatingPanics: spawning a process from an
+// event while the coordinator speculates is unrecoverable and must fail
+// loudly rather than corrupt a later rollback.
+func TestOptimisticSpawnWhileSpeculatingPanics(t *testing.T) {
+	// Only shard 0 has work, so the lone-runner fast path executes the
+	// offending event inline on this goroutine and the panic is catchable
+	// regardless of GOMAXPROCS.
+	o := NewOptimisticShardSet(2, optModelLat, OptConfig{MaxDepth: 2})
+	e0 := o.Engine(0)
+	e0.ScheduleAt(Nanosecond, func() {
+		e0.Spawn("late", func(p *Process) { p.Sleep(Nanosecond) })
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a panic from Spawn during speculation")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "cannot spawn") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	o.Run()
+}
+
+// TestOptimisticMultiSegment mirrors core's segmented drive (run, schedule
+// more work, run again): speculation state must reset cleanly between
+// segments and stay bit-identical to the serial two-segment run.
+func TestOptimisticMultiSegment(t *testing.T) {
+	const nNodes, budget = 8, 500
+
+	// Serial reference, two segments.
+	eng := NewEngine()
+	nodes := newOptNodes(nNodes, budget)
+	for _, nd := range nodes {
+		nd.eng = eng
+		nd.post = func(src *Engine, dst int, at Time, fn func()) { eng.ScheduleAt(at, fn) }
+	}
+	kickOptNodes(nodes)
+	eng.Run()
+	for _, nd := range nodes {
+		nd.budget = budget
+	}
+	kickOptNodes(nodes)
+	wantEnd := eng.Run()
+	want := collectOptNodes(nodes)
+
+	// Optimistic, two segments.
+	o := NewOptimisticShardSet(4, optModelLat, OptConfig{MaxDepth: 4})
+	ss := o.ShardSet
+	snodes := newOptNodes(nNodes, budget)
+	for i, nd := range snodes {
+		nd.eng = ss.Engine(i % 4)
+		nd.post = func(src *Engine, dst int, at Time, fn func()) {
+			ss.Post(src, ss.Engine(dst%4), at, fn)
+		}
+		o.Register(i%4, nd)
+	}
+	kickOptNodes(snodes)
+	o.Run()
+	o.AlignNow()
+	for _, nd := range snodes {
+		nd.budget = budget
+	}
+	kickOptNodes(snodes)
+	o.Run()
+	end := o.AlignNow()
+	requireSameModel(t, "segments", want, collectOptNodes(snodes), wantEnd, end)
+}

@@ -96,6 +96,10 @@ type ShardSet struct {
 	lat     [][]Time
 	minLat  Time
 	stopReq atomic.Bool
+	// opt is non-nil when this set is the conservative substrate of an
+	// OptimisticShardSet; Spawn consults it to reject processes while the
+	// coordinator is speculating (process stacks cannot roll back).
+	opt *OptimisticShardSet
 
 	// inbox[d] is shard d's reusable merge buffer at the barrier.
 	inbox [][]mailItem
@@ -193,6 +197,7 @@ func (ss *ShardSet) Post(src, dst *Engine, at Time, fn func()) {
 	src.outbox[dst.shardID] = append(src.outbox[dst.shardID], mailItem{
 		at: at, postTime: src.now, srcShard: src.shardID, seq: src.mailSeq, fn: fn})
 	src.mailSeq++
+	ss.capOutbound(src, dst.shardID, at)
 }
 
 // PostCall is Post with an allocation-free Caller in place of a closure —
@@ -206,6 +211,26 @@ func (ss *ShardSet) PostCall(src, dst *Engine, at Time, c Caller) {
 	src.outbox[dst.shardID] = append(src.outbox[dst.shardID], mailItem{
 		at: at, postTime: src.now, srcShard: src.shardID, seq: src.mailSeq, c: c})
 	src.mailSeq++
+	ss.capOutbound(src, dst.shardID, at)
+}
+
+// capOutbound shrinks the source's running window so it cannot outrun a
+// reply to mail it just posted: the destination may act at the mail's time
+// and affect the source lat[dst][src] later. Without the cap a wide window
+// (an idle destination does not constrain the end computation) could run
+// past that reply, breaking causality at the next injection. Latency
+// matrices are assumed to satisfy the triangle inequality, as the physical
+// interconnect model's do, so capping the poster alone also protects third
+// shards. A speculating optimistic coordinator skips the cap: late replies
+// there are stragglers, repaired by rollback — that freedom to overrun is
+// exactly what it speculates on.
+func (ss *ShardSet) capOutbound(src *Engine, dstID int, at Time) {
+	if ss.opt != nil && ss.opt.speculating {
+		return
+	}
+	if w := at + ss.lat[dstID][src.shardID]; w < src.outMailAt {
+		src.outMailAt = w
+	}
 }
 
 // checkMailTime enforces the conservative contract at the source: mail
@@ -227,10 +252,14 @@ func (ss *ShardSet) checkMailTime(src, dst *Engine, at Time) {
 func (ss *ShardSet) PostTagged(src, dst *Engine, at, postTime Time, tag uint64, c Caller) {
 	src.outbox[dst.shardID] = append(src.outbox[dst.shardID], mailItem{
 		at: at, postTime: postTime, srcShard: -1, seq: tag, c: c})
-	if dst == src && at < src.selfMailAt {
-		// The window must not run past the undelivered self-send.
-		src.selfMailAt = at
+	if dst == src {
+		if at < src.selfMailAt {
+			// The window must not run past the undelivered self-send.
+			src.selfMailAt = at
+		}
+		return
 	}
+	ss.capOutbound(src, dst.shardID, at)
 }
 
 // RequestStop asks the coordinator to stop every shard at the next
@@ -286,6 +315,7 @@ func (ss *ShardSet) AlignNow() Time {
 func (ss *ShardSet) Flush() {
 	for _, e := range ss.engines {
 		e.selfMailAt = Infinity
+		e.outMailAt = Infinity
 	}
 	for d, de := range ss.engines {
 		batch := ss.inbox[d][:0]

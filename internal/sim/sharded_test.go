@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 )
@@ -143,5 +144,59 @@ func TestShardSetLoneRunner(t *testing.T) {
 	}
 	if end != last {
 		t.Fatalf("end = %v, want last tick time %v", end, last)
+	}
+}
+
+// TestShardSetWakesIdleShard: a shard whose window is otherwise unbounded
+// (every peer idle) must still stop at the earliest instant a reply to its
+// own outbound mail could arrive. Shard 0 wakes idle shard 1 mid-run while
+// holding a long local event chain; shard 1's response would land in shard
+// 0's past without the outMailAt window cap.
+func TestShardSetWakesIdleShard(t *testing.T) {
+	const lat = 5 * Nanosecond
+	const chain = 50
+
+	type side struct{ hash uint64 }
+	fold := func(s *side, at Time, tag uint64) {
+		s.hash = s.hash*1099511628211 ^ math.Float64bits(float64(at)) ^ tag
+	}
+
+	// model wires the scenario onto two engines (possibly the same one):
+	// a dense local chain on side 0, one wake-up post to side 1, and side
+	// 1's reply back into the middle of side 0's chain.
+	model := func(e0, e1 *Engine, post func(src, dst *Engine, at Time, fn func())) (*side, *side) {
+		s0, s1 := &side{}, &side{}
+		for k := 1; k <= chain; k++ {
+			at := Time(k) * Nanosecond
+			e0.ScheduleAt(at, func() { fold(s0, at, 1) })
+		}
+		e0.ScheduleAt(Nanosecond+Time(1e-12), func() {
+			wake := e0.Now() + lat
+			post(e0, e1, wake, func() {
+				fold(s1, e1.Now(), 2)
+				reply := e1.Now() + lat
+				post(e1, e0, reply, func() { fold(s0, e0.Now(), 3) })
+			})
+		})
+		return s0, s1
+	}
+
+	eng := NewEngine()
+	w0, w1 := model(eng, eng, func(src, dst *Engine, at Time, fn func()) {
+		src.ScheduleAt(at, fn)
+	})
+	wantEnd := eng.Run()
+
+	ss := NewShardSet(2, lat)
+	g0, g1 := model(ss.Engine(0), ss.Engine(1), func(src, dst *Engine, at Time, fn func()) {
+		ss.Post(src, dst, at, fn)
+	})
+	end := ss.Run()
+
+	if end != wantEnd {
+		t.Errorf("final time %v, want %v", end, wantEnd)
+	}
+	if g0.hash != w0.hash || g1.hash != w1.hash {
+		t.Errorf("hashes (%x,%x), want (%x,%x)", g0.hash, g1.hash, w0.hash, w1.hash)
 	}
 }
