@@ -33,15 +33,18 @@ import (
 	"time"
 
 	"sunuintah/internal/burgers"
+	"sunuintah/internal/core"
 	"sunuintah/internal/dw"
 	"sunuintah/internal/experiments"
 	"sunuintah/internal/field"
 	"sunuintah/internal/grid"
+	"sunuintah/internal/obs"
 	"sunuintah/internal/perf"
 	"sunuintah/internal/runner"
 	"sunuintah/internal/sim"
 	"sunuintah/internal/sw26010"
 	"sunuintah/internal/taskgraph"
+	"sunuintah/internal/trace"
 	"sunuintah/internal/workload"
 )
 
@@ -51,10 +54,11 @@ const calibName = "calib.iters_per_s"
 
 // schemaVersion is the baseline file format this benchgate reads and
 // writes. Schema 2 added the recorded GOMAXPROCS and the Time-Warp
-// metrics (sim.opt.*, e2e.opt4.speedup_x); a schema-1 baseline fails the
-// gate with a re-record instruction instead of silently skipping the new
-// metrics.
-const schemaVersion = 2
+// metrics (sim.opt.*, e2e.opt4.speedup_x); schema 3 added the
+// observability metrics (obs.overhead_frac, obs.nilprobe.allocs_per_op).
+// A stale-schema baseline fails the gate with a re-record instruction
+// instead of silently skipping the new metrics.
+const schemaVersion = 3
 
 // Baseline is the persisted gate file.
 type Baseline struct {
@@ -180,6 +184,79 @@ func collect() map[string]float64 {
 		}
 	}
 	m[calibName] = measureRate(10000, 5, calib)
+
+	// Observability overhead: the sampler + speculation hooks must cost
+	// under 5% of e2e steps/s. The cost is isolated at the core layer:
+	// both sides of a pair run the same resolved config with a trace
+	// recorder attached (an observed run always records one), and the
+	// instrumented side additionally wires every probe and speculation
+	// hook with report assembly disabled (obs.Options.HooksOnly) — so the
+	// delta is exactly the always-on hook tax, not the one-shot report
+	// assembly that only reporting runs pay. The case runs longer than
+	// the e2e speedup cases because the sampler's cost is sublinear in
+	// run length (decimation bounds every series, so a 2-step window
+	// would mostly time the fixed arena setup, not the steady-state tax
+	// production jobs pay). Interleaved pairs like the speedup metrics —
+	// a throttle burst hits both sides of one pair instead of biasing a
+	// whole side — and each pair's overhead clamps at 0 (a recorder
+	// faster than its control is measurement noise, not negative cost).
+	{
+		const obsSteps = 16 // 8x the e2e speedup cases' window
+		spec := runner.Spec{Cells: "64x64x128", Layout: "4x4x2", CGs: 32,
+			Variant: "acc_simd.async", Steps: obsSteps, Shards: 4}
+		baseCfg, prob, err := experiments.SpecConfig(spec)
+		if err != nil {
+			panic(err)
+		}
+		runCase := func(hooks bool) func() {
+			return func() {
+				cfg := baseCfg
+				if hooks {
+					cfg.Obs = &obs.Options{HooksOnly: true}
+				} else {
+					cfg.Scheduler.Trace = trace.New()
+				}
+				s, err := core.NewSimulation(cfg, prob)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := s.Run(obsSteps); err != nil {
+					panic(err)
+				}
+			}
+		}
+		plainFn, hookFn := runCase(false), runCase(true)
+		plainFn()
+		hookFn()
+		// Single-core hosts with a concurrent GC make individual windows
+		// of this case swing by ±10%, so per-pair ratios cannot be
+		// compared against a 5% budget. Each round interleaves several
+		// windows per side, each behind a forced GC (so neither side
+		// inherits the other's garbage), and ratios the per-side medians;
+		// the metric is the median of three such rounds. The block runs
+		// right after calibration, before the e2e suites grow the heap,
+		// so every forced-GC window starts from the same small live set.
+		window := func(fn func()) float64 {
+			runtime.GC()
+			return oneWindow(obsSteps, fn)
+		}
+		const rounds, wins = 3, 5
+		ovs := make([]float64, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			ps := make([]float64, 0, wins)
+			ws := make([]float64, 0, wins)
+			for i := 0; i < wins; i++ {
+				ps = append(ps, window(plainFn))
+				ws = append(ws, window(hookFn))
+			}
+			ov := 1 - median(ws)/median(ps)
+			if ov < 0 {
+				ov = 0
+			}
+			ovs = append(ovs, ov)
+		}
+		m["obs.overhead_frac"] = median(ovs)
+	}
 
 	// Kernel throughput per exponential library (cells/s) on the
 	// benchmark's 32^3 single-patch grid.
@@ -383,6 +460,20 @@ func collect() map[string]float64 {
 		// periods on shared hosts to find an undisturbed window.
 		m["sim.mail.msgs_per_s"] = measureRate(mailBatch, 12, round)
 		m["sim.mail.allocs_per_op"] = testing.AllocsPerRun(10, round)
+	}
+
+	// The disabled-observability fast path must stay allocation-free: a nil
+	// SpecRecorder's Observe and a publish to a subscriber-less progress
+	// topic are what every non-instrumented run pays per window/step.
+	{
+		var rec *obs.SpecRecorder
+		bus := obs.NewProgressBus()
+		ws := sim.WindowStats{Window: 1, Executed: 10}
+		ev := obs.ProgressEvent{Rank: 1, Step: 1, Done: 1, Total: 10}
+		m["obs.nilprobe.allocs_per_op"] = testing.AllocsPerRun(100, func() {
+			rec.Observe(ws)
+			bus.Publish("benchgate", ev)
+		})
 	}
 
 	// Time-Warp optimistic coordination (events/s, and the rollback
@@ -601,6 +692,23 @@ func check(path string, tol float64, verbose bool) ([]string, error) {
 			}
 			continue
 		}
+		if name == "obs.overhead_frac" {
+			// The recorder's cost is bounded by contract (<5%), not by its
+			// own history: a baseline recorded on a quiet host must not turn
+			// ordinary jitter on a noisy one into a regression.
+			limit := 0.05
+			if b+fracSlack > limit {
+				limit = b + fracSlack
+			}
+			if c > limit {
+				failures = append(failures, fmt.Sprintf("%s: %.3f, limit %.3f (observability must stay cheap)",
+					name, c, limit))
+			}
+			if verbose {
+				fmt.Printf("%-28s baseline %.3f  current %.3f  (limit %.3f)\n", name, b, c, limit)
+			}
+			continue
+		}
 		if strings.HasSuffix(name, "_frac") {
 			// Absolute must-not-exceed: the fraction is deterministic, so
 			// growth means the speculation/rollback balance changed.
@@ -689,4 +797,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchgate -record [-o file] | -check file [-tol f] [-v]")
 		os.Exit(2)
 	}
+}
+
+// median returns the middle value of xs (upper middle for even counts)
+// without reordering the caller's slice.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }

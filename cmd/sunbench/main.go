@@ -32,9 +32,11 @@
 // built-in default scenario plus a record-and-replay leg.
 //
 // -report runs a representative case with the flight recorder attached and
-// prints its run report (virtual-time series summary, overlap, roofline);
-// -metrics-out FILE additionally writes the full report plus the pool's
-// job metrics as JSON. Both work with or without artifact arguments.
+// prints its run report (virtual-time series summary, overlap, roofline,
+// critical-path breakdown, and — under -shards/-optimistic — the window
+// speculation telemetry and Time-Warp stats); -metrics-out FILE
+// additionally writes the full report plus the pool's job metrics as
+// JSON. Both work with or without artifact arguments.
 package main
 
 import (
@@ -51,8 +53,21 @@ import (
 	"sunuintah/internal/faults"
 	"sunuintah/internal/obs"
 	"sunuintah/internal/runner"
+	"sunuintah/internal/sim"
 	"sunuintah/internal/workload"
 )
+
+// fmtBytes renders an estimated byte count human-readably.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: sunbench [-steps N] [-noise f -repeats k] [-faults plan] [-jobs N] [-shards N] [-optimistic] [-cache dir|off] [-json file] [-scenario file] [-report] [-metrics-out file] [-cpuprofile file] [-memprofile file] [-v] <artifact>...")
@@ -283,14 +298,29 @@ func runFlightReport(pool *experiments.Pool, steps, shards int, optimistic bool,
 	fmt.Printf("flight report for %s:\n", spec)
 	res.Sim.Obs.WriteTable(os.Stdout)
 	fmt.Println()
+	res.Sim.Obs.WriteCriticalPath(os.Stdout)
+	fmt.Println()
+	if res.Sim.Speculation != nil {
+		res.Sim.Speculation.WriteTable(os.Stdout)
+		fmt.Println()
+	}
+	if o := res.Sim.Opt; o != nil {
+		fmt.Printf("time-warp: %d windows (%d speculative), %d rollbacks (%d cascaded), "+
+			"rollback frac %.3f, depth %d, %d snapshots (%s), %d anti-messages, degraded=%v\n\n",
+			o.Windows, o.SpecWindows, o.Rollbacks, o.CascadeRollbacks,
+			o.RollbackFrac(), o.FinalDepth, o.Snapshots, fmtBytes(o.SnapshotBytes),
+			o.AntiMessages, o.Degraded)
+	}
 	if metricsOut == "" {
 		return nil
 	}
 	out := struct {
-		Spec   runner.Spec    `json:"spec"`
-		Report *obs.Report    `json:"report"`
-		Pool   runner.Metrics `json:"pool"`
-	}{spec, res.Sim.Obs, pool.Metrics()}
+		Spec        runner.Spec     `json:"spec"`
+		Report      *obs.Report     `json:"report"`
+		Opt         *sim.OptStats   `json:"opt,omitempty"`
+		Speculation *obs.SpecReport `json:"speculation,omitempty"`
+		Pool        runner.Metrics  `json:"pool"`
+	}{spec, res.Sim.Obs, res.Sim.Opt, res.Sim.Speculation, pool.Metrics()}
 	f, err := os.Create(metricsOut)
 	if err != nil {
 		return err

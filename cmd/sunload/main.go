@@ -9,6 +9,7 @@
 //	sunload -url http://localhost:8177 -scale 0.01
 //	sunload -url http://localhost:8177 -scenario storm.json -clients 8 -tenant bench
 //	sunload -url http://localhost:8177 -ramp 0.1,0.03,0.01,0.003 -o saturation.json
+//	sunload -url http://localhost:8177 -follow
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	rampFlag := flag.String("ramp", "", "comma-separated descending time scales for a saturation search (overrides -scale)")
 	threshold := flag.Float64("reject-threshold", 0.05, "429 rate that marks saturation during -ramp")
 	sameSpecs := flag.Bool("same-specs", false, "submit specs verbatim (identical specs coalesce in the pool; default stamps distinct seeds)")
+	follow := flag.Bool("follow", false, "track accepted jobs over the server's live SSE stream instead of polling, printing progress deciles to stderr")
 	out := flag.String("o", "", "write the JSON report to this file instead of stdout")
 	flag.Parse()
 
@@ -61,6 +63,10 @@ func main() {
 		PollInterval:  *poll,
 		Timeout:       *timeout,
 		DistinctSeeds: !*sameSpecs,
+		Follow:        *follow,
+	}
+	if *follow {
+		cfg.ProgressOut = os.Stderr
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

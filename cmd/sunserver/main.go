@@ -10,6 +10,7 @@
 //	GET  /jobs/{id}        job state and, when done, the full result
 //	DELETE /jobs/{id}      cancel a pending job
 //	GET  /jobs/{id}/trace  Chrome/Perfetto trace of a job run with "trace":true
+//	GET  /jobs/{id}/events live job progress as Server-Sent Events
 //	GET  /jobs             job summaries, sorted by id
 //	GET  /metrics          Prometheus text: HTTP, pool and admission counters
 //	GET  /healthz          liveness probe
@@ -148,8 +149,10 @@ func main() {
 		retain: *retain,
 	})
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           http.TimeoutHandler(srv.handler(), *reqTimeout, "request timed out\n"),
+		Addr: *addr,
+		// rootHandler applies the request timeout to everything except the
+		// SSE stream, which outlives any per-request deadline by design.
+		Handler:           srv.rootHandler(*reqTimeout),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

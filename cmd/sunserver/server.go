@@ -10,6 +10,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -66,7 +68,15 @@ type serverConfig struct {
 	store  *jobstore.Store       // persistent job store; nil = in-memory only
 	adm    *admission.Controller // admission control; nil = admit everything
 	retain int                   // terminal jobs kept in memory (<=0: defaultRetain)
+	// heartbeat is the SSE keep-alive (and terminal-state poll) interval
+	// of GET /jobs/{id}/events; <=0 selects defaultHeartbeat. Tests set
+	// it to milliseconds so stream-close assertions run fast.
+	heartbeat time.Duration
 }
+
+// defaultHeartbeat paces SSE keep-alive comments and bounds how long a
+// follower waits for the "done" event after a job turns terminal.
+const defaultHeartbeat = 2 * time.Second
 
 // defaultRetain bounds the in-memory (and journaled) terminal-job history
 // so a long-lived server's job map cannot grow without limit.
@@ -108,6 +118,11 @@ type server struct {
 	admTotal  *obs.CounterVec
 	admLive   *obs.GaugeVec
 	info      *obs.GaugeVec
+	// Time-Warp telemetry of the most recent completed optimistic job
+	// (gauges) and a counter of degraded runs — OptStats made scrapeable.
+	optRollback *obs.GaugeVec
+	optDepth    *obs.GaugeVec
+	optDegraded *obs.CounterVec
 
 	mu             sync.Mutex
 	jobs           map[string]*apiJob
@@ -168,6 +183,12 @@ func newServer(ctx context.Context, pool *experiments.Pool, sweep *experiments.S
 		info: reg.GaugeVec("sunserver_info",
 			"Service-level gauges: workers, uptime, accepted API jobs, cache hit ratio.",
 			"name"),
+		optRollback: reg.GaugeVec("sunserver_opt_rollback_frac",
+			"Rollback fraction (rolled-back / executed events) of the most recent completed optimistic job."),
+		optDepth: reg.GaugeVec("sunserver_opt_depth",
+			"Final AIMD speculation depth of the most recent completed optimistic job."),
+		optDegraded: reg.CounterVec("sunserver_opt_degraded_total",
+			"Completed optimistic jobs that fell back to the conservative coordinator."),
 		jobs:      map[string]*apiJob{},
 		scenarios: map[string]*apiScenario{},
 	}
@@ -239,6 +260,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("/jobs", s.methodNotAllowed("GET"))
 	mux.HandleFunc("POST /scenarios", s.handleScenarioSubmit)
@@ -303,6 +325,9 @@ func metricRoute(p string) string {
 		if strings.HasSuffix(p, "/trace") {
 			return "/jobs/{id}/trace"
 		}
+		if strings.HasSuffix(p, "/events") {
+			return "/jobs/{id}/events"
+		}
 		return "/jobs/{id}"
 	case strings.HasPrefix(p, "/artifacts/"):
 		return "/artifacts/{name}"
@@ -343,7 +368,8 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"service": "sunserver: simulated Sunway TaihuLight experiment service",
 		"endpoints": []string{
-			"POST /run", "GET /jobs", "GET /jobs/{id}", "DELETE /jobs/{id}", "GET /jobs/{id}/trace",
+			"POST /run", "GET /jobs", "GET /jobs/{id}", "DELETE /jobs/{id}",
+			"GET /jobs/{id}/trace", "GET /jobs/{id}/events",
 			"POST /scenarios", "GET /scenarios", "GET /scenarios/{id}",
 			"GET /metrics", "GET /healthz", "GET /artifacts/{name}",
 		},
@@ -522,6 +548,17 @@ func (s *server) collect(id string, jobs []*runner.Job) {
 	if err := s.store.Finish(id, state, now, errMsg); err != nil {
 		s.log.Error("jobstore finish", "job", id, "err", err)
 	}
+	// Surface the winning repeat's Time-Warp stats on /metrics. Opt rides
+	// outside the Result's identity JSON, so only freshly executed runs
+	// carry it — a disk-cache hit leaves the gauges at their last value.
+	if final != nil && final.Sim != nil && final.Sim.Opt != nil {
+		o := final.Sim.Opt
+		s.optRollback.Set(o.RollbackFrac())
+		s.optDepth.Set(float64(o.FinalDepth))
+		if o.Degraded {
+			s.optDegraded.Inc()
+		}
+	}
 	if release {
 		// Feed the admission EWMA the job's execution cost: the recorded
 		// exec time, capped by the observed wall time so cache hits (whose
@@ -687,11 +724,42 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz answers the liveness probe with enough build and load
+// context to identify what is running and how busy it is: uptime, the Go
+// toolchain and VCS revision baked in by the build, worker count, and the
+// admission/journal backlog.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	body := map[string]any{
 		"status":        "ok",
 		"uptimeSeconds": time.Since(s.start).Seconds(),
-	})
+		"goVersion":     runtime.Version(),
+		"workers":       s.pool.Workers(),
+		"jobs":          jobs,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		body["module"] = bi.Main.Path
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				body["vcsRevision"] = kv.Value
+			case "vcs.time":
+				body["vcsTime"] = kv.Value
+			case "vcs.modified":
+				body["vcsModified"] = kv.Value == "true"
+			}
+		}
+	}
+	if s.adm != nil {
+		body["outstanding"] = s.adm.Metrics().Outstanding
+	}
+	if s.store != nil {
+		body["journalRecords"] = s.store.Len()
+		body["journalEntries"] = s.store.JournalEntries()
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // handleJobTrace serves a finished job's event timeline as a Chrome/

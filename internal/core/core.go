@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sunuintah/internal/faults"
 	"sunuintah/internal/field"
@@ -75,6 +76,26 @@ type Config struct {
 	// timing, or numerics, and the report is bit-identical across Shards
 	// and host-parallelism settings.
 	Obs *obs.Options
+	// Progress, when non-nil, receives one update per rank per completed
+	// timestep — the live feed behind sunserver's SSE endpoint. It is
+	// called from simulation goroutines (several concurrently under
+	// sharding), so it must be cheap and concurrency-safe; it can observe
+	// the run but never affect it, and like Obs it stays outside the
+	// runner's content hash.
+	Progress func(ProgressUpdate)
+}
+
+// ProgressUpdate is one Config.Progress callback payload: rank Rank just
+// finished 0-based global timestep Step. Done/Total count (rank, step)
+// pairs within the current Run segment, so Done/Total is the segment's
+// completion fraction.
+type ProgressUpdate struct {
+	Rank           int
+	Step           int
+	Steps          int // timesteps in this Run segment
+	Done           int64
+	Total          int64
+	VirtualSeconds float64 // the rank's clock at step completion
 }
 
 // Problem is a user-defined simulation: its task list plus initial
@@ -127,8 +148,11 @@ type Simulation struct {
 	crashFrac float64
 	crashed   *CrashError
 
-	// sampler is the flight recorder (nil unless Cfg.Obs is set).
+	// sampler is the flight recorder (nil unless Cfg.Obs is set); specRec
+	// records per-window engine telemetry when the run is both observed
+	// and sharded.
 	sampler *obs.Sampler
+	specRec *obs.SpecRecorder
 }
 
 // Result summarises a completed run.
@@ -165,6 +189,16 @@ type Result struct {
 	// Trace is the run's event timeline in canonical order; populated only
 	// when Config.Obs requests it (Options.Trace).
 	Trace []trace.Event `json:"Trace,omitempty"`
+	// Opt carries the Time-Warp coordinator's counters for optimistic
+	// runs; nil otherwise. Deliberately excluded from JSON: the counters
+	// depend on the Shards/OptMaxDepth knobs, and Result JSON is the
+	// byte-identity surface the shard and optimistic gates compare.
+	Opt *sim.OptStats `json:"-"`
+	// Speculation is the per-window engine telemetry recorded when both
+	// Config.Obs is set and the run is sharded (conservative or
+	// Time-Warp); nil otherwise. Excluded from JSON for the same reason
+	// as Opt — windows are an engine artifact, not a model observable.
+	Speculation *obs.SpecReport `json:"-"`
 }
 
 // NewSimulation validates and assembles a run.
@@ -264,6 +298,13 @@ func NewSimulation(cfg Config, prob Problem) (*Simulation, error) {
 		eng: engs[0], engs: engs, shards: shards, opt: opt, shardOf: shardOf,
 		assign:  assign,
 		sampler: sampler,
+	}
+	if sampler != nil && shards != nil {
+		// Window telemetry rides the same observability opt-in as the
+		// sampler; the observer runs on the coordinator goroutine between
+		// windows, so it races with nothing.
+		s.specRec = obs.NewSpecRecorder(sampler.Options().MaxSamples)
+		shards.SetWindowObserver(s.specRec.Observe)
 	}
 	// Attach the fault plane before the schedulers are built (they capture
 	// their core group's injector at construction).
@@ -474,6 +515,8 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 	}
 	stepEnds := make([][]sim.Time, len(s.Ranks))
 	var firstErr error
+	var progDone atomic.Int64
+	progTotal := int64(nSteps) * int64(len(s.Ranks))
 	for r, rk := range s.Ranks {
 		r, rk := r, rk
 		stepEnds[r] = make([]sim.Time, nSteps)
@@ -525,6 +568,13 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 				}
 				prevDur = p.Now() - stepStart
 				stepEnds[r][i] = p.Now()
+				if s.Cfg.Progress != nil {
+					s.Cfg.Progress(ProgressUpdate{
+						Rank: r, Step: step, Steps: nSteps,
+						Done: progDone.Add(1), Total: progTotal,
+						VirtualSeconds: float64(p.Now()),
+					})
+				}
 				t += s.Prob.Dt
 			}
 			// The rank outran its armed crash: a CG that finished its work
@@ -569,6 +619,7 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 	res.BytesOnWire -= bytesBefore
 	res.Faults = s.faultReport()
 	s.attachObs(res)
+	s.attachRuntime(res)
 	return res, nil
 }
 
@@ -577,15 +628,36 @@ func (s *Simulation) Run(nSteps int) (*Result, error) {
 // overlap statistics, the roofline placement, and — when requested — the
 // canonical event timeline. No-op without Config.Obs.
 func (s *Simulation) attachObs(res *Result) {
-	if s.sampler == nil {
+	if s.sampler == nil || s.Cfg.Obs.HooksOnly {
 		return
 	}
 	rep := s.sampler.Report(s.now())
-	rep.AddOverlap(s.Cfg.Scheduler.Trace, s.Cfg.NumCGs)
+	// One snapshot of the recorder feeds the whole report: the canonical
+	// (sorted) timeline is what the trace export, the overlap statistics
+	// and the critical path all walk, so they inherit the trace's
+	// byte-identity across shard and worker settings.
+	sorted := s.Cfg.Scheduler.Trace.Events()
+	trace.SortEvents(sorted)
+	rep.AddOverlap(sorted, s.Cfg.NumCGs)
 	rep.AddRoofline(s.Machine.Params.CGRoofline(), res.Gflops, res.Efficiency)
+	rep.AddCriticalPath(sorted, 5)
 	res.Obs = rep
 	if s.Cfg.Obs.Trace {
-		res.Trace = trace.Sorted(s.Cfg.Scheduler.Trace.Events())
+		res.Trace = sorted
+	}
+}
+
+// attachRuntime folds execution-engine introspection into a result: the
+// Time-Warp counters and the per-window telemetry stream. Both depend on
+// the engine knobs (Shards, OptMaxDepth) and are therefore carried in
+// JSON-excluded fields — see the Result field docs.
+func (s *Simulation) attachRuntime(res *Result) {
+	if s.opt != nil {
+		st := s.opt.Stats()
+		res.Opt = &st
+	}
+	if s.specRec != nil {
+		res.Speculation = s.specRec.Report()
 	}
 }
 

@@ -160,6 +160,15 @@ func EstimateCost(spec runner.Spec) float64 {
 	return n * steps * cycles / (clusterRate * cgs)
 }
 
+// SpecConfig resolves a Spec into the core configuration and problem it
+// executes. Exec composes it with progress publishing and resilient
+// running; it is exported so harnesses (benchgate's observability
+// overhead metric) can run the same case with hand-controlled
+// instrumentation knobs that Spec does not expose.
+func SpecConfig(spec runner.Spec) (core.Config, core.Problem, error) {
+	return specConfig(spec)
+}
+
 // specConfig resolves a Spec into the configuration and problem of its
 // simulation.
 func specConfig(spec runner.Spec) (core.Config, core.Problem, error) {
@@ -258,6 +267,18 @@ func buildSpecCase(spec runner.Spec) (*core.Simulation, error) {
 	return core.NewSimulation(cfg, problem)
 }
 
+// progress is the process-wide live-progress bus. Executions publish one
+// event per rank-step under the spec's content hash as the topic, so any
+// holder of the same spec (sunserver's SSE handler, a test) can follow a
+// run without threading a sink through the pool — Submit carries no
+// per-job context. Publishing to a topic nobody subscribed to is a cheap
+// no-op, so Exec publishes unconditionally.
+var progress = obs.NewProgressBus()
+
+// Progress returns the process-wide job progress bus. Topics are
+// runner.Spec content hashes (Spec.Hash), matching what Exec publishes.
+func Progress() *obs.ProgressBus { return progress }
+
 // Exec is the runner.ExecFunc for experimental cells: it resolves the
 // spec, builds the simulation and runs it. Out-of-memory failures (the
 // paper's Table III crashes) become infeasible results so the cache
@@ -270,6 +291,14 @@ func Exec(ctx context.Context, spec runner.Spec) (*runner.Result, error) {
 		cfg, problem, err := specConfig(spec)
 		if err != nil {
 			return nil, err
+		}
+		topic := spec.Hash()
+		cfg.Progress = func(u core.ProgressUpdate) {
+			progress.Publish(topic, obs.ProgressEvent{
+				Rank: u.Rank, Step: u.Step, Steps: u.Steps,
+				Done: u.Done, Total: u.Total,
+				VirtualSeconds: u.VirtualSeconds,
+			})
 		}
 		// Fault-plan specs run resiliently: a CG crash tears the run down
 		// and checkpoint/restart carries it to completion. With no plan

@@ -11,6 +11,7 @@
 package loadgen
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -20,6 +21,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,6 +55,16 @@ type Config struct {
 	// N-1 cache hits. Seeds change the spec hash but not the simulated
 	// result when the spec has no noise.
 	DistinctSeeds bool
+	// Follow switches accepted jobs from status polling to the server's
+	// live SSE stream (GET /jobs/{id}/events): completion is observed
+	// from the stream's "done" frame, and progress/dropped frames are
+	// tallied into the report. A stream that cannot be established falls
+	// back to polling, so Follow degrades rather than fails against
+	// servers or proxies without SSE support.
+	Follow bool
+	// ProgressOut, when non-nil with Follow, receives a line each time a
+	// followed job crosses another 10% of completion.
+	ProgressOut io.Writer
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
 }
@@ -111,6 +123,13 @@ type Report struct {
 	// OfferedRate is the schedule's mean submission rate after time
 	// scaling, jobs per wall second.
 	OfferedRate float64 `json:"offeredRate"`
+
+	// Follow-mode stream tallies: jobs tracked over SSE to completion,
+	// progress frames delivered, and events lost to slow-consumer drop
+	// (as reported by the server's "dropped" frames).
+	Followed       int    `json:"followed,omitempty"`
+	ProgressEvents int    `json:"progressEvents,omitempty"`
+	DroppedEvents  uint64 `json:"droppedEvents,omitempty"`
 }
 
 type jobOutcome struct {
@@ -120,6 +139,10 @@ type jobOutcome struct {
 	retryAfter      float64
 	state           string
 	err             error
+	followed        bool
+	progressEvents  int
+	droppedEvents   uint64
+	lastDecile      int
 }
 
 // Run replays cfg.Scenario's schedule against cfg.BaseURL and reports.
@@ -208,6 +231,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		rep.Submitted++
 		submitLat = append(submitLat, o.submitLatency)
+		if o.followed {
+			rep.Followed++
+		}
+		rep.ProgressEvents += o.progressEvents
+		rep.DroppedEvents += o.droppedEvents
 		switch o.status {
 		case http.StatusAccepted:
 			rep.Accepted++
@@ -292,6 +320,18 @@ func submitAndWait(ctx context.Context, httpc *http.Client, cfg Config, job work
 		return out
 	}
 
+	if cfg.Follow {
+		state, err := followJob(ctx, httpc, cfg, accepted.ID, &out)
+		if err == nil && state != "" {
+			out.followed = true
+			out.state = state
+			out.completeLatency = time.Since(t0).Seconds()
+			return out
+		}
+		// Stream unavailable or cut short: fall through to polling so the
+		// run still completes.
+	}
+
 	for {
 		select {
 		case <-ctx.Done():
@@ -309,6 +349,87 @@ func submitAndWait(ctx context.Context, httpc *http.Client, cfg Config, job work
 			return out
 		}
 	}
+}
+
+// followJob consumes the job's SSE stream until its "done" frame and
+// returns the terminal state. The stream outlives any fixed client
+// timeout, so it runs on a client sharing httpc's transport but without
+// its deadline; ctx still bounds it.
+func followJob(ctx context.Context, httpc *http.Client, cfg Config, id string, out *jobOutcome) (string, error) {
+	sseClient := &http.Client{Transport: httpc.Transport}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := sseClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", fmt.Errorf("loadgen: GET /jobs/%s/events: status %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line terminates one frame.
+			if state, terminal := consumeFrame(cfg, id, event, data, out); terminal {
+				return state, nil
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("loadgen: GET /jobs/%s/events: stream closed before done", id)
+}
+
+// consumeFrame folds one SSE frame into the outcome; a "done" frame is
+// terminal and carries the job's final state.
+func consumeFrame(cfg Config, id, event, data string, out *jobOutcome) (string, bool) {
+	switch event {
+	case "progress":
+		out.progressEvents++
+		var ev struct {
+			Done  int64 `json:"done"`
+			Total int64 `json:"total"`
+		}
+		if json.Unmarshal([]byte(data), &ev) == nil && cfg.ProgressOut != nil && ev.Total > 0 {
+			if d := int(10 * ev.Done / ev.Total); d > out.lastDecile {
+				out.lastDecile = d
+				fmt.Fprintf(cfg.ProgressOut, "%s: %d/%d (%d%%)\n", id, ev.Done, ev.Total, d*10)
+			}
+		}
+	case "dropped":
+		var ev struct {
+			Dropped uint64 `json:"dropped"`
+		}
+		if json.Unmarshal([]byte(data), &ev) == nil {
+			out.droppedEvents += ev.Dropped
+		}
+	case "done":
+		var st struct {
+			State string `json:"state"`
+		}
+		if json.Unmarshal([]byte(data), &st) == nil {
+			return st.State, true
+		}
+		return "", true
+	}
+	return "", false
 }
 
 func jobState(ctx context.Context, httpc *http.Client, base, id string) (string, error) {

@@ -1,11 +1,13 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -135,6 +137,91 @@ func TestRampStopsAtSaturation(t *testing.T) {
 	}
 	if rr.SaturationScale != 0.01 || rr.SaturationRate <= 0 {
 		t.Fatalf("saturation = scale %g rate %g", rr.SaturationScale, rr.SaturationRate)
+	}
+}
+
+// sseStub extends stubServer with a live-events endpoint that emits a
+// fixed script: state, 10 progress frames, one dropped frame, done.
+func sseStub(st *stubServer) http.Handler {
+	mux := st.handler().(*http.ServeMux)
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "event: state\ndata: {\"id\":%q,\"state\":\"running\"}\n\n", r.PathValue("id"))
+		for i := 1; i <= 10; i++ {
+			fmt.Fprintf(w, "event: progress\ndata: {\"done\":%d,\"total\":10}\n\n", i)
+		}
+		fmt.Fprint(w, "event: dropped\ndata: {\"dropped\":3}\n\n")
+		fmt.Fprint(w, ": keep-alive\n\n")
+		fmt.Fprint(w, "event: done\ndata: {\"state\":\"done\"}\n\n")
+		fl.Flush()
+	})
+	return mux
+}
+
+func TestRunFollowStreamsCompletions(t *testing.T) {
+	st := &stubServer{capacity: 4}
+	ts := httptest.NewServer(sseStub(st))
+	defer ts.Close()
+
+	var progress bytes.Buffer
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Scenario:     scenario(10, 1),
+		TimeScale:    0.001,
+		Clients:      1, // single client: ProgressOut is not synchronized
+		Follow:       true,
+		ProgressOut:  &progress,
+		PollInterval: time.Millisecond,
+		Timeout:      20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 4 || rep.Done != 4 {
+		t.Fatalf("accepted/done = %d/%d, want 4/4", rep.Accepted, rep.Done)
+	}
+	if rep.Followed != 4 {
+		t.Fatalf("followed = %d, want 4 (every accepted job streamed)", rep.Followed)
+	}
+	if rep.ProgressEvents != 40 {
+		t.Fatalf("progress events = %d, want 40", rep.ProgressEvents)
+	}
+	if rep.DroppedEvents != 12 {
+		t.Fatalf("dropped events = %d, want 12", rep.DroppedEvents)
+	}
+	if rep.CompleteLatency.P50 <= 0 {
+		t.Fatalf("no completion latency from followed jobs: %+v", rep.CompleteLatency)
+	}
+	if !strings.Contains(progress.String(), "(100%)") {
+		t.Fatalf("decile progress output missing terminal decile:\n%s", progress.String())
+	}
+}
+
+// A server without the events endpoint must not break -follow: the
+// follower falls back to polling and the run still completes.
+func TestRunFollowFallsBackToPolling(t *testing.T) {
+	st := &stubServer{capacity: 3}
+	ts := httptest.NewServer(st.handler()) // no SSE route: GET .../events is 404
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Scenario:     scenario(10, 1),
+		TimeScale:    0.001,
+		Clients:      2,
+		Follow:       true,
+		PollInterval: time.Millisecond,
+		Timeout:      20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 3 || rep.Done != 3 {
+		t.Fatalf("accepted/done = %d/%d, want 3/3", rep.Accepted, rep.Done)
+	}
+	if rep.Followed != 0 || rep.ProgressEvents != 0 {
+		t.Fatalf("followed/progress = %d/%d, want 0/0 on fallback", rep.Followed, rep.ProgressEvents)
 	}
 }
 

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sunuintah/internal/sim"
+	"sunuintah/internal/trace"
+)
+
+// handoffTrace is a two-rank timeline with one cross-rank dependency:
+// rank 0 computes and communicates, rank 1 starts its kernel only after
+// rank 0's comm lands (with a 0.5s gap the walk must attribute as wait).
+func handoffTrace() []trace.Event {
+	return []trace.Event{
+		{Rank: 0, Step: 0, Kind: trace.KindKernel, Name: "k0", Start: 0, End: 1},
+		{Rank: 0, Step: 0, Kind: trace.KindComm, Name: "send", Start: 1, End: 1.5},
+		{Rank: 1, Step: 0, Kind: trace.KindIdle, Name: "idle", Start: 0, End: 1.5},
+		{Rank: 1, Step: 0, Kind: trace.KindKernel, Name: "k1", Start: 2, End: 4},
+	}
+}
+
+func TestCriticalPathHandoff(t *testing.T) {
+	rep := CriticalPath(handoffTrace(), 5)
+	if rep == nil {
+		t.Fatal("nil report for non-empty trace")
+	}
+	if rep.MakespanSeconds != 4 {
+		t.Fatalf("makespan = %v, want 4", rep.MakespanSeconds)
+	}
+	sums := map[string]float64{}
+	total := 0.0
+	for _, c := range rep.Categories {
+		sums[c.Category] = c.Seconds
+		total += c.Seconds
+	}
+	// The walk telescopes, so the categories partition the makespan.
+	if math.Abs(total-rep.MakespanSeconds) > 1e-12 {
+		t.Fatalf("category seconds sum %v != makespan %v", total, rep.MakespanSeconds)
+	}
+	// k1 (2s) + k0 (1s) on the chain; the send covers 1–1.5; the 1.5–2 gap
+	// is wait. The idle interval on rank 1 covers 0–1.5 but the chain hops
+	// off rank 1 at 1.5 straight to the comm's end, so idle contributes
+	// nothing here.
+	if sums[CatCPEKernel] != 3 {
+		t.Fatalf("cpe-kernel = %v, want 3", sums[CatCPEKernel])
+	}
+	if sums[CatComm] != 0.5 {
+		t.Fatalf("comm = %v, want 0.5", sums[CatComm])
+	}
+	if sums[CatWait] != 0.5 {
+		t.Fatalf("wait = %v, want 0.5", sums[CatWait])
+	}
+	if rep.Hops == 0 {
+		t.Fatal("expected at least one rank hop on the handoff chain")
+	}
+	shareSum := 0.0
+	for _, c := range rep.Categories {
+		shareSum += c.Share
+	}
+	if math.Abs(shareSum-1) > 1e-12 {
+		t.Fatalf("shares sum to %v, want 1", shareSum)
+	}
+}
+
+// The chain is a pure function of the event multiset: input order must
+// not matter, or the sharded engine's arrival order would leak into the
+// report and break byte-identity.
+func TestCriticalPathInputOrderInvariant(t *testing.T) {
+	base := handoffTrace()
+	want, err := json.Marshal(CriticalPath(base, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]trace.Event(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := json.Marshal(CriticalPath(shuffled, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: report differs under shuffle:\n%s\nvs\n%s", trial, got, want)
+		}
+	}
+}
+
+// A randomized multi-rank timeline still partitions exactly: whatever the
+// walk does, attributed seconds must telescope to the makespan.
+func TestCriticalPathPartitionsMakespan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	kinds := []trace.Kind{trace.KindKernel, trace.KindMPEWork, trace.KindComm, trace.KindReduce, trace.KindIdle}
+	var evs []trace.Event
+	for rank := 0; rank < 4; rank++ {
+		t0 := 0.0
+		for i := 0; i < 50; i++ {
+			dur := rng.Float64() * 0.1
+			gap := rng.Float64() * 0.02
+			evs = append(evs, trace.Event{
+				Rank: rank, Step: i, Kind: kinds[rng.Intn(len(kinds))],
+				Name:  "ev",
+				Start: sim.Time(t0 + gap), End: sim.Time(t0 + gap + dur),
+			})
+			t0 += gap + dur
+		}
+	}
+	rep := CriticalPath(evs, 3)
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	total := 0.0
+	for _, c := range rep.Categories {
+		if c.Seconds < 0 {
+			t.Fatalf("negative category seconds: %+v", c)
+		}
+		total += c.Seconds
+	}
+	if math.Abs(total-rep.MakespanSeconds) > 1e-9 {
+		t.Fatalf("category sum %v != makespan %v", total, rep.MakespanSeconds)
+	}
+	if len(rep.TopSegments) > 3 {
+		t.Fatalf("topK not honoured: %d segments", len(rep.TopSegments))
+	}
+}
+
+func TestCriticalPathEmptyAndZeroDuration(t *testing.T) {
+	if rep := CriticalPath(nil, 5); rep != nil {
+		t.Fatalf("empty timeline: got %+v, want nil", rep)
+	}
+	markers := []trace.Event{
+		{Rank: 0, Kind: trace.KindFault, Start: 1, End: 1},
+		{Rank: 1, Kind: trace.KindRecovery, Start: 2, End: 2},
+	}
+	if rep := CriticalPath(markers, 5); rep != nil {
+		t.Fatalf("all-zero-duration timeline: got %+v, want nil", rep)
+	}
+}
+
+func TestCriticalPathFaultMarkersOnChain(t *testing.T) {
+	// A recovery interval with real duration lands in rollback-recovery.
+	evs := []trace.Event{
+		{Rank: 0, Kind: trace.KindKernel, Name: "k", Start: 0, End: 1},
+		{Rank: 0, Kind: trace.KindRecovery, Name: "resend", Start: 1, End: 1.25},
+		{Rank: 0, Kind: trace.KindKernel, Name: "k2", Start: 1.25, End: 2},
+	}
+	rep := CriticalPath(evs, 5)
+	for _, c := range rep.Categories {
+		if c.Category == CatRecovery && c.Seconds != 0.25 {
+			t.Fatalf("rollback-recovery = %v, want 0.25", c.Seconds)
+		}
+	}
+}
+
+func TestWriteCriticalPath(t *testing.T) {
+	r := &Report{}
+	var buf bytes.Buffer
+	r.WriteCriticalPath(&buf)
+	if !strings.Contains(buf.String(), "no critical path") {
+		t.Fatalf("nil-critpath table = %q", buf.String())
+	}
+	r.AddCriticalPath(handoffTrace(), 5)
+	buf.Reset()
+	r.WriteCriticalPath(&buf)
+	out := buf.String()
+	for _, want := range []string{"critical path:", "cpe-kernel", "100.0%", "top chain segments"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

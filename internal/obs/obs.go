@@ -56,6 +56,12 @@ type Options struct {
 	// Trace additionally exports the canonically sorted event timeline
 	// into the run's Result, enabling Perfetto/Chrome trace download.
 	Trace bool `json:"trace,omitempty"`
+	// HooksOnly attaches every sampler probe and speculation hook but
+	// skips assembling Result.Obs when the run completes. It exists for
+	// benchmark harnesses that time the always-on hook cost in isolation
+	// from report assembly (benchgate's obs.overhead_frac gate); normal
+	// runs leave it false.
+	HooksOnly bool `json:"-"`
 }
 
 // normalized fills defaults.
@@ -79,11 +85,24 @@ type Sampler struct {
 	ranks []*RankProbes
 }
 
-// NewSampler builds the probe sets for nRanks ranks.
+// NewSampler builds the probe sets for nRanks ranks. All eager series
+// structs and sample buffers come out of two contiguous arenas allocated
+// here, before the run starts: hundreds of small lazily grown buffers
+// used to be allocated from inside the hooks, and the GC churn they
+// caused during the parallel run phase dominated the sampler's measured
+// overhead (the benchgate obs.overhead_frac gate).
 func NewSampler(opts Options, nRanks int) *Sampler {
 	s := &Sampler{opts: opts.normalized()}
+	if nRanks <= 0 {
+		return s
+	}
+	ser := make([]Series, nRanks*eagerSeries)
+	buf := make([]float64, nRanks*eagerSeries*s.opts.MaxSamples)
+	s.ranks = make([]*RankProbes, 0, nRanks)
 	for r := 0; r < nRanks; r++ {
-		s.ranks = append(s.ranks, newRankProbes(r, s.opts))
+		off := r * eagerSeries
+		s.ranks = append(s.ranks, newRankProbes(r, s.opts,
+			ser[off:off+eagerSeries], buf[off*s.opts.MaxSamples:(off+eagerSeries)*s.opts.MaxSamples]))
 	}
 	return s
 }

@@ -27,8 +27,24 @@ type RankProbes struct {
 	recov  *Series
 }
 
-func newRankProbes(rank int, opts Options) *RankProbes {
-	mk := func() *Series { return NewSeries(opts.Interval, opts.MaxSamples) }
+// eagerSeries is the number of always-on series per rank; the sampler
+// backs them with one contiguous arena (see NewSampler).
+const eagerSeries = 7
+
+// newRankProbes carves the rank's eager series out of the sampler's
+// arenas: ser holds eagerSeries Series structs, buf holds
+// eagerSeries*MaxSamples floats. Lazily created series (faults,
+// recoveries) still self-allocate — most runs never touch them.
+func newRankProbes(rank int, opts Options, ser []Series, buf []float64) *RankProbes {
+	i := 0
+	mk := func() *Series {
+		s := &ser[i]
+		lo, hi := i*opts.MaxSamples, (i+1)*opts.MaxSamples
+		*s = Series{interval: opts.Interval, max: opts.MaxSamples,
+			samples: buf[lo:lo:hi]}
+		i++
+		return s
+	}
 	return &RankProbes{
 		rank: rank, opts: opts,
 		queue: mk(), prepared: mk(), gangs: mk(),

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"sunuintah/internal/perf"
 	"sunuintah/internal/sim"
@@ -62,6 +63,7 @@ type Report struct {
 	Ranks           []RankSeries    `json:"ranks"`
 	Overlap         []RankOverlap   `json:"overlap,omitempty"`
 	Roofline        *RooflineReport `json:"roofline,omitempty"`
+	CritPath        *CritPathReport `json:"critPath,omitempty"`
 }
 
 // Report finalizes every series at end and assembles the sampled half of
@@ -97,26 +99,85 @@ func (s *Sampler) Report(end sim.Time) *Report {
 	return rep
 }
 
-// AddOverlap folds per-rank interval statistics from the trace recorder.
-func (r *Report) AddOverlap(rec *trace.Recorder, nRanks int) {
-	if r == nil || rec == nil {
+// AddOverlap folds per-rank interval statistics from the recorded trace
+// events (any order; the caller usually hands the same canonical slice
+// the critical path walks, so the whole report costs one snapshot).
+//
+// One pass accumulates every rank's totals and the two overlap pairs
+// share one per-rank edge sweep. (The naive per-rank
+// Recorder.OverlapTime calls each re-copy and re-scan the whole
+// multi-rank event list — 3 passes x nRanks turned the flight recorder
+// into the dominant cost of short observed runs, which the benchgate
+// obs.overhead_frac metric now guards against.)
+func (r *Report) AddOverlap(events []trace.Event, nRanks int) {
+	if r == nil {
 		return
 	}
 	r.Overlap = r.Overlap[:0]
 	for rank := 0; rank < nRanks; rank++ {
-		tot := rec.TotalByKind(rank)
-		r.Overlap = append(r.Overlap, RankOverlap{
-			Rank:          rank,
-			KernelSeconds: float64(tot[trace.KindKernel]),
-			MPEKernSecs:   float64(tot[trace.KindMPEKern]),
-			MPEWorkSecs:   float64(tot[trace.KindMPEWork]),
-			CommSeconds:   float64(tot[trace.KindComm]),
-			IdleSeconds:   float64(tot[trace.KindIdle]),
-			KernelCommOverlap: float64(
-				rec.OverlapTime(rank, trace.KindKernel, trace.KindComm)),
-			KernelMPEOverlap: float64(
-				rec.OverlapTime(rank, trace.KindKernel, trace.KindMPEWork)),
+		r.Overlap = append(r.Overlap, RankOverlap{Rank: rank})
+	}
+
+	// Edge sweep per rank over the three overlap-relevant kinds. delta
+	// sorts close (-1) before open (+1) at equal times so adjacent
+	// intervals do not count as overlapping — same tie rule as
+	// trace.Recorder.OverlapTime.
+	type edge struct {
+		t     sim.Time
+		kind  int8 // 0 kernel, 1 comm, 2 mpe-work
+		delta int8
+	}
+	perRank := make([][]edge, nRanks)
+	for _, e := range events {
+		if e.Rank < 0 || e.Rank >= nRanks {
+			continue
+		}
+		ov := &r.Overlap[e.Rank]
+		var kind int8
+		switch e.Kind {
+		case trace.KindKernel:
+			ov.KernelSeconds += float64(e.Duration())
+			kind = 0
+		case trace.KindComm:
+			ov.CommSeconds += float64(e.Duration())
+			kind = 1
+		case trace.KindMPEWork:
+			ov.MPEWorkSecs += float64(e.Duration())
+			kind = 2
+		case trace.KindMPEKern:
+			ov.MPEKernSecs += float64(e.Duration())
+			continue
+		case trace.KindIdle:
+			ov.IdleSeconds += float64(e.Duration())
+			continue
+		default:
+			continue
+		}
+		perRank[e.Rank] = append(perRank[e.Rank],
+			edge{e.Start, kind, +1}, edge{e.End, kind, -1})
+	}
+	for rank, edges := range perRank {
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].t != edges[j].t {
+				return edges[i].t < edges[j].t
+			}
+			return edges[i].delta < edges[j].delta
 		})
+		var open [3]int
+		var since sim.Time
+		ov := &r.Overlap[rank]
+		for _, ed := range edges {
+			if open[0] > 0 {
+				if open[1] > 0 {
+					ov.KernelCommOverlap += float64(ed.t - since)
+				}
+				if open[2] > 0 {
+					ov.KernelMPEOverlap += float64(ed.t - since)
+				}
+			}
+			open[ed.kind] += int(ed.delta)
+			since = ed.t
+		}
 	}
 }
 

@@ -96,7 +96,7 @@ func TestReportFoldsOverlapAndRoofline(t *testing.T) {
 	rec := trace.New()
 	rec.Add(trace.Event{Rank: 0, Kind: trace.KindKernel, Start: 0, End: 4})
 	rec.Add(trace.Event{Rank: 0, Kind: trace.KindComm, Start: 1, End: 3})
-	rep.AddOverlap(rec, 1)
+	rep.AddOverlap(rec.Events(), 1)
 	if len(rep.Overlap) != 1 {
 		t.Fatalf("overlap rows: %d", len(rep.Overlap))
 	}
@@ -153,7 +153,7 @@ func TestNilSamplerAndTable(t *testing.T) {
 	}
 	var b strings.Builder
 	var rep *Report
-	rep.AddOverlap(trace.New(), 1)
+	rep.AddOverlap(nil, 1)
 	rep.AddRoofline(perf.Roofline{}, 0, 0)
 	rep.WriteTable(&b)
 	if !strings.Contains(b.String(), "no report") {

@@ -24,7 +24,8 @@ type Series struct {
 	interval float64
 	max      int
 	cur      float64
-	next     int // grid index of the next uncommitted sample
+	next     int     // grid index of the next uncommitted sample
+	nextT    float64 // cached float64(next)*interval: the next grid instant
 	samples  []float64
 	pending  []transition // min-heap on (at, seq)
 	pseq     uint64
@@ -124,46 +125,110 @@ func (s *Series) Finalize(end float64) {
 		return
 	}
 	s.advance(end)
-	for float64(s.next)*s.interval <= end {
+	for s.nextT <= end {
 		s.push(s.cur)
 	}
 }
 
 // advance applies pending transitions due at or before t, committing the
 // grid samples each one proves out, then commits samples strictly before
-// t itself.
+// t itself. The hooks fire orders of magnitude more often than the grid
+// commits (event granularity is nanoseconds, the grid tens of
+// microseconds), so the everything-already-committed case must stay two
+// comparisons — that fast path is what keeps the sampler inside the
+// benchgate obs.overhead_frac budget.
 func (s *Series) advance(t float64) {
+	if len(s.pending) > 0 && s.pending[0].at <= t {
+		s.drainPending(t)
+	}
+	if s.nextT < t {
+		s.commitBefore(t)
+	}
+}
+
+// drainPending applies pending transitions due at or before t in (at,
+// seq) order, committing the grid samples each one proves out.
+func (s *Series) drainPending(t float64) {
 	for len(s.pending) > 0 && s.pending[0].at <= t {
 		tr := s.popPending()
 		s.commitBefore(tr.at)
 		s.cur += tr.delta
 	}
-	s.commitBefore(t)
 }
 
 // commitBefore commits grid samples strictly before t with the held
 // value: an update at t proves the value held through every earlier grid
 // instant, while the sample at t itself stays open for same-instant
 // updates still to come.
+//
+// Committing is batched: the value is constant between updates, so a
+// whole run of grid points lands as one slice fill instead of one call
+// per point. The batch length starts from a float division and is then
+// fixed against the exact per-index comparison (float64(idx)*interval <
+// t, monotone in idx), so the committed samples are bit-identical to the
+// one-at-a-time loop this replaces — only ~20x cheaper on the dense
+// grids the e2e cases commit.
 func (s *Series) commitBefore(t float64) {
-	for float64(s.next)*s.interval < t {
-		s.push(s.cur)
+	for s.nextT < t {
+		if len(s.samples) >= s.max {
+			s.decimate()
+			continue
+		}
+		if s.samples == nil {
+			// A series that commits at all almost always commits
+			// hundreds of samples (the grid spans the whole run), so
+			// allocate the full cap once instead of growing.
+			s.samples = make([]float64, 0, s.max)
+		}
+		avail := s.max - len(s.samples)
+		n := int((t - s.nextT) / s.interval)
+		if n < 1 {
+			n = 1
+		}
+		if n > avail {
+			n = avail
+		}
+		for n > 1 && float64(s.next+n-1)*s.interval >= t {
+			n--
+		}
+		for n < avail && float64(s.next+n)*s.interval < t {
+			n++
+		}
+		l := len(s.samples)
+		s.samples = s.samples[:l+n]
+		for i := l; i < l+n; i++ {
+			s.samples[i] = s.cur
+		}
+		s.next += n
+		s.nextT = float64(s.next) * s.interval
 	}
+}
+
+// decimate drops every other sample and doubles the grid interval. The
+// kept samples are the even grid indices, so the surviving grid is the
+// coarser grid's prefix and committing continues seamlessly.
+func (s *Series) decimate() {
+	half := len(s.samples) / 2
+	for i := 0; i < half; i++ {
+		s.samples[i] = s.samples[2*i]
+	}
+	s.samples = s.samples[:half]
+	s.interval *= 2
+	s.next = half
+	s.nextT = float64(s.next) * s.interval
 }
 
 // push appends one committed sample, decimating first when full.
 func (s *Series) push(v float64) {
+	if s.samples == nil {
+		s.samples = make([]float64, 0, s.max)
+	}
 	if len(s.samples) >= s.max {
-		half := len(s.samples) / 2
-		for i := 0; i < half; i++ {
-			s.samples[i] = s.samples[2*i]
-		}
-		s.samples = s.samples[:half]
-		s.interval *= 2
-		s.next = half
+		s.decimate()
 	}
 	s.samples = append(s.samples, v)
 	s.next++
+	s.nextT = float64(s.next) * s.interval
 }
 
 // pushPending / popPending maintain the min-heap on (at, seq). seq breaks

@@ -149,3 +149,47 @@ func TestSeriesOddCapRoundsUp(t *testing.T) {
 		t.Fatalf("max = %d, want 8", s.max)
 	}
 }
+
+// Filling the buffer to exactly its capacity must not decimate; the very
+// next committed instant must. The boundary matters because the stride
+// doubling assumes overflow happens on an even kept-count.
+func TestSeriesDecimationExactBoundary(t *testing.T) {
+	s := NewSeries(1, 8)
+	for i := 0; i < 7; i++ {
+		s.Observe(float64(i)+0.5, float64(i))
+	}
+	s.Finalize(7) // grid instants 0..7: exactly the cap
+	if s.Interval() != 1 {
+		t.Fatalf("interval = %v at exact capacity, want 1", s.Interval())
+	}
+	if got := len(s.Samples()); got != 8 {
+		t.Fatalf("samples = %d at exact capacity, want 8", got)
+	}
+	s.Observe(7.5, 7)
+	s.Finalize(8) // one instant past the cap: first decimation
+	if s.Interval() != 2 {
+		t.Fatalf("interval = %v after overflow, want 2", s.Interval())
+	}
+	got := s.Samples()
+	if len(got) > 8 {
+		t.Fatalf("samples exceed cap after overflow: %d", len(got))
+	}
+	if last := got[len(got)-1]; last != 7 {
+		t.Fatalf("last sample = %v, want 7 (value holding at t=8)", last)
+	}
+}
+
+// A single-sample series (one grid instant committed) must survive both
+// sampling and a would-be decimation pass untouched.
+func TestSeriesSingleSample(t *testing.T) {
+	s := NewSeries(1, 8)
+	s.Observe(0, 5)
+	s.Finalize(0)
+	want := []float64{5}
+	if got := s.Samples(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("samples = %v, want %v", got, want)
+	}
+	if s.Interval() != 1 {
+		t.Fatalf("interval = %v, want 1", s.Interval())
+	}
+}

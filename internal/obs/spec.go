@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"sunuintah/internal/sim"
+)
+
+// SpecWindow is one recorded coordinator barrier. Counter fields are
+// cumulative at the barrier (mirroring sim.WindowStats), which keeps the
+// stream self-consistent under decimation: consumers diff adjacent kept
+// rows to recover per-stride deltas.
+type SpecWindow struct {
+	Window        int64   `json:"window"`
+	GVT           float64 `json:"gvt"`
+	LagSeconds    float64 `json:"lagSeconds"`  // furthest shard clock ahead of GVT
+	SpanSeconds   float64 `json:"spanSeconds"` // widest finite window granted
+	Runnable      int     `json:"runnable"`
+	Executed      uint64  `json:"executed"`
+	RolledBack    uint64  `json:"rolledBack"`
+	Rollbacks     int64   `json:"rollbacks"`
+	Cascades      int64   `json:"cascades"`
+	AntiMessages  int64   `json:"antiMessages"`
+	DupSends      int64   `json:"dupSends"`
+	Snapshots     int64   `json:"snapshots"`
+	SnapshotBytes int64   `json:"snapshotBytes"`
+	MailInjected  int64   `json:"mailInjected"`
+	MinDepth      int     `json:"minDepth"`
+	MaxDepth      int     `json:"maxDepth"`
+	Speculative   bool    `json:"speculative,omitempty"`
+}
+
+// SpecReport is the per-window speculation telemetry of one run: the
+// decimated barrier stream plus the final cumulative row. Deterministic
+// for a fixed (shards, depth) configuration; across configurations the
+// stream legitimately differs, so core carries it outside the Result
+// JSON that the bit-identity gates compare.
+type SpecReport struct {
+	// Stride is the barrier distance between kept rows after decimation
+	// (1 until the recorder overflowed).
+	Stride  int          `json:"stride"`
+	Seen    int64        `json:"seen"` // barriers observed in total
+	Windows []SpecWindow `json:"windows"`
+	// Total is the last observed barrier, kept even when decimation
+	// dropped it from Windows — the end-of-run cumulative counters.
+	Total SpecWindow `json:"total"`
+}
+
+// RollbackFrac is the end-of-run rolled-back fraction of executed events.
+func (sr *SpecReport) RollbackFrac() float64 {
+	if sr == nil || sr.Total.Executed == 0 {
+		return 0
+	}
+	return float64(sr.Total.RolledBack) / float64(sr.Total.Executed)
+}
+
+// SpecRecorder accumulates WindowStats rows with bounded memory, using
+// the same overflow policy as Series: at capacity, every other kept row
+// is dropped and the keep-stride doubles, so long runs lose resolution
+// instead of growing. Rows are kept at barrier ordinals ≡ 1 (mod stride)
+// — barrier numbering is 1-based — so decimation preserves a regular
+// grid. A nil recorder's Observe is a no-op, the zero-cost disabled
+// pattern shared with RankProbes.
+type SpecRecorder struct {
+	max    int
+	stride int64
+	rows   []SpecWindow
+	last   SpecWindow
+	seen   int64
+}
+
+// NewSpecRecorder bounds the recorder at maxRows kept rows (rounded up
+// to even; <= 0 selects DefaultMaxSamples).
+func NewSpecRecorder(maxRows int) *SpecRecorder {
+	if maxRows <= 0 {
+		maxRows = DefaultMaxSamples
+	}
+	if maxRows%2 != 0 {
+		maxRows++
+	}
+	return &SpecRecorder{max: maxRows, stride: 1}
+}
+
+// Observe records one barrier. It is a sim.WindowObserver and runs on the
+// coordinator goroutine between windows: no locking, bounded work.
+func (r *SpecRecorder) Observe(ws sim.WindowStats) {
+	if r == nil {
+		return
+	}
+	row := SpecWindow{
+		Window:        ws.Window,
+		GVT:           clampTime(ws.GVT),
+		Runnable:      ws.Runnable,
+		Executed:      ws.Executed,
+		RolledBack:    ws.RolledBack,
+		Rollbacks:     ws.Rollbacks,
+		Cascades:      ws.CascadeRollbacks,
+		AntiMessages:  ws.AntiMessages,
+		DupSends:      ws.DupSends,
+		Snapshots:     ws.Snapshots,
+		SnapshotBytes: ws.SnapshotBytes,
+		MailInjected:  ws.MailInjected,
+		MinDepth:      ws.MinDepth,
+		MaxDepth:      ws.MaxDepth,
+		Speculative:   ws.Speculative,
+	}
+	if ws.MaxNow > ws.GVT && ws.GVT < sim.Infinity {
+		row.LagSeconds = float64(ws.MaxNow - ws.GVT)
+	}
+	if ws.WindowEnd > ws.WindowStart && ws.WindowEnd < sim.Infinity {
+		row.SpanSeconds = float64(ws.WindowEnd - ws.WindowStart)
+	}
+	r.last = row
+	r.seen++
+	// Keep barriers on the stride grid; (seen-1) is the 0-based ordinal.
+	if (r.seen-1)%r.stride != 0 {
+		return
+	}
+	if len(r.rows) >= r.max {
+		half := len(r.rows) / 2
+		for i := 0; i < half; i++ {
+			r.rows[i] = r.rows[2*i]
+		}
+		r.rows = r.rows[:half]
+		r.stride *= 2
+		// The incoming ordinal is max*oldStride, divisible by the doubled
+		// stride (max is even), so it lands on the coarser grid too.
+	}
+	r.rows = append(r.rows, row)
+}
+
+// Report snapshots the recorded stream; nil when nothing was observed
+// (serial engine, or no windows ran).
+func (r *SpecRecorder) Report() *SpecReport {
+	if r == nil || r.seen == 0 {
+		return nil
+	}
+	return &SpecReport{
+		Stride:  int(r.stride),
+		Seen:    r.seen,
+		Windows: append([]SpecWindow(nil), r.rows...),
+		Total:   r.last,
+	}
+}
+
+// WriteTable renders the stream as a compact table: per-row deltas for
+// the counters, instantaneous values for the gauges.
+func (sr *SpecReport) WriteTable(w io.Writer) {
+	if sr == nil || len(sr.Windows) == 0 {
+		fmt.Fprintln(w, "no speculation telemetry (serial engine)")
+		return
+	}
+	t := sr.Total
+	fmt.Fprintf(w, "speculation: %d windows (stride %d), %d executed, %d rolled back (%.1f%%), gvt %.6g s\n",
+		sr.Seen, sr.Stride, t.Executed, t.RolledBack, sr.RollbackFrac()*100, t.GVT)
+	fmt.Fprintf(w, "%8s %12s %10s %10s %8s %8s %8s %8s %6s %5s\n",
+		"window", "gvt", "lag.s", "exec+", "rolled+", "rb+", "anti+", "snapB+", "depth", "spec")
+	var prev SpecWindow
+	for _, row := range sr.Windows {
+		spec := ""
+		if row.Speculative {
+			spec = "*"
+		}
+		fmt.Fprintf(w, "%8d %12.6g %10.3g %10d %8d %8d %8d %8d %3d-%-2d %5s\n",
+			row.Window, row.GVT, row.LagSeconds,
+			row.Executed-prev.Executed, row.RolledBack-prev.RolledBack,
+			row.Rollbacks-prev.Rollbacks, row.AntiMessages-prev.AntiMessages,
+			row.SnapshotBytes-prev.SnapshotBytes,
+			row.MinDepth, row.MaxDepth, spec)
+		prev = row
+	}
+}
+
+// clampTime converts a sim.Time to a JSON-friendly float: the Infinity
+// sentinel (idle shards) renders as 0 rather than 1.8e308.
+func clampTime(t sim.Time) float64 {
+	if t >= sim.Infinity {
+		return 0
+	}
+	return float64(t)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sunuintah/internal/sim"
+)
+
+func specWindow(i int) sim.WindowStats {
+	return sim.WindowStats{
+		Window:   int64(i),
+		GVT:      sim.Time(i) * 0.001,
+		MaxNow:   sim.Time(i)*0.001 + 0.0005,
+		Runnable: 2,
+		Executed: uint64(i) * 10,
+		MaxDepth: 4,
+	}
+}
+
+func TestSpecRecorderDecimation(t *testing.T) {
+	r := NewSpecRecorder(8)
+	for i := 1; i <= 40; i++ {
+		r.Observe(specWindow(i))
+	}
+	rep := r.Report()
+	if rep == nil {
+		t.Fatal("nil report after 40 windows")
+	}
+	if rep.Seen != 40 {
+		t.Fatalf("seen = %d, want 40", rep.Seen)
+	}
+	if len(rep.Windows) > 8 {
+		t.Fatalf("rows exceed cap: %d", len(rep.Windows))
+	}
+	if rep.Stride&(rep.Stride-1) != 0 || rep.Stride < 2 {
+		t.Fatalf("stride = %d, want a power of two > 1 after overflow", rep.Stride)
+	}
+	// Kept rows sit on the stride grid (1-based barrier ordinals ≡ 1 mod
+	// stride) and stay in order.
+	for i, row := range rep.Windows {
+		if (row.Window-1)%int64(rep.Stride) != 0 {
+			t.Fatalf("row %d (window %d) off the stride-%d grid", i, row.Window, rep.Stride)
+		}
+		if i > 0 && row.Window <= rep.Windows[i-1].Window {
+			t.Fatalf("rows out of order at %d: %d after %d", i, row.Window, rep.Windows[i-1].Window)
+		}
+	}
+	if rep.Total.Window != 40 || rep.Total.Executed != 400 {
+		t.Fatalf("total = %+v, want the 40th barrier's cumulative row", rep.Total)
+	}
+}
+
+func TestSpecRecorderNilAndEmpty(t *testing.T) {
+	var r *SpecRecorder
+	r.Observe(specWindow(1)) // must not panic
+	if r.Report() != nil {
+		t.Fatal("nil recorder must report nil")
+	}
+	if NewSpecRecorder(4).Report() != nil {
+		t.Fatal("untouched recorder must report nil")
+	}
+}
+
+func TestSpecRecorderInfinityClamped(t *testing.T) {
+	r := NewSpecRecorder(8)
+	r.Observe(sim.WindowStats{
+		Window: 1, GVT: sim.Infinity, MaxNow: sim.Infinity,
+		WindowStart: 1, WindowEnd: sim.Infinity,
+	})
+	rep := r.Report()
+	row := rep.Windows[0]
+	if row.GVT != 0 || row.LagSeconds != 0 || row.SpanSeconds != 0 {
+		t.Fatalf("Infinity leaked into the row: %+v", row)
+	}
+}
+
+func TestSpecReportRollbackFrac(t *testing.T) {
+	var nilRep *SpecReport
+	if nilRep.RollbackFrac() != 0 {
+		t.Fatal("nil report frac must be 0")
+	}
+	rep := &SpecReport{Total: SpecWindow{Executed: 200, RolledBack: 50}}
+	if f := rep.RollbackFrac(); f != 0.25 {
+		t.Fatalf("frac = %v, want 0.25", f)
+	}
+}
+
+func TestSpecReportWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	var nilRep *SpecReport
+	nilRep.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "no speculation telemetry") {
+		t.Fatalf("nil table = %q", buf.String())
+	}
+	r := NewSpecRecorder(8)
+	for i := 1; i <= 5; i++ {
+		r.Observe(specWindow(i))
+	}
+	buf.Reset()
+	r.Report().WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"speculation:", "window", "gvt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -44,7 +44,15 @@ type OptStats struct {
 	EventsExecuted   uint64 // events run, including re-execution after rollback
 	EventsRolledBack uint64 // executed events whose effects were undone
 	MailInjected     int64  // cross-shard messages delivered
-	GVT              Time   // last computed global virtual time
+	// SnapshotBytes estimates the state volume copied into snapshots
+	// (calendar events plus saver states, at a fixed per-entry size) —
+	// telemetry for the snapshot-interval policy, not an allocator
+	// measurement.
+	SnapshotBytes int64
+	// FinalDepth is the highest per-shard AIMD speculation depth at the
+	// moment Stats was taken — where the throttle settled.
+	FinalDepth int
+	GVT        Time // last computed global virtual time
 	// Degraded reports that Run fell back to the conservative coordinator
 	// (MaxDepth 0, or live processes — goroutine stacks cannot roll back).
 	Degraded bool
@@ -209,6 +217,11 @@ func (o *OptimisticShardSet) Stats() OptStats {
 		st.EventsExecuted += e.executed
 	}
 	st.EventsExecuted += st.EventsRolledBack
+	for i := range o.shards {
+		if d := o.shards[i].depth; d > st.FinalDepth {
+			st.FinalDepth = d
+		}
+	}
 	return st
 }
 
@@ -351,6 +364,9 @@ func (o *OptimisticShardSet) runTimeWarp() Time {
 			if sh.sinceSnap >= sh.snapInterval {
 				o.snapshot(i)
 			}
+		}
+		if o.winObs != nil {
+			o.observeOptWindow(runnable)
 		}
 
 		if runnable == 1 {
@@ -567,6 +583,15 @@ func (o *OptimisticShardSet) injectPending() {
 	}
 }
 
+// Per-entry size estimates behind OptStats.SnapshotBytes: one saved
+// calendar event (the event struct) and one opaque saver state (interface
+// header plus a small boxed value). Fixed constants keep the counter
+// deterministic across architectures.
+const (
+	snapEventBytes = 64
+	snapStateBytes = 32
+)
+
 // snapshot saves shard i's engine calendar and registered state.
 func (o *OptimisticShardSet) snapshot(i int) {
 	e := o.engines[i]
@@ -584,6 +609,8 @@ func (o *OptimisticShardSet) snapshot(i int) {
 	sh.snaps = append(sh.snaps, snap)
 	sh.sinceSnap = 0
 	o.stats.Snapshots++
+	o.stats.SnapshotBytes += int64(len(snap.events))*snapEventBytes +
+		int64(len(snap.state))*snapStateBytes
 	// A clean stretch of windows earns back speculation depth and a
 	// longer snapshot interval.
 	sh.cleanStreak++

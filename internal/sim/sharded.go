@@ -105,6 +105,12 @@ type ShardSet struct {
 	inbox [][]mailItem
 	next  []Time
 	ends  []Time
+
+	// winObs, when set, receives one WindowStats per coordinator barrier
+	// (see SetWindowObserver); windows and mailDelivered feed it.
+	winObs        WindowObserver
+	windows       int64
+	mailDelivered int64
 }
 
 // NewShardSet creates n engines coordinated with one uniform lookahead for
@@ -330,6 +336,7 @@ func (ss *ShardSet) Flush() {
 		if len(batch) > 1 {
 			sortMail(batch)
 		}
+		ss.mailDelivered += int64(len(batch))
 		de.injectMail(batch)
 		// Drop the callback references so the reusable buffer does not
 		// pin closures or envelopes until the next barrier overwrites it.
@@ -444,6 +451,10 @@ func (ss *ShardSet) Run() Time {
 				runnable++
 				last = i
 			}
+		}
+		ss.windows++
+		if ss.winObs != nil {
+			ss.observeWindow(runnable)
 		}
 		if runnable == 1 {
 			// Lone-runner fast path: no other shard can be affected before

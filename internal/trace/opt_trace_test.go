@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"sunuintah/internal/sim"
+)
+
+// traceNode is a PHOLD-style actor whose side effect IS the trace: every
+// job appends one interval to the node's event log, and the log rides in
+// the Time-Warp saved state, so a rollback truncates it along with the
+// model state. What survives to the end of the run is exactly the
+// committed timeline — the property the Perfetto export depends on.
+type traceNode struct {
+	id    int
+	nodes []*traceNode
+	eng   *sim.Engine
+	post  func(dst int, at sim.Time, fn func())
+
+	rng    uint64
+	seq    int
+	budget int
+	evs    []Event
+}
+
+type traceNodeState struct {
+	rng    uint64
+	seq    int
+	budget int
+	evs    []Event
+}
+
+func (nd *traceNode) SaveState() any {
+	return traceNodeState{nd.rng, nd.seq, nd.budget, append([]Event(nil), nd.evs...)}
+}
+
+func (nd *traceNode) RestoreState(s any) {
+	st := s.(traceNodeState)
+	nd.rng, nd.seq, nd.budget = st.rng, st.seq, st.budget
+	nd.evs = append(nd.evs[:0], st.evs...)
+}
+
+func mix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+const traceLookahead = 5 * sim.Nanosecond
+
+func (nd *traceNode) job(payload uint64) {
+	t := nd.eng.Now()
+	dur := sim.Time(1+payload%97) * 1e-12
+	nd.evs = append(nd.evs, Event{
+		Rank: nd.id, Step: nd.seq, Kind: KindKernel,
+		Name: "job", Start: t, End: t + dur,
+	})
+	nd.seq++
+	if nd.budget <= 0 {
+		return
+	}
+	nd.budget--
+	r := mix64(&nd.rng)
+	next := mix64(&nd.rng)
+	jitter := sim.Time(r%1000) * 1e-12
+	if (r>>32)%100 < 30 {
+		dst := int(next % uint64(len(nd.nodes)))
+		dn := nd.nodes[dst]
+		nd.post(dst, t+traceLookahead+sim.Nanosecond+jitter, func() { dn.job(next) })
+	} else {
+		at := t + 2e-10 + jitter
+		nd.eng.ScheduleAt(at, func() { nd.job(next) })
+	}
+}
+
+// runTraceModel runs the model on either coordination flavour and returns
+// the committed events plus the optimistic stats (zero-value for the
+// conservative run).
+func runTraceModel(optimistic bool) ([]Event, sim.OptStats) {
+	const nNodes, nShards, budget = 8, 4, 200
+	var (
+		engine func(int) *sim.Engine
+		post   func(src, dst *sim.Engine, at sim.Time, fn func())
+		reg    func(int, sim.StateSaver)
+		run    func() sim.Time
+		stats  func() sim.OptStats
+	)
+	if optimistic {
+		o := sim.NewOptimisticShardSet(nShards, traceLookahead, sim.OptConfig{MaxDepth: 4})
+		engine, post, run, stats = o.Engine, o.Post, o.Run, o.Stats
+		reg = o.Register
+	} else {
+		ss := sim.NewShardSet(nShards, traceLookahead)
+		engine, post, run = ss.Engine, ss.Post, ss.Run
+		reg = func(int, sim.StateSaver) {}
+		stats = func() sim.OptStats { return sim.OptStats{} }
+	}
+	nodes := make([]*traceNode, nNodes)
+	for i := range nodes {
+		nodes[i] = &traceNode{id: i, rng: uint64(i)*2654435761 + 12345, budget: budget}
+	}
+	for i, nd := range nodes {
+		nd.nodes = nodes
+		nd.eng = engine(i % nShards)
+		src := nd.eng
+		nd.post = func(dst int, at sim.Time, fn func()) {
+			post(src, engine(dst%nShards), at, fn)
+		}
+		reg(i%nShards, nd)
+	}
+	for i, nd := range nodes {
+		nd := nd
+		payload := uint64(i) * 7777
+		nd.eng.ScheduleAt(sim.Time(i+1)*sim.Nanosecond, func() { nd.job(payload) })
+	}
+	run()
+	var all []Event
+	for _, nd := range nodes {
+		all = append(all, nd.evs...)
+	}
+	return Sorted(all), stats()
+}
+
+// TestChromeTraceOptimisticCommittedOnly: a rollback-heavy Time-Warp run
+// exports the same Perfetto trace as the conservative run of the same
+// model — committed slices only, each exactly once, no orphans from
+// rolled-back speculation.
+func TestChromeTraceOptimisticCommittedOnly(t *testing.T) {
+	opt, stats := runTraceModel(true)
+	if stats.Degraded {
+		t.Fatal("optimistic run degraded to the conservative path")
+	}
+	if stats.Rollbacks == 0 || stats.EventsRolledBack == 0 {
+		t.Fatalf("model never rolled back (rollbacks=%d, rolledBack=%d) — nothing speculative is being exported",
+			stats.Rollbacks, stats.EventsRolledBack)
+	}
+	cons, _ := runTraceModel(false)
+
+	if len(opt) != len(cons) {
+		t.Fatalf("committed event count differs: optimistic %d vs conservative %d", len(opt), len(cons))
+	}
+	if len(opt) < 500 {
+		t.Fatalf("suspiciously small committed timeline: %d events", len(opt))
+	}
+	// Each (rank, step) pair commits exactly once: a duplicate would be a
+	// rolled-back execution leaking into the export as an orphaned slice.
+	seen := map[[2]int]bool{}
+	for _, e := range opt {
+		key := [2]int{e.Rank, e.Step}
+		if seen[key] {
+			t.Fatalf("duplicate committed slice for rank %d step %d", e.Rank, e.Step)
+		}
+		seen[key] = true
+		if e.End < e.Start || math.IsInf(float64(e.End), 0) {
+			t.Fatalf("malformed slice: %+v", e)
+		}
+	}
+
+	var optBuf, consBuf bytes.Buffer
+	if err := NewFromEvents(opt).WriteChromeTrace(&optBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewFromEvents(cons).WriteChromeTrace(&consBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(optBuf.Bytes(), consBuf.Bytes()) {
+		t.Fatal("Perfetto export differs between optimistic and conservative coordination")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string  `json:"ph"`
+			DurUS float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(optBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(opt) {
+		t.Fatalf("export has %d slices, want %d", len(doc.TraceEvents), len(opt))
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Phase != "X" || ev.DurUS < 0 {
+			t.Fatalf("slice %d malformed: %+v", i, ev)
+		}
+	}
+}
